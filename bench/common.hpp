@@ -1,0 +1,41 @@
+// Shared helpers for the experiment benches. Every bench binary prints its
+// experiment's series (the paper-shaped table) deterministically from the
+// simulated clocks, then runs google-benchmark wall-time measurements of
+// the underlying operations.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace gpumip::bench {
+
+inline void title(const std::string& id, const std::string& text) {
+  std::printf("\n================================================================\n");
+  std::printf("%s — %s\n", id.c_str(), text.c_str());
+  std::printf("================================================================\n");
+}
+
+inline void row(const char* fmt, ...) {
+  va_list args;
+  va_start(args, fmt);
+  std::vprintf(fmt, args);
+  va_end(args);
+  std::printf("\n");
+}
+
+inline void note(const std::string& text) { std::printf("  %s\n", text.c_str()); }
+
+/// Prints the table then hands over to google-benchmark.
+inline int run_benchmarks(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace gpumip::bench

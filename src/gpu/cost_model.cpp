@@ -1,0 +1,51 @@
+#include "gpu/cost_model.hpp"
+
+#include <algorithm>
+
+namespace gpumip::gpu {
+
+CostModelConfig CostModelConfig::scaled(double factor) const {
+  CostModelConfig out = *this;
+  out.dense_flops *= factor;
+  out.mem_bandwidth *= factor;
+  out.pcie_bandwidth *= factor;
+  return out;
+}
+
+KernelCost KernelCost::dense(double flops, double n_doubles) {
+  KernelCost cost;
+  cost.flops = flops;
+  cost.bytes = 8.0 * n_doubles;
+  cost.divergence = 0.0;
+  cost.sparse = false;
+  return cost;
+}
+
+KernelCost KernelCost::sparse_irregular(double flops, double n_doubles, double divergence) {
+  KernelCost cost;
+  cost.flops = flops;
+  cost.bytes = 8.0 * n_doubles;
+  cost.divergence = divergence;
+  cost.sparse = true;
+  return cost;
+}
+
+double kernel_seconds(const CostModelConfig& cfg, const KernelCost& cost) {
+  const double occupancy = std::clamp(cost.occupancy, 1.0 / 1024.0, 1.0);
+  double flops_rate = cfg.dense_flops * occupancy;
+  if (cost.sparse) flops_rate *= cfg.sparse_efficiency;
+  // Memory bandwidth is shared; a low-occupancy kernel cannot saturate it
+  // either, but small kernels are latency-bound anyway, so we charge the
+  // full-bandwidth figure and rely on launch_overhead for the floor.
+  const double compute_time = cost.flops > 0 ? cost.flops / flops_rate : 0.0;
+  const double memory_time = cost.bytes > 0 ? cost.bytes / cfg.mem_bandwidth : 0.0;
+  const double divergence_factor =
+      1.0 + std::clamp(cost.divergence, 0.0, 1.0) * (cfg.divergence_penalty - 1.0);
+  return cfg.launch_overhead + std::max(compute_time, memory_time) * divergence_factor;
+}
+
+double transfer_seconds(const CostModelConfig& cfg, std::uint64_t bytes) {
+  return cfg.pcie_latency + static_cast<double>(bytes) / cfg.pcie_bandwidth;
+}
+
+}  // namespace gpumip::gpu

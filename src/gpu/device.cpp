@@ -1,0 +1,171 @@
+#include "gpu/device.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+#include "support/strings.hpp"
+
+namespace gpumip::gpu {
+
+DeviceBuffer::DeviceBuffer(Device* device, std::size_t bytes, std::string label)
+    : device_(device), storage_(bytes), label_(std::move(label)) {}
+
+DeviceBuffer::~DeviceBuffer() { release(); }
+
+DeviceBuffer::DeviceBuffer(DeviceBuffer&& other) noexcept
+    : device_(other.device_), storage_(std::move(other.storage_)), label_(std::move(other.label_)) {
+  other.device_ = nullptr;
+  other.storage_.clear();
+}
+
+DeviceBuffer& DeviceBuffer::operator=(DeviceBuffer&& other) noexcept {
+  if (this != &other) {
+    release();
+    device_ = other.device_;
+    storage_ = std::move(other.storage_);
+    label_ = std::move(other.label_);
+    other.device_ = nullptr;
+    other.storage_.clear();
+  }
+  return *this;
+}
+
+void DeviceBuffer::release() noexcept {
+  if (device_ != nullptr) {
+    device_->on_free(storage_.size());
+    device_ = nullptr;
+  }
+  storage_.clear();
+  storage_.shrink_to_fit();
+}
+
+Device::Device(CostModelConfig config, int id) : config_(config), id_(id) {
+  streams_.push_back(0.0);  // stream 0
+}
+
+DeviceBuffer Device::alloc(std::size_t bytes, std::string label) {
+  if (stats_.allocated_bytes + bytes > config_.memory_bytes) {
+    throw DeviceOutOfMemory("device " + std::to_string(id_) + ": request of " +
+                            human_bytes(bytes) + " exceeds free " + human_bytes(free_bytes()) +
+                            (label.empty() ? "" : " (for " + label + ")"));
+  }
+  stats_.allocated_bytes += bytes;
+  stats_.peak_allocated_bytes = std::max(stats_.peak_allocated_bytes, stats_.allocated_bytes);
+  ++stats_.allocations;
+  return DeviceBuffer(this, bytes, std::move(label));
+}
+
+DeviceBuffer Device::alloc_doubles(std::size_t count, std::string label) {
+  return alloc(count * sizeof(double), std::move(label));
+}
+
+StreamId Device::create_stream() {
+  streams_.push_back(clock_);
+  return static_cast<StreamId>(streams_.size() - 1);
+}
+
+void Device::validate_stream(StreamId stream) const {
+  check_arg(stream >= 0 && stream < static_cast<StreamId>(streams_.size()),
+            "invalid stream id " + std::to_string(stream));
+}
+
+void Device::copy_h2d(StreamId stream, DeviceBuffer& dst, const void* src, std::size_t bytes,
+                      std::size_t dst_offset) {
+  validate_stream(stream);
+  check_arg(dst.valid() && dst.device() == this, "copy_h2d: buffer not on this device");
+  check_arg(dst_offset + bytes <= dst.size_bytes(), "copy_h2d: out of range");
+  std::memcpy(dst.storage_.data() + dst_offset, src, bytes);
+  const double duration = transfer_seconds(config_, bytes);
+  const double start = std::max(streams_[stream], h2d_engine_);
+  const double end = start + duration;
+  h2d_engine_ = end;
+  streams_[stream] = end;
+  stats_.bytes_h2d += bytes;
+  ++stats_.transfers_h2d;
+  stats_.transfer_seconds += duration;
+}
+
+void Device::copy_d2h(StreamId stream, const DeviceBuffer& src, void* dst, std::size_t bytes,
+                      std::size_t src_offset) {
+  validate_stream(stream);
+  check_arg(src.valid() && src.device() == this, "copy_d2h: buffer not on this device");
+  check_arg(src_offset + bytes <= src.size_bytes(), "copy_d2h: out of range");
+  std::memcpy(dst, src.storage_.data() + src_offset, bytes);
+  const double duration = transfer_seconds(config_, bytes);
+  const double start = std::max(streams_[stream], d2h_engine_);
+  const double end = start + duration;
+  d2h_engine_ = end;
+  streams_[stream] = end;
+  stats_.bytes_d2h += bytes;
+  ++stats_.transfers_d2h;
+  stats_.transfer_seconds += duration;
+}
+
+void Device::upload(StreamId stream, DeviceBuffer& dst, std::span<const double> src,
+                    std::size_t dst_offset_doubles) {
+  copy_h2d(stream, dst, src.data(), src.size_bytes(), dst_offset_doubles * sizeof(double));
+}
+
+void Device::download(StreamId stream, const DeviceBuffer& src, std::span<double> dst,
+                      std::size_t src_offset_doubles) {
+  copy_d2h(stream, src, dst.data(), dst.size_bytes(), src_offset_doubles * sizeof(double));
+}
+
+double Device::acquire_kernel_slot(double ready, double duration) {
+  // Drop slots that end before `ready`: they are free by then.
+  while (!slot_ends_.empty() && slot_ends_.top() <= ready) slot_ends_.pop();
+  double start = ready;
+  if (static_cast<int>(slot_ends_.size()) >= config_.parallel_slots) {
+    start = slot_ends_.top();
+    slot_ends_.pop();
+  }
+  slot_ends_.push(start + duration);
+  return start;
+}
+
+void Device::launch(StreamId stream, const KernelCost& cost, const std::function<void()>& body) {
+  validate_stream(stream);
+  if (body) body();  // host-side effect happens eagerly
+  const double duration = kernel_seconds(config_, cost);
+  const double start = acquire_kernel_slot(streams_[stream], duration);
+  streams_[stream] = start + duration;
+  ++stats_.kernels;
+  stats_.kernel_seconds += duration;
+}
+
+Event Device::record(StreamId stream) {
+  validate_stream(stream);
+  return Event{streams_[stream]};
+}
+
+void Device::wait(StreamId stream, const Event& event) {
+  validate_stream(stream);
+  streams_[stream] = std::max(streams_[stream], event.ready_time);
+}
+
+double Device::synchronize() {
+  double frontier = std::max(h2d_engine_, d2h_engine_);
+  for (double t : streams_) frontier = std::max(frontier, t);
+  clock_ = std::max(clock_, frontier);
+  return clock_;
+}
+
+double Device::stream_clock(StreamId stream) const {
+  validate_stream(stream);
+  return streams_[stream];
+}
+
+void Device::reset_stats() {
+  const auto allocated = stats_.allocated_bytes;
+  stats_ = DeviceStats{};
+  stats_.allocated_bytes = allocated;
+  stats_.peak_allocated_bytes = allocated;
+  clock_ = 0.0;
+  h2d_engine_ = d2h_engine_ = 0.0;
+  std::fill(streams_.begin(), streams_.end(), 0.0);
+  while (!slot_ends_.empty()) slot_ends_.pop();
+}
+
+void Device::on_free(std::size_t bytes) noexcept { stats_.allocated_bytes -= bytes; }
+
+}  // namespace gpumip::gpu

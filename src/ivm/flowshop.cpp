@@ -1,0 +1,115 @@
+#include "ivm/flowshop.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+namespace gpumip::ivm {
+
+FlowshopInstance FlowshopInstance::random(int machines, int jobs, Rng& rng, double lo,
+                                          double hi) {
+  check_arg(machines > 0 && jobs > 0, "flowshop: sizes must be positive");
+  FlowshopInstance inst;
+  inst.machines = machines;
+  inst.jobs = jobs;
+  inst.processing.resize(static_cast<std::size_t>(machines) * jobs);
+  for (double& v : inst.processing) v = std::floor(rng.uniform(lo, hi + 1.0));
+  return inst;
+}
+
+double FlowshopInstance::makespan(std::span<const int> permutation) const {
+  check_arg(static_cast<int>(permutation.size()) == jobs, "makespan: incomplete permutation");
+  std::vector<double> completion(static_cast<std::size_t>(machines), 0.0);
+  for (int j : permutation) {
+    completion[0] += p(0, j);
+    for (int m = 1; m < machines; ++m) {
+      completion[static_cast<std::size_t>(m)] =
+          std::max(completion[static_cast<std::size_t>(m)],
+                   completion[static_cast<std::size_t>(m - 1)]) +
+          p(m, j);
+    }
+  }
+  return completion[static_cast<std::size_t>(machines - 1)];
+}
+
+double FlowshopInstance::lower_bound(std::span<const int> prefix) const {
+  // Completion times of the prefix.
+  std::vector<double> completion(static_cast<std::size_t>(machines), 0.0);
+  std::vector<bool> used(static_cast<std::size_t>(jobs), false);
+  for (int j : prefix) {
+    check_arg(j >= 0 && j < jobs && !used[static_cast<std::size_t>(j)], "bad prefix");
+    used[static_cast<std::size_t>(j)] = true;
+    completion[0] += p(0, j);
+    for (int m = 1; m < machines; ++m) {
+      completion[static_cast<std::size_t>(m)] =
+          std::max(completion[static_cast<std::size_t>(m)],
+                   completion[static_cast<std::size_t>(m - 1)]) +
+          p(m, j);
+    }
+  }
+  if (static_cast<int>(prefix.size()) == jobs) {
+    return completion[static_cast<std::size_t>(machines - 1)];
+  }
+  // One-machine bound (Ignall-Schrage): machine m must still process all
+  // unscheduled jobs, and the last of them needs its tail through the
+  // remaining machines.
+  double bound = completion[static_cast<std::size_t>(machines - 1)];
+  for (int m = 0; m < machines; ++m) {
+    double work = 0.0;
+    double min_tail = std::numeric_limits<double>::infinity();
+    for (int j = 0; j < jobs; ++j) {
+      if (used[static_cast<std::size_t>(j)]) continue;
+      work += p(m, j);
+      double tail = 0.0;
+      for (int k = m + 1; k < machines; ++k) tail += p(k, j);
+      min_tail = std::min(min_tail, tail);
+    }
+    if (work == 0.0) continue;
+    bound = std::max(bound, completion[static_cast<std::size_t>(m)] + work + min_tail);
+  }
+  return bound;
+}
+
+double FlowshopInstance::greedy_upper_bound() const { return makespan(greedy_sequence()); }
+
+std::vector<int> FlowshopInstance::greedy_sequence() const {
+  // NEH-lite: order jobs by decreasing total work, insert each at the best
+  // position of the partial sequence.
+  std::vector<int> order(static_cast<std::size_t>(jobs));
+  std::iota(order.begin(), order.end(), 0);
+  std::vector<double> total(static_cast<std::size_t>(jobs), 0.0);
+  for (int j = 0; j < jobs; ++j) {
+    for (int m = 0; m < machines; ++m) total[static_cast<std::size_t>(j)] += p(m, j);
+  }
+  std::sort(order.begin(), order.end(),
+            [&](int a, int b) { return total[static_cast<std::size_t>(a)] > total[static_cast<std::size_t>(b)]; });
+  std::vector<int> seq;
+  for (int j : order) {
+    double best = std::numeric_limits<double>::infinity();
+    std::size_t best_pos = 0;
+    for (std::size_t pos = 0; pos <= seq.size(); ++pos) {
+      std::vector<int> trial = seq;
+      trial.insert(trial.begin() + static_cast<std::ptrdiff_t>(pos), j);
+      // Partial makespan of the trial sequence.
+      std::vector<double> completion(static_cast<std::size_t>(machines), 0.0);
+      for (int job : trial) {
+        completion[0] += p(0, job);
+        for (int m = 1; m < machines; ++m) {
+          completion[static_cast<std::size_t>(m)] =
+              std::max(completion[static_cast<std::size_t>(m)],
+                       completion[static_cast<std::size_t>(m - 1)]) +
+              p(m, job);
+        }
+      }
+      const double cmax = completion[static_cast<std::size_t>(machines - 1)];
+      if (cmax < best) {
+        best = cmax;
+        best_pos = pos;
+      }
+    }
+    seq.insert(seq.begin() + static_cast<std::ptrdiff_t>(best_pos), j);
+  }
+  return seq;
+}
+
+}  // namespace gpumip::ivm

@@ -1,0 +1,41 @@
+// Permutation flow-shop scheduling — the benchmark problem of the GPU
+// branch-and-bound literature the paper surveys (Chakroun et al., Gmys et
+// al., Vu & Derbel). Makespan evaluation and the Ignall-Schrage one-machine
+// lower bound.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "support/rng.hpp"
+
+namespace gpumip::ivm {
+
+struct FlowshopInstance {
+  int machines = 0;
+  int jobs = 0;
+  /// processing[m * jobs + j]: time of job j on machine m.
+  std::vector<double> processing;
+
+  double p(int machine, int job) const {
+    return processing[static_cast<std::size_t>(machine) * jobs + job];
+  }
+
+  /// Taillard-style uniform random instance.
+  static FlowshopInstance random(int machines, int jobs, Rng& rng, double lo = 1.0,
+                                 double hi = 99.0);
+
+  /// Makespan of a complete permutation.
+  double makespan(std::span<const int> permutation) const;
+
+  /// Lower bound on the makespan of any completion of `prefix` (jobs not in
+  /// prefix remain unscheduled). Equal to makespan when prefix is complete.
+  double lower_bound(std::span<const int> prefix) const;
+
+  /// NEH-style greedy sequence (a good initial incumbent).
+  std::vector<int> greedy_sequence() const;
+  /// Makespan of greedy_sequence().
+  double greedy_upper_bound() const;
+};
+
+}  // namespace gpumip::ivm

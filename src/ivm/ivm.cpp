@@ -1,0 +1,123 @@
+#include "ivm/ivm.hpp"
+
+#include <algorithm>
+
+namespace gpumip::ivm {
+
+std::uint64_t Factoradic::factorial(int n) {
+  check_arg(n >= 0 && n <= 20, "factorial: n out of range [0,20]");
+  std::uint64_t f = 1;
+  for (int i = 2; i <= n; ++i) f *= static_cast<std::uint64_t>(i);
+  return f;
+}
+
+std::uint64_t Factoradic::rank(const std::vector<int>& digits, int n) {
+  check_arg(static_cast<int>(digits.size()) == n, "rank: digit count mismatch");
+  std::uint64_t r = 0;
+  for (int d = 0; d < n; ++d) {
+    check_arg(digits[static_cast<std::size_t>(d)] >= 0 &&
+                  digits[static_cast<std::size_t>(d)] < n - d,
+              "rank: digit out of range");
+    r += static_cast<std::uint64_t>(digits[static_cast<std::size_t>(d)]) * factorial(n - 1 - d);
+  }
+  return r;
+}
+
+std::vector<int> Factoradic::digits(std::uint64_t rank, int n) {
+  check_arg(rank <= factorial(n), "digits: rank out of range");
+  std::vector<int> out(static_cast<std::size_t>(n), 0);
+  for (int d = 0; d < n; ++d) {
+    const std::uint64_t f = factorial(n - 1 - d);
+    out[static_cast<std::size_t>(d)] = static_cast<int>(rank / f);
+    rank %= f;
+  }
+  return out;
+}
+
+Ivm::Ivm(int n, std::uint64_t begin_rank, std::uint64_t end_rank)
+    : n_(n), depth_(0), end_rank_(end_rank), exhausted_(begin_rank >= end_rank) {
+  check_arg(n >= 1 && n <= 20, "Ivm: n out of range [1,20]");
+  check_arg(end_rank <= Factoradic::factorial(n), "Ivm: end rank too large");
+  pos_ = Factoradic::digits(begin_rank, n);
+  // Start at depth 0 of the subtree the begin rank points into: keep only
+  // the first digit as the explored prefix; deeper digits stay (they define
+  // the interval start, and descend() walks onto them).
+  depth_ = 0;
+}
+
+std::vector<int> Ivm::prefix() const {
+  check_arg(!exhausted_, "prefix on exhausted IVM");
+  // Decode the Lehmer digits into actual job ids.
+  std::vector<int> available(static_cast<std::size_t>(n_));
+  for (int i = 0; i < n_; ++i) available[static_cast<std::size_t>(i)] = i;
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(depth_) + 1);
+  for (int d = 0; d <= depth_; ++d) {
+    const int idx = pos_[static_cast<std::size_t>(d)];
+    out.push_back(available[static_cast<std::size_t>(idx)]);
+    available.erase(available.begin() + idx);
+  }
+  return out;
+}
+
+std::uint64_t Ivm::position_rank() const {
+  std::uint64_t r = 0;
+  for (int d = 0; d < n_; ++d) {
+    // Digits beyond the current depth are part of the cursor only down to
+    // depth_; deeper ones are implicitly 0 after an advance, but may hold
+    // the initial interval offset before the first descent past them.
+    r += static_cast<std::uint64_t>(pos_[static_cast<std::size_t>(d)]) *
+         Factoradic::factorial(n_ - 1 - d);
+  }
+  return r;
+}
+
+std::uint64_t Ivm::remaining() const {
+  if (exhausted_) return 0;
+  const std::uint64_t p = position_rank();
+  return end_rank_ > p ? end_rank_ - p : 0;
+}
+
+void Ivm::descend() {
+  check_arg(!exhausted_ && !at_leaf(), "descend: cannot");
+  ++depth_;
+  // pos_[depth_] already holds either 0 or the interval-start digit.
+}
+
+void Ivm::advance() {
+  check_arg(!exhausted_, "advance on exhausted IVM");
+  // Zero all digits deeper than the current depth, then increment with
+  // carry at the current depth.
+  for (int d = depth_ + 1; d < n_; ++d) pos_[static_cast<std::size_t>(d)] = 0;
+  while (depth_ >= 0) {
+    ++pos_[static_cast<std::size_t>(depth_)];
+    if (pos_[static_cast<std::size_t>(depth_)] < n_ - depth_) break;
+    pos_[static_cast<std::size_t>(depth_)] = 0;
+    --depth_;
+  }
+  if (depth_ < 0) {
+    exhausted_ = true;
+    depth_ = 0;
+    return;
+  }
+  check_exhausted();
+}
+
+void Ivm::check_exhausted() {
+  if (position_rank() >= end_rank_) {
+    exhausted_ = true;
+  }
+}
+
+Ivm Ivm::split() {
+  check_arg(!exhausted_, "split on exhausted IVM");
+  const std::uint64_t p = position_rank();
+  check_arg(end_rank_ - p >= 2, "split: interval too small");
+  const std::uint64_t mid = p + (end_rank_ - p) / 2;
+  Ivm thief(n_, mid, end_rank_);
+  end_rank_ = mid;
+  check_exhausted();
+  return thief;
+}
+
+}  // namespace gpumip::ivm

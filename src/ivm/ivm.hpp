@@ -1,0 +1,69 @@
+// Integer-Vector-Matrix (IVM) encoding of a permutation branch-and-bound
+// tree (Gmys et al., cited by the paper in section 2.3 as the viable
+// representation for an entirely-GPU B&B). A node is not a heap object but
+// a position vector — a Lehmer/factoradic code — so a whole depth-first
+// traversal lives in O(n) integers, and a work interval [begin, end) in
+// factoradic rank can be split for stealing with pure integer arithmetic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace gpumip::ivm {
+
+/// Factoradic rank arithmetic for permutations of n <= 20 (20! < 2^62).
+class Factoradic {
+ public:
+  /// digits[d] in [0, n-d); rank = Σ digits[d] * (n-1-d)!.
+  static std::uint64_t rank(const std::vector<int>& digits, int n);
+  static std::vector<int> digits(std::uint64_t rank, int n);
+  static std::uint64_t factorial(int n);
+};
+
+/// One IVM: a DFS cursor over the permutation tree restricted to the
+/// factoradic interval [position, end).
+class Ivm {
+ public:
+  Ivm() = default;
+  Ivm(int n, std::uint64_t begin_rank, std::uint64_t end_rank);
+
+  int n() const noexcept { return n_; }
+  bool exhausted() const noexcept { return exhausted_; }
+  int depth() const noexcept { return depth_; }
+
+  /// Jobs selected along the current prefix (depth()+1 entries).
+  std::vector<int> prefix() const;
+
+  /// The current position as a factoradic rank (deeper digits zero).
+  std::uint64_t position_rank() const;
+  std::uint64_t end_rank() const noexcept { return end_rank_; }
+
+  /// Remaining subtree size (number of full permutations still covered).
+  std::uint64_t remaining() const;
+
+  /// Descend: expand the current prefix by its first child.
+  void descend();
+
+  /// Prune the current subtree: advance to the next sibling (carrying up).
+  void advance();
+
+  /// Splits the remaining interval in half; this IVM keeps the first half,
+  /// the returned IVM owns the second. Requires remaining() >= 2.
+  Ivm split();
+
+  /// True when the current prefix is a complete permutation.
+  bool at_leaf() const noexcept { return depth_ == n_ - 1; }
+
+ private:
+  void check_exhausted();
+
+  int n_ = 0;
+  int depth_ = 0;
+  std::vector<int> pos_;   // factoradic digits; pos_[d] < n-d
+  std::uint64_t end_rank_ = 0;
+  bool exhausted_ = true;
+};
+
+}  // namespace gpumip::ivm

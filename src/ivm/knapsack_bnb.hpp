@@ -1,0 +1,41 @@
+// Dedicated 0/1-knapsack branch-and-bound (the earliest GPU B&B target in
+// the literature the paper surveys). DFS with the greedy fractional bound;
+// a device-batched variant evaluates bounds for a frontier of nodes in one
+// kernel — the "many small independent evaluations" pattern of section 5.5.
+#pragma once
+
+#include <vector>
+
+#include "gpu/device.hpp"
+#include "support/rng.hpp"
+
+namespace gpumip::ivm {
+
+struct KnapsackInstance {
+  std::vector<double> value;
+  std::vector<double> weight;
+  double capacity = 0.0;
+
+  int items() const noexcept { return static_cast<int>(value.size()); }
+  static KnapsackInstance random(int items, Rng& rng, double capacity_ratio = 0.5);
+};
+
+struct KnapsackResult {
+  double best_value = 0.0;
+  std::vector<int> chosen;  ///< item indices in the optimal solution
+  long nodes = 0;
+  long kernel_waves = 0;    ///< device variant only
+};
+
+/// Host DFS branch-and-bound with the fractional (LP) bound.
+KnapsackResult solve_knapsack_cpu(const KnapsackInstance& instance);
+
+/// Breadth-synchronous variant on the simulated device: each wave expands
+/// the frontier and evaluates all bounds in one batched kernel.
+KnapsackResult solve_knapsack_gpu(const KnapsackInstance& instance, gpu::Device& device,
+                                  int max_frontier = 1 << 16);
+
+/// Exact dynamic program (integer weights required) for cross-checking.
+double knapsack_dp(const KnapsackInstance& instance);
+
+}  // namespace gpumip::ivm

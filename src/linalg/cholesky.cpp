@@ -1,0 +1,43 @@
+#include "linalg/cholesky.hpp"
+
+#include <cmath>
+
+#include "linalg/blas.hpp"
+
+namespace gpumip::linalg {
+
+DenseCholesky::DenseCholesky(const Matrix& a, double ridge) : l_(a) {
+  check_arg(a.rows() == a.cols(), "Cholesky requires a square matrix");
+  const int n = a.rows();
+  if (ridge != 0.0) {
+    for (int i = 0; i < n; ++i) l_(i, i) += ridge;
+  }
+  for (int j = 0; j < n; ++j) {
+    double diag = l_(j, j);
+    for (int k = 0; k < j; ++k) diag -= l_(j, k) * l_(j, k);
+    if (diag <= 0.0 || !std::isfinite(diag)) {
+      l_ = Matrix();
+      throw NumericalError("Cholesky: matrix not positive definite at column " +
+                           std::to_string(j));
+    }
+    const double ljj = std::sqrt(diag);
+    l_(j, j) = ljj;
+    for (int i = j + 1; i < n; ++i) {
+      double sum = l_(i, j);
+      for (int k = 0; k < j; ++k) sum -= l_(i, k) * l_(j, k);
+      l_(i, j) = sum / ljj;
+    }
+    for (int i = 0; i < j; ++i) l_(i, j) = 0.0;  // keep strictly lower form clean
+  }
+}
+
+Vector DenseCholesky::solve(std::span<const double> b) const {
+  check_arg(valid(), "Cholesky::solve on empty factorization");
+  check_arg(static_cast<int>(b.size()) == order(), "Cholesky::solve: size mismatch");
+  Vector x(b.begin(), b.end());
+  trsv_lower(l_, x, /*unit_diagonal=*/false);
+  trsv_lower_t(l_, x, /*unit_diagonal=*/false);
+  return x;
+}
+
+}  // namespace gpumip::linalg

@@ -1,0 +1,35 @@
+// Dense Cholesky factorization (potrf/potrs-style) for symmetric positive
+// definite systems — the direct solver behind interior-point normal
+// equations A D Aᵀ Δy = r (paper section 2.3's preferred method for sparse
+// real-world LPs; the dense variant is the GPU-friendly path).
+#pragma once
+
+#include <span>
+
+#include "linalg/matrix.hpp"
+
+namespace gpumip::linalg {
+
+class DenseCholesky {
+ public:
+  DenseCholesky() = default;
+
+  /// Factors A = L Lᵀ. `ridge` is added to the diagonal before factoring
+  /// (regularization for nearly-singular normal equations). Throws
+  /// NumericalError if A (+ridge I) is not positive definite.
+  explicit DenseCholesky(const Matrix& a, double ridge = 0.0);
+
+  int order() const noexcept { return l_.rows(); }
+  bool valid() const noexcept { return !l_.empty(); }
+
+  /// Solves A x = b; returns x.
+  Vector solve(std::span<const double> b) const;
+
+  /// Lower-triangular factor.
+  const Matrix& l() const noexcept { return l_; }
+
+ private:
+  Matrix l_;
+};
+
+}  // namespace gpumip::linalg

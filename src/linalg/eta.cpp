@@ -1,0 +1,61 @@
+#include "linalg/eta.hpp"
+
+#include <cmath>
+
+namespace gpumip::linalg {
+
+Eta Eta::from_ftran(std::span<const double> y, int r, double tol) {
+  check_arg(r >= 0 && r < static_cast<int>(y.size()), "Eta::from_ftran: bad pivot row");
+  const double yr = y[static_cast<std::size_t>(r)];
+  if (std::fabs(yr) < tol) {
+    throw NumericalError("eta update: pivot element " + std::to_string(yr) + " too small");
+  }
+  Eta eta;
+  eta.pivot_row = r;
+  eta.column.resize(y.size());
+  const double inv = 1.0 / yr;
+  for (std::size_t i = 0; i < y.size(); ++i) eta.column[i] = -y[i] * inv;
+  eta.column[static_cast<std::size_t>(r)] = inv;
+  return eta;
+}
+
+void Eta::apply(std::span<double> x) const {
+  check_arg(x.size() == column.size(), "Eta::apply: size mismatch");
+  const std::size_t r = static_cast<std::size_t>(pivot_row);
+  const double xr = x[r];
+  if (xr == 0.0) return;
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] += column[i] * xr;
+  x[r] = column[r] * xr;  // overwrite: row r gets η_r · x_r only
+}
+
+void Eta::apply_transpose(std::span<double> y) const {
+  check_arg(y.size() == column.size(), "Eta::apply_transpose: size mismatch");
+  double sum = 0.0;
+  for (std::size_t i = 0; i < y.size(); ++i) sum += y[i] * column[i];
+  // (yᵀE)_j = y_j for j != r; only entry r changes.
+  // Note the diagonal of E at (r,r) is η_r, already inside `sum`; entries
+  // j != r keep their identity diagonal, but y_r also contributed through
+  // E_{r r}: the correct value is Σ_i y_i E_{i r} = Σ_i y_i η_i = sum.
+  y[static_cast<std::size_t>(pivot_row)] = sum;
+}
+
+void Eta::apply_to_matrix(Matrix& m) const {
+  check_arg(m.rows() == static_cast<int>(column.size()), "Eta::apply_to_matrix: shape mismatch");
+  for (int c = 0; c < m.cols(); ++c) {
+    auto col = m.col(c);
+    const double xr = col[static_cast<std::size_t>(pivot_row)];
+    if (xr == 0.0) continue;
+    for (std::size_t i = 0; i < col.size(); ++i) col[i] += column[i] * xr;
+    col[static_cast<std::size_t>(pivot_row)] = column[static_cast<std::size_t>(pivot_row)] * xr;
+  }
+}
+
+void EtaFile::ftran(std::span<double> x) const {
+  for (const Eta& eta : etas_) eta.apply(x);
+}
+
+void EtaFile::btran(std::span<double> y) const {
+  for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) it->apply_transpose(y);
+}
+
+}  // namespace gpumip::linalg

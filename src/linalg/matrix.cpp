@@ -1,0 +1,70 @@
+#include "linalg/matrix.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gpumip::linalg {
+
+Matrix::Matrix(int rows, int cols, double fill)
+    : rows_(rows), cols_(cols), data_(static_cast<std::size_t>(rows) * cols, fill) {
+  check_arg(rows >= 0 && cols >= 0, "matrix dimensions must be non-negative");
+}
+
+void Matrix::set_col(int c, std::span<const double> values) {
+  check_arg(static_cast<int>(values.size()) == rows_, "set_col: size mismatch");
+  std::copy(values.begin(), values.end(), col(c).begin());
+}
+
+Matrix Matrix::identity(int n) {
+  Matrix out(n, n);
+  for (int i = 0; i < n; ++i) out(i, i) = 1.0;
+  return out;
+}
+
+Matrix Matrix::random(int rows, int cols, Rng& rng, double lo, double hi) {
+  Matrix out(rows, cols);
+  for (std::size_t i = 0; i < out.size(); ++i) out.data()[i] = rng.uniform(lo, hi);
+  return out;
+}
+
+Matrix Matrix::random_spd(int n, Rng& rng) {
+  Matrix m = random(n, n, rng);
+  Matrix out(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      double sum = 0.0;
+      for (int k = 0; k < n; ++k) sum += m(i, k) * m(j, k);
+      out(i, j) = sum;
+    }
+    out(i, i) += n;
+  }
+  return out;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix out(cols_, rows_);
+  for (int c = 0; c < cols_; ++c) {
+    for (int r = 0; r < rows_; ++r) out(c, r) = (*this)(r, c);
+  }
+  return out;
+}
+
+double max_abs_diff(const Matrix& a, const Matrix& b) {
+  check_arg(a.same_shape(b), "max_abs_diff: shape mismatch");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::fabs(a.data()[i] - b.data()[i]));
+  }
+  return worst;
+}
+
+double max_abs_diff(const Vector& a, const Vector& b) {
+  check_arg(a.size() == b.size(), "max_abs_diff: size mismatch");
+  double worst = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    worst = std::max(worst, std::fabs(a[i] - b[i]));
+  }
+  return worst;
+}
+
+}  // namespace gpumip::linalg

@@ -1,0 +1,70 @@
+// Dense column-major matrix and vector types.
+//
+// Column-major layout matches the access pattern of the simplex basis
+// operations (FTRAN touches one column at a time) and of the BLAS-style
+// kernels the device model prices.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "support/error.hpp"
+#include "support/rng.hpp"
+
+namespace gpumip::linalg {
+
+using Vector = std::vector<double>;
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int rows, int cols, double fill = 0.0);
+
+  int rows() const noexcept { return rows_; }
+  int cols() const noexcept { return cols_; }
+  std::size_t size() const noexcept { return data_.size(); }
+  bool empty() const noexcept { return data_.empty(); }
+
+  double& operator()(int r, int c) {
+    return data_[static_cast<std::size_t>(c) * rows_ + r];
+  }
+  double operator()(int r, int c) const {
+    return data_[static_cast<std::size_t>(c) * rows_ + r];
+  }
+
+  double* data() noexcept { return data_.data(); }
+  const double* data() const noexcept { return data_.data(); }
+
+  /// Contiguous view of column c.
+  std::span<double> col(int c) {
+    return {data_.data() + static_cast<std::size_t>(c) * rows_, static_cast<std::size_t>(rows_)};
+  }
+  std::span<const double> col(int c) const {
+    return {data_.data() + static_cast<std::size_t>(c) * rows_, static_cast<std::size_t>(rows_)};
+  }
+
+  void set_col(int c, std::span<const double> values);
+
+  static Matrix identity(int n);
+  static Matrix random(int rows, int cols, Rng& rng, double lo = -1.0, double hi = 1.0);
+  /// Random symmetric positive definite (A = M Mᵀ + n·I).
+  static Matrix random_spd(int n, Rng& rng);
+
+  Matrix transposed() const;
+
+  bool same_shape(const Matrix& other) const noexcept {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Max |a_ij - b_ij|; shapes must match.
+double max_abs_diff(const Matrix& a, const Matrix& b);
+double max_abs_diff(const Vector& a, const Vector& b);
+
+}  // namespace gpumip::linalg

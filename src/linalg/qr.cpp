@@ -1,0 +1,83 @@
+#include "linalg/qr.hpp"
+
+#include <cmath>
+
+#include "linalg/blas.hpp"
+
+namespace gpumip::linalg {
+
+HouseholderQR::HouseholderQR(const Matrix& a) : qr_(a) {
+  const int m = a.rows();
+  const int n = a.cols();
+  check_arg(m >= n, "HouseholderQR requires rows >= cols");
+  tau_.resize(static_cast<std::size_t>(n), 0.0);
+  for (int k = 0; k < n; ++k) {
+    // Build the Householder reflector for column k.
+    double norm = 0.0;
+    for (int i = k; i < m; ++i) norm += qr_(i, k) * qr_(i, k);
+    norm = std::sqrt(norm);
+    if (norm == 0.0) {
+      qr_ = Matrix();
+      throw NumericalError("QR: rank-deficient at column " + std::to_string(k));
+    }
+    const double alpha = qr_(k, k) >= 0 ? -norm : norm;
+    const double v0 = qr_(k, k) - alpha;
+    // v = (v0, a_{k+1..m-1,k}); H = I - tau v vᵀ with tau = -v0/alpha... use
+    // the standard normalization v := v / v0, tau = -v0 / alpha.
+    for (int i = k + 1; i < m; ++i) qr_(i, k) /= v0;
+    tau_[static_cast<std::size_t>(k)] = -v0 / alpha;
+    qr_(k, k) = alpha;  // R diagonal entry
+    // Apply H to remaining columns.
+    for (int j = k + 1; j < n; ++j) {
+      double s = qr_(k, j);
+      for (int i = k + 1; i < m; ++i) s += qr_(i, k) * qr_(i, j);
+      s *= tau_[static_cast<std::size_t>(k)];
+      qr_(k, j) -= s;
+      for (int i = k + 1; i < m; ++i) qr_(i, j) -= s * qr_(i, k);
+    }
+  }
+}
+
+void HouseholderQR::apply_qt(std::span<double> v) const {
+  check_arg(valid(), "QR::apply_qt on empty factorization");
+  const int m = rows();
+  const int n = cols();
+  check_arg(static_cast<int>(v.size()) == m, "QR::apply_qt size mismatch");
+  for (int k = 0; k < n; ++k) {
+    double s = v[static_cast<std::size_t>(k)];
+    for (int i = k + 1; i < m; ++i) s += qr_(i, k) * v[static_cast<std::size_t>(i)];
+    s *= tau_[static_cast<std::size_t>(k)];
+    v[static_cast<std::size_t>(k)] -= s;
+    for (int i = k + 1; i < m; ++i) v[static_cast<std::size_t>(i)] -= s * qr_(i, k);
+  }
+}
+
+Vector HouseholderQR::solve(std::span<const double> b) const {
+  check_arg(valid(), "QR::solve on empty factorization");
+  const int m = rows();
+  const int n = cols();
+  check_arg(static_cast<int>(b.size()) == m, "QR::solve size mismatch");
+  Vector work(b.begin(), b.end());
+  apply_qt(work);
+  Vector x(static_cast<std::size_t>(n));
+  for (int i = n - 1; i >= 0; --i) {
+    double sum = work[static_cast<std::size_t>(i)];
+    for (int j = i + 1; j < n; ++j) sum -= qr_(i, j) * x[static_cast<std::size_t>(j)];
+    const double d = qr_(i, i);
+    if (d == 0.0) throw NumericalError("QR::solve: zero diagonal in R");
+    x[static_cast<std::size_t>(i)] = sum / d;
+  }
+  return x;
+}
+
+Matrix HouseholderQR::r() const {
+  check_arg(valid(), "QR::r on empty factorization");
+  const int n = cols();
+  Matrix out(n, n);
+  for (int j = 0; j < n; ++j) {
+    for (int i = 0; i <= j; ++i) out(i, j) = qr_(i, j);
+  }
+  return out;
+}
+
+}  // namespace gpumip::linalg

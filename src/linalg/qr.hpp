@@ -1,0 +1,39 @@
+// Householder QR factorization — the third factorization family the paper
+// lists (section 4) and the robust fallback for least-squares subproblems
+// (e.g. crash bases, degenerate normal equations).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace gpumip::linalg {
+
+class HouseholderQR {
+ public:
+  HouseholderQR() = default;
+
+  /// Factors A (m x n, m >= n) as QR; throws NumericalError on rank
+  /// deficiency detected via a zero Householder column.
+  explicit HouseholderQR(const Matrix& a);
+
+  int rows() const noexcept { return qr_.rows(); }
+  int cols() const noexcept { return qr_.cols(); }
+  bool valid() const noexcept { return !qr_.empty(); }
+
+  /// Least-squares solve: minimizes ||A x - b||₂; returns x (size n).
+  Vector solve(std::span<const double> b) const;
+
+  /// Applies Qᵀ to a vector of length m (in place).
+  void apply_qt(std::span<double> v) const;
+
+  /// Reconstructs R (n x n upper triangular).
+  Matrix r() const;
+
+ private:
+  Matrix qr_;            // Householder vectors below diagonal, R on/above
+  std::vector<double> tau_;
+};
+
+}  // namespace gpumip::linalg

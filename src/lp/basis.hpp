@@ -1,0 +1,27 @@
+// Simplex basis description — the warm-start currency passed between a
+// branch-and-bound parent and its children (paper section 5.3: reuse of
+// the factorized matrix across tree nodes).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace gpumip::lp {
+
+enum class VarStatus : std::uint8_t {
+  Basic,
+  AtLower,
+  AtUpper,
+  Free,  ///< nonbasic free variable (sits at 0)
+};
+
+struct Basis {
+  std::vector<int> basic;           ///< size m: variable basic in each row
+  std::vector<VarStatus> status;    ///< size num_vars
+
+  bool empty() const noexcept { return basic.empty(); }
+
+  bool operator==(const Basis& other) const = default;
+};
+
+}  // namespace gpumip::lp

@@ -1,0 +1,122 @@
+#include "lp/batched_lp.hpp"
+
+#include <algorithm>
+
+#include "linalg/device_blas.hpp"
+
+namespace gpumip::lp {
+
+const char* batch_mode_name(BatchMode mode) noexcept {
+  switch (mode) {
+    case BatchMode::Sequential: return "sequential";
+    case BatchMode::Streams: return "streams";
+    case BatchMode::Lockstep: return "lockstep";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Batched kernel covering one operation type for `active` problems of
+/// (m, n, nnz) shape each.
+gpu::KernelCost wave_cost(int active, int m, int n, double flops_each, double doubles_each) {
+  gpu::KernelCost cost = gpu::KernelCost::dense(flops_each * active, doubles_each * active);
+  (void)m;
+  (void)n;
+  cost.occupancy =
+      linalg::occupancy_for_elements(static_cast<std::size_t>(active) * static_cast<std::size_t>(doubles_each));
+  return cost;
+}
+
+}  // namespace
+
+BatchedLpReport solve_batched(const std::vector<const StandardForm*>& problems,
+                              gpu::Device& device, BatchMode mode,
+                              const SimplexOptions& options, int streams) {
+  check_arg(!problems.empty(), "solve_batched: empty batch");
+  check_arg(streams >= 1, "solve_batched: need at least one stream");
+  BatchedLpReport report;
+
+  // Device residency for the whole batch (capacity is checked for real).
+  std::vector<gpu::DeviceBuffer> buffers;
+  for (const StandardForm* form : problems) {
+    check_arg(form != nullptr, "solve_batched: null problem");
+    buffers.push_back(
+        device.alloc(dense_lp_device_bytes(form->num_rows, form->num_vars), "batch.lp"));
+  }
+
+  // Host numerics: exact solves, recording the per-problem recipes.
+  for (const StandardForm* form : problems) {
+    SimplexSolver solver(*form, options);
+    report.results.push_back(solver.solve_default());
+  }
+
+  device.synchronize();
+  device.reset_stats();
+  const std::uint64_t kernels_before = device.stats().kernels;
+
+  switch (mode) {
+    case BatchMode::Sequential: {
+      for (const LpResult& r : report.results) {
+        charge_to_device(device, 0, r.ops, /*sparse_pricing=*/false);
+      }
+      break;
+    }
+    case BatchMode::Streams: {
+      std::vector<gpu::StreamId> ids = {0};
+      while (static_cast<int>(ids.size()) < streams) ids.push_back(device.create_stream());
+      for (std::size_t p = 0; p < report.results.size(); ++p) {
+        charge_to_device(device, ids[p % ids.size()], report.results[p].ops,
+                         /*sparse_pricing=*/false);
+      }
+      break;
+    }
+    case BatchMode::Lockstep: {
+      // Wave w executes iteration w of every problem still active. Four
+      // batched kernels per wave (BTRAN, pricing, FTRAN, eta update), plus
+      // batched refactorizations at the configured interval.
+      long max_iters = 0;
+      for (const LpResult& r : report.results) {
+        max_iters = std::max(max_iters, r.ops.iterations);
+      }
+      for (long w = 0; w < max_iters; ++w) {
+        int active = 0;
+        double m_avg = 0, n_avg = 0;
+        for (std::size_t p = 0; p < problems.size(); ++p) {
+          if (report.results[p].ops.iterations > w) {
+            ++active;
+            m_avg += problems[p]->num_rows;
+            n_avg += problems[p]->num_vars;
+          }
+        }
+        if (active == 0) break;
+        m_avg /= active;
+        n_avg /= active;
+        ++report.waves;
+        const double mm = 2.0 * m_avg * m_avg;
+        // BTRAN + FTRAN + eta update (dense m x m each).
+        device.launch(0, wave_cost(active, static_cast<int>(m_avg), static_cast<int>(n_avg),
+                                   mm, m_avg * m_avg), {});
+        device.launch(0, wave_cost(active, static_cast<int>(m_avg), static_cast<int>(n_avg),
+                                   mm, m_avg * m_avg), {});
+        device.launch(0, wave_cost(active, static_cast<int>(m_avg), static_cast<int>(n_avg),
+                                   mm, m_avg * m_avg), {});
+        // Pricing (dense m x n pass).
+        device.launch(0, wave_cost(active, static_cast<int>(m_avg), static_cast<int>(n_avg),
+                                   2.0 * m_avg * n_avg, m_avg * n_avg), {});
+        // Periodic batched refactorization.
+        if (options.refactor_interval > 0 && w > 0 && w % options.refactor_interval == 0) {
+          device.launch(0, wave_cost(active, static_cast<int>(m_avg), static_cast<int>(n_avg),
+                                     (2.0 / 3.0 + 1.0) * m_avg * m_avg * m_avg, m_avg * m_avg),
+                        {});
+        }
+      }
+      break;
+    }
+  }
+  report.sim_seconds = device.synchronize();
+  report.kernels = device.stats().kernels - kernels_before;
+  return report;
+}
+
+}  // namespace gpumip::lp

@@ -1,0 +1,47 @@
+// Concurrent solution of many small LP relaxations on one device (paper
+// section 5.5, both execution structures it proposes):
+//
+//  * StreamMode — "multiple ranks / asynchronous launches": each problem's
+//    kernel recipe is replayed on its own stream; overlap is bounded by the
+//    device's concurrent-kernel slots.
+//  * LockstepMode — "batch-style processing of linear algebra calls": the
+//    i-th iteration of every still-active problem executes as ONE batched
+//    kernel per operation type (FTRAN/BTRAN/price/update waves), MAGMA
+//    style. Occupancy grows with the number of active problems; stragglers
+//    keep iterating in later (smaller) waves.
+//
+// Numerics run on the host (SimplexSolver per problem); the device timeline
+// is replayed from each solve's per-iteration structure, so results are
+// exact and the timing model is consistent with the rest of the library.
+#pragma once
+
+#include <vector>
+
+#include "gpu/device.hpp"
+#include "lp/simplex.hpp"
+
+namespace gpumip::lp {
+
+enum class BatchMode {
+  Sequential,  ///< one problem at a time on stream 0 (baseline)
+  Streams,     ///< round-robin across device streams
+  Lockstep,    ///< batched kernel waves across active problems
+};
+
+const char* batch_mode_name(BatchMode mode) noexcept;
+
+struct BatchedLpReport {
+  std::vector<LpResult> results;   ///< per-problem results (exact)
+  double sim_seconds = 0.0;        ///< simulated device makespan
+  std::uint64_t kernels = 0;       ///< kernel launches issued
+  long waves = 0;                  ///< Lockstep: number of kernel waves
+};
+
+/// Solves every standard form under its own bounds and replays the device
+/// cost in the chosen mode. All forms must be small enough to co-reside on
+/// the device (throws DeviceOutOfMemory otherwise).
+BatchedLpReport solve_batched(const std::vector<const StandardForm*>& problems,
+                              gpu::Device& device, BatchMode mode,
+                              const SimplexOptions& options = {}, int streams = 16);
+
+}  // namespace gpumip::lp

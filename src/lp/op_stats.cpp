@@ -1,0 +1,71 @@
+#include "lp/op_stats.hpp"
+
+#include <cmath>
+
+#include "linalg/device_blas.hpp"
+
+namespace gpumip::lp {
+
+double cpu_seconds(const LpOpStats& stats, const CpuCostModel& cpu) {
+  const double m = stats.m;
+  const double n = stats.n;
+  const double mm = 2.0 * m * m;
+  double seconds = 0.0;
+  seconds += (stats.ftran + stats.btran + stats.eta_updates) * (mm / cpu.flops);
+  seconds += stats.price_full * (2.0 * static_cast<double>(stats.nnz) / cpu.sparse_flops);
+  seconds += stats.refactor * ((2.0 / 3.0 + 1.0) * m * m * m / cpu.flops);
+  seconds += stats.cholesky * ((1.0 / 3.0) * m * m * m / cpu.flops);
+  seconds += stats.matvec_n * (2.0 * n / cpu.flops);
+  const long ops = stats.ftran + stats.btran + stats.price_full + stats.eta_updates +
+                   stats.refactor + stats.cholesky + stats.matvec_n;
+  seconds += static_cast<double>(ops) * cpu.per_op_overhead;
+  return seconds;
+}
+
+void charge_to_device(gpu::Device& device, gpu::StreamId stream, const LpOpStats& stats,
+                      bool sparse_pricing) {
+  using gpu::KernelCost;
+  const double m = stats.m;
+  const double n = stats.n;
+  const std::size_t mm_elems = static_cast<std::size_t>(stats.m) * stats.m;
+  const double occ_mm = linalg::occupancy_for_elements(mm_elems);
+
+  auto launch_many = [&](long count, KernelCost cost) {
+    for (long i = 0; i < count; ++i) device.launch(stream, cost, {});
+  };
+
+  KernelCost mm_cost = KernelCost::dense(2.0 * m * m, m * m);
+  mm_cost.occupancy = occ_mm;
+  launch_many(stats.ftran + stats.btran + stats.eta_updates, mm_cost);
+
+  KernelCost price_cost =
+      sparse_pricing
+          ? KernelCost::sparse_irregular(2.0 * static_cast<double>(stats.nnz),
+                                         1.5 * static_cast<double>(stats.nnz) + n)
+          : KernelCost::dense(2.0 * m * n, m * n);
+  price_cost.occupancy = linalg::occupancy_for_elements(
+      sparse_pricing ? static_cast<std::size_t>(stats.nnz)
+                     : static_cast<std::size_t>(stats.m) * stats.n);
+  launch_many(stats.price_full, price_cost);
+
+  KernelCost refactor_cost = KernelCost::dense((2.0 / 3.0 + 1.0) * m * m * m, m * m);
+  refactor_cost.occupancy = occ_mm;
+  launch_many(stats.refactor, refactor_cost);
+
+  KernelCost chol_cost = KernelCost::dense((1.0 / 3.0) * m * m * m, m * m);
+  chol_cost.occupancy = occ_mm;
+  launch_many(stats.cholesky, chol_cost);
+
+  KernelCost vec_cost = KernelCost::dense(2.0 * n, n);
+  vec_cost.occupancy = linalg::occupancy_for_elements(static_cast<std::size_t>(stats.n));
+  launch_many(stats.matvec_n, vec_cost);
+}
+
+std::uint64_t dense_lp_device_bytes(int m, int n) {
+  const std::uint64_t a = static_cast<std::uint64_t>(m) * n;
+  const std::uint64_t binv = static_cast<std::uint64_t>(m) * m;
+  const std::uint64_t vectors = 4ull * (static_cast<std::uint64_t>(m) + n);
+  return (a + binv + vectors) * sizeof(double);
+}
+
+}  // namespace gpumip::lp

@@ -1,0 +1,69 @@
+// Operation accounting for one LP solve, and the chargers that price those
+// operations onto a simulated GPU timeline or a CPU time estimate.
+//
+// The simplex/IPM numerics run on the host; they record *what* linear
+// algebra they performed (how many FTRANs of what size, etc.). A charger
+// then replays that recipe as device kernel launches (one per logical
+// kernel, so launch-latency effects are preserved) or prices it at CPU
+// rates. This keeps the numerics engine independent of where the paper's
+// strategies decide to run each piece (sections 3, 5).
+#pragma once
+
+#include <cstdint>
+
+#include "gpu/device.hpp"
+
+namespace gpumip::lp {
+
+/// Counts of the linear-algebra operations of one LP solve.
+struct LpOpStats {
+  int m = 0;    ///< basis dimension
+  int n = 0;    ///< number of variables
+  long nnz = 0; ///< constraint matrix nonzeros
+
+  long ftran = 0;        ///< B⁻¹ a_q applications (dense m x m)
+  long btran = 0;        ///< yᵀB⁻¹ applications (dense m x m)
+  long price_full = 0;   ///< reduced-cost passes over the matrix (nnz work)
+  long eta_updates = 0;  ///< rank-1 PFI updates of B⁻¹ (dense m x m)
+  long refactor = 0;     ///< basis refactorizations (LU, 2/3 m³ + inverse m³)
+  long iterations = 0;   ///< simplex iterations (or IPM iterations)
+  long bound_flips = 0;
+  long cholesky = 0;     ///< normal-equation factorizations (IPM), m³/3
+  long matvec_n = 0;     ///< assorted n-sized vector ops
+
+  void add(const LpOpStats& other) {
+    ftran += other.ftran;
+    btran += other.btran;
+    price_full += other.price_full;
+    eta_updates += other.eta_updates;
+    refactor += other.refactor;
+    iterations += other.iterations;
+    bound_flips += other.bound_flips;
+    cholesky += other.cholesky;
+    matvec_n += other.matvec_n;
+  }
+};
+
+/// Host CPU cost model (effective rates for a beefy multicore host; the
+/// paper's CPU-vs-GPU comparisons use the ratio, not the absolute value).
+struct CpuCostModel {
+  double flops = 60.0e9;          ///< effective dense fp64 rate
+  double sparse_flops = 12.0e9;   ///< effective sparse rate (cache-friendlier than GPU's ratio)
+  double per_op_overhead = 0.2e-6;
+};
+
+/// Seconds the recorded operations take on the host CPU.
+double cpu_seconds(const LpOpStats& stats, const CpuCostModel& cpu = {});
+
+/// Replays the recorded operations as device kernel launches on `stream`
+/// (empty bodies; the numerics already ran). `sparse_pricing` selects
+/// whether pricing passes are charged at sparse or dense rates.
+void charge_to_device(gpu::Device& device, gpu::StreamId stream, const LpOpStats& stats,
+                      bool sparse_pricing);
+
+/// Device memory (bytes) the dense-GPU LP backend keeps resident for a
+/// standard form of shape (m, n, nnz): dense A (m*n), B⁻¹ (m*m), and
+/// work vectors. Used for capacity accounting by the strategies.
+std::uint64_t dense_lp_device_bytes(int m, int n);
+
+}  // namespace gpumip::lp

@@ -1,0 +1,21 @@
+#include "lp/path_chooser.hpp"
+
+#include <algorithm>
+
+namespace gpumip::lp {
+
+const char* code_path_name(CodePath path) noexcept {
+  switch (path) {
+    case CodePath::DenseGpu: return "DenseGpu";
+    case CodePath::SparseHybrid: return "SparseHybrid";
+  }
+  return "Unknown";
+}
+
+CodePath choose_path(const sparse::Csr& a, const PathChooserOptions& options) {
+  if (std::min(a.rows, a.cols) <= options.small_dimension) return CodePath::DenseGpu;
+  return a.density() >= options.density_threshold ? CodePath::DenseGpu
+                                                  : CodePath::SparseHybrid;
+}
+
+}  // namespace gpumip::lp

@@ -1,0 +1,30 @@
+// Runtime dense-vs-sparse code-path decision (paper section 5.4): the
+// "super-MIP-solver" inspects the user's matrix at solve time and routes to
+// the dense-GPU or sparse-hybrid linear algebra path.
+#pragma once
+
+#include "sparse/formats.hpp"
+
+namespace gpumip::lp {
+
+enum class CodePath {
+  DenseGpu,      ///< dense kernels on the device
+  SparseHybrid,  ///< sparse kernels, setup stages on the CPU
+};
+
+const char* code_path_name(CodePath path) noexcept;
+
+struct PathChooserOptions {
+  /// Below this density the sparse path wins on the device model. The
+  /// default matches the measured crossover of the cost model (bench E6):
+  /// the sparse kernel's efficiency/divergence penalty (~3.3x per nonzero
+  /// vs the bandwidth-bound dense kernel) puts the break-even near 30%.
+  double density_threshold = 0.30;
+  /// Matrices smaller than this are always dense (latency dominates).
+  int small_dimension = 64;
+};
+
+/// Decides the code path for a constraint matrix.
+CodePath choose_path(const sparse::Csr& a, const PathChooserOptions& options = {});
+
+}  // namespace gpumip::lp

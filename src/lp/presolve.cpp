@@ -1,0 +1,175 @@
+#include "lp/presolve.hpp"
+
+#include <cmath>
+
+namespace gpumip::lp {
+
+namespace {
+constexpr double kFeasTol = 1e-9;
+}
+
+linalg::Vector PresolveResult::postsolve(std::span<const double> reduced_x) const {
+  linalg::Vector out(col_map.size(), 0.0);
+  for (std::size_t j = 0; j < col_map.size(); ++j) {
+    out[j] = col_map[j] >= 0 ? reduced_x[static_cast<std::size_t>(col_map[j])] : fixed_value[j];
+  }
+  return out;
+}
+
+PresolveResult presolve(const LpModel& model, const std::vector<bool>& integer_cols) {
+  model.validate();
+  const int n = model.num_cols();
+  const int m = model.num_rows();
+  check_arg(integer_cols.empty() || static_cast<int>(integer_cols.size()) == n,
+            "presolve: integer flag size mismatch");
+
+  // Working copies of bounds; entries as row-wise adjacency.
+  std::vector<double> col_lb(static_cast<std::size_t>(n)), col_ub(static_cast<std::size_t>(n));
+  std::vector<double> row_lb(static_cast<std::size_t>(m)), row_ub(static_cast<std::size_t>(m));
+  for (int j = 0; j < n; ++j) {
+    col_lb[static_cast<std::size_t>(j)] = model.col(j).lb;
+    col_ub[static_cast<std::size_t>(j)] = model.col(j).ub;
+  }
+  for (int i = 0; i < m; ++i) {
+    row_lb[static_cast<std::size_t>(i)] = model.row(i).lb;
+    row_ub[static_cast<std::size_t>(i)] = model.row(i).ub;
+  }
+  const sparse::Csr a = model.matrix();
+
+  PresolveResult result;
+  std::vector<bool> col_fixed(static_cast<std::size_t>(n), false);
+  std::vector<bool> row_removed(static_cast<std::size_t>(m), false);
+
+  auto round_int_bounds = [&](int j) {
+    if (!integer_cols.empty() && integer_cols[static_cast<std::size_t>(j)]) {
+      col_lb[static_cast<std::size_t>(j)] = std::ceil(col_lb[static_cast<std::size_t>(j)] - kFeasTol);
+      col_ub[static_cast<std::size_t>(j)] = std::floor(col_ub[static_cast<std::size_t>(j)] + kFeasTol);
+    }
+  };
+  for (int j = 0; j < n; ++j) round_int_bounds(j);
+
+  bool changed = true;
+  int sweeps = 0;
+  while (changed && sweeps < 10) {
+    changed = false;
+    ++sweeps;
+    for (int i = 0; i < m; ++i) {
+      if (row_removed[static_cast<std::size_t>(i)]) continue;
+      // Gather the live entries of this row.
+      int live = 0;
+      int single_col = -1;
+      double single_coef = 0.0;
+      double fixed_activity = 0.0;
+      for (int k = a.row_start[static_cast<std::size_t>(i)];
+           k < a.row_start[static_cast<std::size_t>(i) + 1]; ++k) {
+        const int j = a.col_index[static_cast<std::size_t>(k)];
+        const double v = a.values[static_cast<std::size_t>(k)];
+        if (col_fixed[static_cast<std::size_t>(j)] ||
+            col_lb[static_cast<std::size_t>(j)] == col_ub[static_cast<std::size_t>(j)]) {
+          fixed_activity += v * col_lb[static_cast<std::size_t>(j)];
+          continue;
+        }
+        ++live;
+        single_col = j;
+        single_coef = v;
+      }
+      const double lo = row_lb[static_cast<std::size_t>(i)] - fixed_activity;
+      const double hi = row_ub[static_cast<std::size_t>(i)] - fixed_activity;
+      if (live == 0) {
+        // Empty (or fully fixed) row: feasibility check then removal.
+        if (lo > kFeasTol || hi < -kFeasTol) {
+          result.infeasible = true;
+          result.col_map.assign(static_cast<std::size_t>(n), -1);
+          result.fixed_value.assign(static_cast<std::size_t>(n), 0.0);
+          result.row_map.assign(static_cast<std::size_t>(m), -1);
+          return result;
+        }
+        row_removed[static_cast<std::size_t>(i)] = true;
+        changed = true;
+      } else if (live == 1) {
+        // Singleton row: it is just a bound on single_col.
+        const std::size_t jk = static_cast<std::size_t>(single_col);
+        double new_lb = col_lb[jk];
+        double new_ub = col_ub[jk];
+        if (single_coef > 0) {
+          if (std::isfinite(lo)) new_lb = std::max(new_lb, lo / single_coef);
+          if (std::isfinite(hi)) new_ub = std::min(new_ub, hi / single_coef);
+        } else {
+          if (std::isfinite(hi)) new_lb = std::max(new_lb, hi / single_coef);
+          if (std::isfinite(lo)) new_ub = std::min(new_ub, lo / single_coef);
+        }
+        if (new_lb > col_lb[jk] + kFeasTol || new_ub < col_ub[jk] - kFeasTol) {
+          col_lb[jk] = std::max(col_lb[jk], new_lb);
+          col_ub[jk] = std::min(col_ub[jk], new_ub);
+          round_int_bounds(single_col);
+          ++result.bounds_tightened;
+          changed = true;
+        }
+        if (col_lb[jk] > col_ub[jk] + kFeasTol) {
+          result.infeasible = true;
+          result.col_map.assign(static_cast<std::size_t>(n), -1);
+          result.fixed_value.assign(static_cast<std::size_t>(n), 0.0);
+          result.row_map.assign(static_cast<std::size_t>(m), -1);
+          return result;
+        }
+        row_removed[static_cast<std::size_t>(i)] = true;
+        changed = true;
+      }
+    }
+    for (int j = 0; j < n; ++j) {
+      const std::size_t jk = static_cast<std::size_t>(j);
+      if (!col_fixed[jk] && col_lb[jk] == col_ub[jk]) {
+        col_fixed[jk] = true;
+        changed = true;
+      }
+    }
+  }
+
+  // Build the reduced model.
+  result.col_map.assign(static_cast<std::size_t>(n), -1);
+  result.fixed_value.assign(static_cast<std::size_t>(n), 0.0);
+  result.row_map.assign(static_cast<std::size_t>(m), -1);
+  result.reduced.set_sense(model.sense());
+  for (int j = 0; j < n; ++j) {
+    const std::size_t jk = static_cast<std::size_t>(j);
+    if (col_fixed[jk]) {
+      result.fixed_value[jk] = col_lb[jk];
+      ++result.cols_removed;
+    } else {
+      result.col_map[jk] = result.reduced.add_col(model.col(j).obj, col_lb[jk], col_ub[jk],
+                                                  model.col(j).name);
+    }
+  }
+  for (int i = 0; i < m; ++i) {
+    if (row_removed[static_cast<std::size_t>(i)]) {
+      ++result.rows_removed;
+      continue;
+    }
+    // Adjust for fixed columns' contribution.
+    double fixed_activity = 0.0;
+    for (int k = a.row_start[static_cast<std::size_t>(i)];
+         k < a.row_start[static_cast<std::size_t>(i) + 1]; ++k) {
+      const int j = a.col_index[static_cast<std::size_t>(k)];
+      if (col_fixed[static_cast<std::size_t>(j)]) {
+        fixed_activity += a.values[static_cast<std::size_t>(k)] *
+                          result.fixed_value[static_cast<std::size_t>(j)];
+      }
+    }
+    const double lb = std::isfinite(row_lb[static_cast<std::size_t>(i)])
+                          ? row_lb[static_cast<std::size_t>(i)] - fixed_activity
+                          : -kInf;
+    const double ub = std::isfinite(row_ub[static_cast<std::size_t>(i)])
+                          ? row_ub[static_cast<std::size_t>(i)] - fixed_activity
+                          : kInf;
+    result.row_map[static_cast<std::size_t>(i)] =
+        result.reduced.add_row(lb, ub, model.row(i).name);
+  }
+  for (const auto& t : model.entries()) {
+    const int rr = result.row_map[static_cast<std::size_t>(t.row)];
+    const int cc = result.col_map[static_cast<std::size_t>(t.col)];
+    if (rr >= 0 && cc >= 0) result.reduced.set_coef(rr, cc, t.value);
+  }
+  return result;
+}
+
+}  // namespace gpumip::lp

@@ -1,0 +1,32 @@
+// Lightweight LP/MIP presolve: fixed-variable substitution, empty-row
+// checks, singleton-row bound tightening. Runs on the CPU before anything
+// is shipped to the device (the "setup stage" the paper's hybrid strategy
+// keeps host-side).
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "lp/model.hpp"
+
+namespace gpumip::lp {
+
+struct PresolveResult {
+  bool infeasible = false;
+  LpModel reduced;                 ///< the smaller model (valid if !infeasible)
+  std::vector<int> col_map;        ///< original col -> reduced col, or -1 if fixed
+  std::vector<double> fixed_value; ///< value for fixed originals (where col_map == -1)
+  std::vector<int> row_map;        ///< original row -> reduced row, or -1 if removed
+  int rows_removed = 0;
+  int cols_removed = 0;
+  int bounds_tightened = 0;
+
+  /// Expands a reduced-space solution back to original columns.
+  linalg::Vector postsolve(std::span<const double> reduced_x) const;
+};
+
+/// Runs presolve to a fixpoint. `integer_cols[j]` marks integrality (bound
+/// tightening rounds integer bounds); pass empty for a pure LP.
+PresolveResult presolve(const LpModel& model, const std::vector<bool>& integer_cols = {});
+
+}  // namespace gpumip::lp

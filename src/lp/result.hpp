@@ -1,0 +1,33 @@
+// LP solve outcome types.
+#pragma once
+
+#include <string>
+
+#include "linalg/matrix.hpp"
+#include "lp/basis.hpp"
+#include "lp/op_stats.hpp"
+
+namespace gpumip::lp {
+
+enum class LpStatus {
+  Optimal,
+  Infeasible,
+  Unbounded,
+  IterationLimit,
+  NumericalTrouble,
+};
+
+const char* lp_status_name(LpStatus status) noexcept;
+
+struct LpResult {
+  LpStatus status = LpStatus::NumericalTrouble;
+  double objective = 0.0;          ///< minimization objective (standard form)
+  linalg::Vector x;                ///< values for all standard-form variables
+  linalg::Vector duals;            ///< row duals y
+  linalg::Vector reduced_costs;    ///< per-variable reduced costs
+  Basis basis;                     ///< final basis (valid when Optimal)
+  long iterations = 0;
+  LpOpStats ops;                   ///< linear-algebra recipe of this solve
+};
+
+}  // namespace gpumip::lp

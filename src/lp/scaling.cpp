@@ -1,0 +1,83 @@
+#include "lp/scaling.hpp"
+
+#include <cmath>
+
+namespace gpumip::lp {
+
+linalg::Vector ScalingResult::unscale_solution(std::span<const double> scaled_x) const {
+  linalg::Vector out(col_scale.size());
+  for (std::size_t j = 0; j < col_scale.size(); ++j) out[j] = scaled_x[j] * col_scale[j];
+  return out;
+}
+
+ScalingResult geometric_scaling(const LpModel& model, int passes) {
+  model.validate();
+  const int m = model.num_rows();
+  const int n = model.num_cols();
+  ScalingResult result;
+  result.row_scale.assign(static_cast<std::size_t>(m), 1.0);
+  result.col_scale.assign(static_cast<std::size_t>(n), 1.0);
+
+  // Iteratively set each row/col scale to 1/sqrt(max*min) of its (scaled)
+  // nonzero magnitudes.
+  for (int pass = 0; pass < passes; ++pass) {
+    for (int axis = 0; axis < 2; ++axis) {
+      std::vector<double> max_abs(axis == 0 ? static_cast<std::size_t>(m)
+                                            : static_cast<std::size_t>(n),
+                                  0.0);
+      std::vector<double> min_abs(max_abs.size(), kInf);
+      for (const auto& t : model.entries()) {
+        const double v = std::fabs(t.value * result.row_scale[static_cast<std::size_t>(t.row)] *
+                                   result.col_scale[static_cast<std::size_t>(t.col)]);
+        if (v == 0.0) continue;
+        const std::size_t idx = axis == 0 ? static_cast<std::size_t>(t.row)
+                                          : static_cast<std::size_t>(t.col);
+        max_abs[idx] = std::max(max_abs[idx], v);
+        min_abs[idx] = std::min(min_abs[idx], v);
+      }
+      auto& scale = axis == 0 ? result.row_scale : result.col_scale;
+      for (std::size_t i = 0; i < scale.size(); ++i) {
+        if (max_abs[i] > 0.0 && std::isfinite(min_abs[i])) {
+          scale[i] /= std::sqrt(max_abs[i] * min_abs[i]);
+        }
+      }
+    }
+  }
+
+  // Build the scaled model: A' = R A C, bounds transform accordingly.
+  // Row i: L ≤ a x ≤ U becomes r L ≤ (r a C)(C⁻¹ x) ≤ r U with r > 0.
+  // Column j: x_j = c_j · x'_j, so bounds divide by c_j and objective
+  // multiplies by c_j.
+  result.scaled.set_sense(model.sense());
+  for (int j = 0; j < n; ++j) {
+    const auto& col = model.col(j);
+    const double cs = result.col_scale[static_cast<std::size_t>(j)];
+    result.scaled.add_col(col.obj * cs, col.lb / cs, col.ub / cs, col.name);
+  }
+  for (int i = 0; i < m; ++i) {
+    const auto& row = model.row(i);
+    const double rs = result.row_scale[static_cast<std::size_t>(i)];
+    result.scaled.add_row(row.lb * rs, row.ub * rs, row.name);
+  }
+  for (const auto& t : model.entries()) {
+    result.scaled.set_coef(t.row, t.col,
+                           t.value * result.row_scale[static_cast<std::size_t>(t.row)] *
+                               result.col_scale[static_cast<std::size_t>(t.col)]);
+  }
+  return result;
+}
+
+double coefficient_spread(const LpModel& model) {
+  double max_abs = 0.0;
+  double min_abs = kInf;
+  for (const auto& t : model.entries()) {
+    const double v = std::fabs(t.value);
+    if (v == 0.0) continue;
+    max_abs = std::max(max_abs, v);
+    min_abs = std::min(min_abs, v);
+  }
+  if (max_abs == 0.0) return 1.0;
+  return max_abs / min_abs;
+}
+
+}  // namespace gpumip::lp

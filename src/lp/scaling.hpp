@@ -1,0 +1,26 @@
+// Geometric-mean scaling of the constraint matrix. Scaling is one of the
+// "setup stage" transforms the hybrid strategy runs on the CPU before
+// uploading the matrix to the device.
+#pragma once
+
+#include "lp/model.hpp"
+
+namespace gpumip::lp {
+
+struct ScalingResult {
+  LpModel scaled;
+  linalg::Vector row_scale;  ///< rows of A were multiplied by these
+  linalg::Vector col_scale;  ///< columns of A were multiplied by these
+
+  /// Maps a solution of the scaled model back to original variables:
+  /// x_orig[j] = x_scaled[j] * col_scale[j].
+  linalg::Vector unscale_solution(std::span<const double> scaled_x) const;
+};
+
+/// Alternating row/column geometric-mean scaling (`passes` sweeps).
+ScalingResult geometric_scaling(const LpModel& model, int passes = 3);
+
+/// max |a_ij| / min |a_ij| over nonzeros — the spread scaling reduces.
+double coefficient_spread(const LpModel& model);
+
+}  // namespace gpumip::lp

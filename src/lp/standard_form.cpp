@@ -1,0 +1,96 @@
+#include "lp/standard_form.hpp"
+
+#include <cmath>
+
+#include "sparse/ops.hpp"
+
+namespace gpumip::lp {
+
+StandardForm build_standard_form(const LpModel& model) {
+  model.validate();
+  StandardForm form;
+  form.num_rows = model.num_rows();
+  form.num_struct = model.num_cols();
+  form.obj_sign = model.sense() == Sense::Minimize ? 1.0 : -1.0;
+
+  // Count slacks first to size the variable space.
+  form.slack_of_row.assign(static_cast<std::size_t>(form.num_rows), -1);
+  int next_var = form.num_struct;
+  for (int i = 0; i < form.num_rows; ++i) {
+    const RowDef& r = model.row(i);
+    const bool equality = r.lb == r.ub && std::isfinite(r.lb);
+    if (!equality) form.slack_of_row[static_cast<std::size_t>(i)] = next_var++;
+  }
+  form.num_vars = next_var;
+
+  form.c.assign(static_cast<std::size_t>(form.num_vars), 0.0);
+  form.lb.assign(static_cast<std::size_t>(form.num_vars), 0.0);
+  form.ub.assign(static_cast<std::size_t>(form.num_vars), kInf);
+  form.b.assign(static_cast<std::size_t>(form.num_rows), 0.0);
+
+  for (int j = 0; j < form.num_struct; ++j) {
+    const ColumnDef& cdef = model.col(j);
+    form.c[static_cast<std::size_t>(j)] = form.obj_sign * cdef.obj;
+    form.lb[static_cast<std::size_t>(j)] = cdef.lb;
+    form.ub[static_cast<std::size_t>(j)] = cdef.ub;
+  }
+
+  std::vector<sparse::Triplet> triplets = model.entries();
+  for (int i = 0; i < form.num_rows; ++i) {
+    const RowDef& r = model.row(i);
+    const int slack = form.slack_of_row[static_cast<std::size_t>(i)];
+    if (slack < 0) {  // equality
+      check_arg(std::isfinite(r.lb), "free row cannot be an equality");
+      form.b[static_cast<std::size_t>(i)] = r.lb;
+      continue;
+    }
+    const std::size_t s = static_cast<std::size_t>(slack);
+    const bool has_lb = std::isfinite(r.lb);
+    const bool has_ub = std::isfinite(r.ub);
+    if (has_ub) {
+      // aᵀy + s = U, s in [0, U-L] (or [0, inf) if L = -inf)
+      triplets.push_back({i, slack, 1.0});
+      form.b[static_cast<std::size_t>(i)] = r.ub;
+      form.lb[s] = 0.0;
+      form.ub[s] = has_lb ? r.ub - r.lb : kInf;
+    } else if (has_lb) {
+      // aᵀy - s = L, s in [0, inf)
+      triplets.push_back({i, slack, -1.0});
+      form.b[static_cast<std::size_t>(i)] = r.lb;
+      form.lb[s] = 0.0;
+      form.ub[s] = kInf;
+    } else {
+      // Free row: aᵀy - s = 0 with free s (the row never binds).
+      triplets.push_back({i, slack, -1.0});
+      form.b[static_cast<std::size_t>(i)] = 0.0;
+      form.lb[s] = -kInf;
+      form.ub[s] = kInf;
+    }
+  }
+
+  form.a_rows = sparse::csr_from_triplets(form.num_rows, form.num_vars, triplets);
+  form.a_cols = sparse::csr_to_csc(form.a_rows);
+  return form;
+}
+
+double equality_residual(const StandardForm& form, std::span<const double> x) {
+  check_arg(static_cast<int>(x.size()) == form.num_vars, "equality_residual: size mismatch");
+  linalg::Vector ax(static_cast<std::size_t>(form.num_rows), 0.0);
+  sparse::spmv(1.0, form.a_rows, x, 0.0, ax);
+  double worst = 0.0;
+  for (int i = 0; i < form.num_rows; ++i) {
+    worst = std::max(worst, std::fabs(ax[static_cast<std::size_t>(i)] -
+                                      form.b[static_cast<std::size_t>(i)]));
+  }
+  return worst;
+}
+
+bool within_bounds(const StandardForm& form, std::span<const double> x, double tol) {
+  for (int j = 0; j < form.num_vars; ++j) {
+    const std::size_t k = static_cast<std::size_t>(j);
+    if (x[k] < form.lb[k] - tol || x[k] > form.ub[k] + tol) return false;
+  }
+  return true;
+}
+
+}  // namespace gpumip::lp

@@ -1,0 +1,51 @@
+// Conversion of an LpModel to the computational ("standard") form the
+// solvers consume:
+//
+//     minimize    cᵀ x
+//     subject to  A x = b,    l ≤ x ≤ u,
+//
+// where x = (structural variables, one slack per non-equality row). A
+// maximization objective is negated (obj_sign records the flip). Each row
+// of the user model becomes one equality:
+//
+//   L ≤ aᵀy ≤ U  (ranged)   ->  aᵀy + s = U,  s ∈ [0, U - L]
+//   aᵀy ≤ U                 ->  aᵀy + s = U,  s ∈ [0, ∞)
+//   aᵀy ≥ L                 ->  aᵀy - s = L,  s ∈ [0, ∞)
+//   aᵀy = b                 ->  aᵀy     = b   (no slack)
+#pragma once
+
+#include <vector>
+
+#include "lp/model.hpp"
+
+namespace gpumip::lp {
+
+struct StandardForm {
+  int num_rows = 0;       ///< m: equality constraints
+  int num_struct = 0;     ///< structural (user) variables
+  int num_vars = 0;       ///< structural + slack variables
+  sparse::Csr a_rows;     ///< m x num_vars
+  sparse::Csc a_cols;     ///< column view of the same matrix
+  linalg::Vector b;       ///< rhs
+  linalg::Vector c;       ///< minimization objective over all vars
+  linalg::Vector lb, ub;  ///< variable bounds
+  std::vector<int> slack_of_row;  ///< slack var index per row, -1 for equalities
+  double obj_sign = 1.0;  ///< +1 if the model minimized, -1 if it maximized
+
+  /// Maps a solver objective (min cᵀx) back to the user's sense.
+  double user_objective(double min_objective) const { return obj_sign * min_objective; }
+
+  /// Density of the constraint matrix.
+  double density() const { return a_rows.density(); }
+};
+
+/// Builds the standard form. Validates the model first.
+StandardForm build_standard_form(const LpModel& model);
+
+/// Residual ||Ax - b||_inf of a point in standard-form space (tests).
+double equality_residual(const StandardForm& form, std::span<const double> x);
+
+/// True when l ≤ x ≤ u within tol.
+bool within_bounds(const StandardForm& form, std::span<const double> x, double tol);
+
+}  // namespace gpumip::lp

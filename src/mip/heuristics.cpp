@@ -1,0 +1,141 @@
+#include "mip/heuristics.hpp"
+
+#include <cmath>
+
+#include "lp/standard_form.hpp"
+
+namespace gpumip::mip {
+
+namespace {
+
+double min_objective(const MipModel& model, const lp::StandardForm& form,
+                     std::span<const double> x) {
+  double obj = 0.0;
+  for (int j = 0; j < model.num_cols(); ++j) {
+    obj += form.c[static_cast<std::size_t>(j)] * x[static_cast<std::size_t>(j)];
+  }
+  return obj;
+}
+
+}  // namespace
+
+HeuristicResult rounding_heuristic(const MipModel& model, const lp::StandardForm& form,
+                                   std::span<const double> lp_x, double int_tol) {
+  HeuristicResult result;
+  linalg::Vector rounded(lp_x.begin(), lp_x.begin() + model.num_cols());
+  for (int j = 0; j < model.num_cols(); ++j) {
+    if (model.is_integer(j)) {
+      rounded[static_cast<std::size_t>(j)] = std::round(rounded[static_cast<std::size_t>(j)]);
+    }
+  }
+  if (model.is_feasible(rounded, 1e-6) && model.is_integral(rounded, int_tol)) {
+    result.found = true;
+    result.x = std::move(rounded);
+    result.objective = min_objective(model, form, result.x);
+  }
+  return result;
+}
+
+HeuristicResult diving_heuristic(const MipModel& model, const lp::StandardForm& form,
+                                 lp::SimplexSolver& solver, const lp::LpResult& relaxation,
+                                 int max_dives, double int_tol) {
+  HeuristicResult result;
+  if (relaxation.status != lp::LpStatus::Optimal) return result;
+  linalg::Vector lb = form.lb, ub = form.ub;
+  lp::LpResult current = relaxation;
+
+  for (int dive = 0; dive < max_dives; ++dive) {
+    // Find the most fractional integer variable.
+    int var = -1;
+    double best_dist = int_tol;
+    for (int j = 0; j < model.num_cols(); ++j) {
+      if (!model.is_integer(j)) continue;
+      const double v = current.x[static_cast<std::size_t>(j)];
+      const double dist = std::fabs(v - std::round(v));
+      if (dist > best_dist) {
+        best_dist = dist;
+        var = j;
+      }
+    }
+    if (var < 0) {
+      // Integral: accept.
+      result.found = true;
+      result.x.assign(current.x.begin(), current.x.begin() + model.num_cols());
+      // Snap near-integers exactly.
+      for (int j = 0; j < model.num_cols(); ++j) {
+        if (model.is_integer(j)) {
+          result.x[static_cast<std::size_t>(j)] = std::round(result.x[static_cast<std::size_t>(j)]);
+        }
+      }
+      result.objective = min_objective(model, form, result.x);
+      return result;
+    }
+    const std::size_t k = static_cast<std::size_t>(var);
+    const double value = current.x[k];
+    const double first = std::round(value);
+    const double second = first > value ? std::floor(value) : std::ceil(value);
+    bool advanced = false;
+    for (const double target : {first, second}) {
+      if (target < form.lb[k] - 1e-9 || target > form.ub[k] + 1e-9) continue;
+      linalg::Vector try_lb = lb, try_ub = ub;
+      try_lb[k] = try_ub[k] = target;
+      lp::LpResult next = solver.resolve_dual(try_lb, try_ub, current.basis);
+      if (next.status == lp::LpStatus::Optimal) {
+        lb = std::move(try_lb);
+        ub = std::move(try_ub);
+        current = std::move(next);
+        advanced = true;
+        break;
+      }
+    }
+    if (!advanced) return result;  // both directions infeasible: give up
+  }
+  return result;
+}
+
+HeuristicResult feasibility_pump(const MipModel& model, int max_rounds, double int_tol) {
+  HeuristicResult result;
+  const lp::StandardForm form = lp::build_standard_form(model.lp());
+  lp::SimplexSolver solver(form);
+  lp::LpResult relax = solver.solve_default();
+  if (relax.status != lp::LpStatus::Optimal) return result;
+
+  linalg::Vector x(relax.x.begin(), relax.x.begin() + model.num_cols());
+  for (int round = 0; round < max_rounds; ++round) {
+    // Round.
+    linalg::Vector target = x;
+    for (int j = 0; j < model.num_cols(); ++j) {
+      if (model.is_integer(j)) target[static_cast<std::size_t>(j)] = std::round(target[static_cast<std::size_t>(j)]);
+    }
+    if (model.is_feasible(target, 1e-6) && model.is_integral(target, int_tol)) {
+      result.found = true;
+      result.x = target;
+      result.objective = min_objective(model, form, target);
+      return result;
+    }
+    // Project: minimize L1 distance of integer vars to the rounded point.
+    // |x_j - t_j| is linearized by splitting on the rounding direction:
+    // if t_j was rounded down, distance along the feasible side is x_j-t_j;
+    // if up, t_j-x_j (x stays in [floor, ceil] only approximately, but the
+    // blend keeps the pump moving).
+    lp::LpModel dist = model.lp();
+    for (int j = 0; j < model.num_cols(); ++j) {
+      double c = 0.0;
+      if (model.is_integer(j)) {
+        c = x[static_cast<std::size_t>(j)] >= target[static_cast<std::size_t>(j)] ? 1.0 : -1.0;
+      }
+      dist.col(j).obj = c;
+    }
+    dist.set_sense(lp::Sense::Minimize);
+    const lp::StandardForm dist_form = lp::build_standard_form(dist);
+    lp::SimplexSolver dist_solver(dist_form);
+    lp::LpResult projected = dist_solver.solve_default();
+    if (projected.status != lp::LpStatus::Optimal) return result;
+    linalg::Vector next(projected.x.begin(), projected.x.begin() + model.num_cols());
+    if (linalg::max_abs_diff(next, x) < 1e-9) return result;  // cycling: stop
+    x = std::move(next);
+  }
+  return result;
+}
+
+}  // namespace gpumip::mip

@@ -1,0 +1,89 @@
+#include "mip/snapshot.hpp"
+
+#include <cstdlib>
+#include <iomanip>
+#include <sstream>
+
+#include "support/error.hpp"
+
+namespace gpumip::mip {
+
+namespace {
+
+void write_vector(std::ostream& out, const linalg::Vector& v) {
+  out << v.size();
+  for (double x : v) out << ' ' << x;
+  out << '\n';
+}
+
+/// Reads one double, accepting "inf"/"-inf"/"nan" tokens (bound vectors
+/// routinely contain infinities; istream's num_get rejects them).
+double read_double(std::istream& in) {
+  std::string token;
+  in >> token;
+  check_arg(!token.empty(), "snapshot: missing number");
+  char* end = nullptr;
+  const double value = std::strtod(token.c_str(), &end);
+  check_arg(end != nullptr && *end == '\0', "snapshot: bad number '" + token + "'");
+  return value;
+}
+
+linalg::Vector read_vector(std::istream& in) {
+  std::size_t n = 0;
+  in >> n;
+  check_arg(in.good() && n < (1u << 26), "snapshot: corrupt vector length");
+  linalg::Vector v(n);
+  for (double& x : v) x = read_double(in);
+  check_arg(!in.fail(), "snapshot: corrupt vector data");
+  return v;
+}
+
+}  // namespace
+
+void ConsistentSnapshot::serialize(std::ostream& out) const {
+  out << std::setprecision(17);
+  out << "gpumip-snapshot-v1\n";
+  out << incumbent_objective << ' ' << nodes_solved_so_far << '\n';
+  write_vector(out, incumbent_x);
+  out << frontier.size() << '\n';
+  for (const SnapshotNode& node : frontier) {
+    out << node.bound << ' ' << node.depth << '\n';
+    write_vector(out, node.lb);
+    write_vector(out, node.ub);
+  }
+}
+
+ConsistentSnapshot ConsistentSnapshot::deserialize(std::istream& in) {
+  std::string magic;
+  in >> magic;
+  check_arg(magic == "gpumip-snapshot-v1", "snapshot: bad magic '" + magic + "'");
+  ConsistentSnapshot snap;
+  snap.incumbent_objective = read_double(in);
+  in >> snap.nodes_solved_so_far;
+  snap.incumbent_x = read_vector(in);
+  std::size_t count = 0;
+  in >> count;
+  check_arg(in.good() && count < (1u << 24), "snapshot: corrupt frontier count");
+  snap.frontier.resize(count);
+  for (SnapshotNode& node : snap.frontier) {
+    node.bound = read_double(in);
+    in >> node.depth;
+    node.lb = read_vector(in);
+    node.ub = read_vector(in);
+  }
+  check_arg(!in.fail(), "snapshot: truncated data");
+  return snap;
+}
+
+std::string ConsistentSnapshot::to_string() const {
+  std::ostringstream out;
+  serialize(out);
+  return out.str();
+}
+
+ConsistentSnapshot ConsistentSnapshot::from_string(const std::string& text) {
+  std::istringstream in(text);
+  return deserialize(in);
+}
+
+}  // namespace gpumip::mip

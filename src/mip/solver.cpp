@@ -1,0 +1,377 @@
+#include "mip/solver.hpp"
+
+#include <cmath>
+
+#include "support/log.hpp"
+
+namespace gpumip::mip {
+
+const char* mip_status_name(MipStatus status) noexcept {
+  switch (status) {
+    case MipStatus::Optimal: return "Optimal";
+    case MipStatus::Infeasible: return "Infeasible";
+    case MipStatus::Unbounded: return "Unbounded";
+    case MipStatus::NodeLimit: return "NodeLimit";
+  }
+  return "Unknown";
+}
+
+double MipResult::gap() const {
+  if (!has_solution) return 1e300;
+  const double denom = 1.0 + std::fabs(objective);
+  return std::fabs(objective - bound) / denom;
+}
+
+BnbSolver::BnbSolver(const MipModel& model, MipOptions options)
+    : model_(model), options_(std::move(options)) {
+  model_.validate();
+}
+
+BnbSolver::~BnbSolver() = default;
+
+const NodePool& BnbSolver::pool() const {
+  check_arg(pool_ != nullptr, "pool() before solve()");
+  return *pool_;
+}
+
+void BnbSolver::root_cut_loop() {
+  // Cut-and-branch: strengthen the root formulation, then branch on the
+  // fixed matrix (the per-node cut round-trip costs are studied separately
+  // in experiment E4).
+  CutPool pool;
+  for (int round = 0; round < options_.cut_rounds; ++round) {
+    form_ = std::make_unique<lp::StandardForm>(lp::build_standard_form(model_.lp()));
+    lp_solver_ = std::make_unique<lp::SimplexSolver>(*form_, options_.lp);
+    lp::LpResult root = lp_solver_->solve_default();
+    stats_.total_ops.add(root.ops);
+    stats_.lp_iterations += root.iterations;
+    if (root.status != lp::LpStatus::Optimal) return;
+    if (model_.is_integral(root.x, options_.int_tol)) return;
+
+    std::vector<Cut> cuts = gomory_cuts(model_, *form_, root, options_.cuts);
+    std::vector<Cut> covers = cover_cuts(model_, root.x, options_.cuts);
+    cuts.insert(cuts.end(), covers.begin(), covers.end());
+    int added = 0;
+    for (const Cut& cut : cuts) {
+      if (!pool.add(cut)) continue;
+      model_.lp().add_row_range(cut.terms, cut.lb, cut.ub, "cut");
+      ++added;
+    }
+    if (added == 0) return;
+    stats_.cuts_added += added;
+    stats_.cut_rounds_used = round + 1;
+  }
+  // Rebuild once more so the form includes the last round's cuts.
+  form_ = std::make_unique<lp::StandardForm>(lp::build_standard_form(model_.lp()));
+  lp_solver_ = std::make_unique<lp::SimplexSolver>(*form_, options_.lp);
+}
+
+MipResult BnbSolver::solve() { return run(nullptr); }
+
+MipResult BnbSolver::solve_from(const ConsistentSnapshot& snapshot) { return run(&snapshot); }
+
+ConsistentSnapshot BnbSolver::capture_snapshot() const {
+  check_arg(pool_ != nullptr, "capture_snapshot before solve()");
+  ConsistentSnapshot snap;
+  snap.incumbent_objective = incumbent_obj_;
+  snap.incumbent_x = incumbent_x_;
+  snap.nodes_solved_so_far = stats_.nodes_evaluated;
+  for (int id : pool_->active_ids()) {
+    const BnbNode& n = pool_->node(id);
+    snap.frontier.push_back({n.lb, n.ub, n.bound, n.depth});
+  }
+  return snap;
+}
+
+MipResult BnbSolver::run(const ConsistentSnapshot* snapshot) {
+  MipResult result;
+  trace_.clear();
+  stats_ = MipStats{};
+  incumbent_obj_ = options_.initial_cutoff;  // external bound, no solution yet
+  incumbent_x_.clear();
+
+  if (options_.enable_cuts && snapshot == nullptr) {
+    root_cut_loop();
+  }
+  if (form_ == nullptr) {
+    form_ = std::make_unique<lp::StandardForm>(lp::build_standard_form(model_.lp()));
+    lp_solver_ = std::make_unique<lp::SimplexSolver>(*form_, options_.lp);
+  }
+  pool_ = std::make_unique<NodePool>(options_.node_selection, options_.locality_slack);
+  pseudocosts_.init(form_->num_vars, form_->c);
+
+
+  if (snapshot != nullptr) {
+    if (snapshot->has_incumbent()) {
+      incumbent_obj_ = snapshot->incumbent_objective;
+      incumbent_x_ = snapshot->incumbent_x;
+    }
+    for (const SnapshotNode& sn : snapshot->frontier) {
+      check_arg(static_cast<int>(sn.lb.size()) == form_->num_vars,
+                "snapshot does not match this model's standard form");
+      BnbNode node;
+      node.parent = -1;
+      node.depth = sn.depth;
+      node.bound = sn.bound;
+      node.lb = sn.lb;
+      node.ub = sn.ub;
+      pool_->push(std::move(node));
+    }
+  } else {
+    BnbNode root;
+    root.parent = -1;
+    root.depth = 0;
+    root.bound = -1e300;
+    root.lb = form_->lb;
+    root.ub = form_->ub;
+    pool_->push(std::move(root));
+  }
+
+  auto try_incumbent = [&](double obj, std::span<const double> x_struct) {
+    if (obj < incumbent_obj_ - 1e-12) {
+      incumbent_obj_ = obj;
+      incumbent_x_.assign(x_struct.begin(), x_struct.end());
+      pool_->prune_worse_than(incumbent_obj_ - 1e-9);
+      return true;
+    }
+    return false;
+  };
+
+  int last_evaluated = -1;
+  bool hit_node_limit = false;
+
+  long last_snapshot_at = 0;
+  while (!pool_->active_empty()) {
+    if (stats_.nodes_evaluated >= options_.max_nodes) {
+      hit_node_limit = true;
+      break;
+    }
+    // Consistent snapshot point: between node evaluations the active set is
+    // exactly the frontier — no node is in flight (paper section 2.1). It
+    // must be taken BEFORE popping: a popped-but-unbranched node would be
+    // lost, which is precisely the in-flight hazard the paper describes.
+    if (options_.snapshot_interval > 0 && options_.on_snapshot &&
+        stats_.nodes_evaluated - last_snapshot_at >= options_.snapshot_interval) {
+      last_snapshot_at = stats_.nodes_evaluated;
+      options_.on_snapshot(capture_snapshot());
+    }
+    // Gap-based stop.
+    if (incumbent_obj_ < 1e299) {
+      const double best_bound = pool_->best_active_bound();
+      if ((incumbent_obj_ - best_bound) / (1.0 + std::fabs(incumbent_obj_)) <=
+          options_.gap_tol) {
+        pool_->prune_worse_than(-1e300 + 1.0);  // everything left is within gap
+        break;
+      }
+    }
+    const int id = pool_->pop(last_evaluated, incumbent_obj_);
+    if (id < 0) break;
+    BnbNode& node = pool_->node(id);
+
+    // Bound-based prune without an LP solve.
+    if (node.bound >= incumbent_obj_ - 1e-9) {
+      pool_->set_state(id, NodeState::PrunedLeaf);
+      continue;
+    }
+
+    // Evaluate: dual simplex from the parent basis when available.
+    lp::LpResult lp_result =
+        node.warm_basis.empty()
+            ? lp_solver_->solve(node.lb, node.ub, nullptr)
+            : lp_solver_->resolve_dual(node.lb, node.ub, node.warm_basis);
+
+    NodeTrace tr;
+    tr.node_id = id;
+    tr.parent = node.parent;
+    tr.hot = node.parent >= 0 && node.parent == last_evaluated;
+    tr.lp_status = lp_result.status;
+    tr.ops = lp_result.ops;
+    trace_.push_back(tr);
+    if (tr.hot) ++stats_.hot_nodes;
+    stats_.total_ops.add(lp_result.ops);
+    stats_.lp_iterations += lp_result.iterations;
+    ++stats_.nodes_evaluated;
+    last_evaluated = id;
+    node.lp_objective = lp_result.objective;
+
+    if (lp_result.status == lp::LpStatus::Infeasible) {
+      pool_->set_state(id, NodeState::InfeasibleLeaf);
+      continue;
+    }
+    if (lp_result.status == lp::LpStatus::Unbounded) {
+      result.status = MipStatus::Unbounded;
+      return result;
+    }
+    if (lp_result.status != lp::LpStatus::Optimal) {
+      // Numerical trouble / iteration limit: treat conservatively as a leaf
+      // we cannot prune by bound (keeps correctness on the safe side: we
+      // only lose optimality certification if this ever triggers).
+      GPUMIP_LOG(Warn) << "node " << id << " LP ended " << lp::lp_status_name(lp_result.status);
+      pool_->set_state(id, NodeState::InfeasibleLeaf);
+      continue;
+    }
+
+    // Pseudocost bookkeeping: this node is a child of `parent` through
+    // branch_var; record the observed degradation.
+    if (node.parent >= 0 && node.branch_var >= 0) {
+      const BnbNode& parent = pool_->node(node.parent);
+      const double delta = lp_result.objective - parent.lp_objective;
+      // Fractionality of the parent's LP value on the branch variable is
+      // not stored per node; 0.5 is the standard stand-in.
+      pseudocosts_.update(node.branch_var, node.branch_up, delta, 0.5);
+    }
+
+    if (lp_result.objective >= incumbent_obj_ - 1e-9) {
+      pool_->set_state(id, NodeState::PrunedLeaf);
+      continue;
+    }
+
+    if (model_.is_integral(lp_result.x, options_.int_tol)) {
+      pool_->set_state(id, NodeState::FeasibleLeaf);
+      try_incumbent(lp_result.objective,
+                    std::span<const double>(lp_result.x.data(),
+                                            static_cast<std::size_t>(model_.num_cols())));
+      continue;
+    }
+
+    // Heuristics at the root.
+    if (options_.enable_heuristics && node.parent < 0) {
+      HeuristicResult h = rounding_heuristic(model_, *form_, lp_result.x, options_.int_tol);
+      if (!h.found) {
+        h = diving_heuristic(model_, *form_, *lp_solver_, lp_result, 2 * model_.num_cols() + 10,
+                             options_.int_tol);
+      }
+      if (h.found && try_incumbent(h.objective, h.x)) {
+        ++stats_.heuristic_incumbents;
+      }
+    }
+    if (node.parent < 0) stats_.root_bound = lp_result.objective;
+
+    // Branch.
+    std::function<double(int, bool)> strong_probe;
+    if (options_.branching == BranchRule::Strong) {
+      strong_probe = [&](int var, bool up) {
+        linalg::Vector lb2 = node.lb, ub2 = node.ub;
+        const double v = lp_result.x[static_cast<std::size_t>(var)];
+        if (up) {
+          lb2[static_cast<std::size_t>(var)] = std::ceil(v);
+        } else {
+          ub2[static_cast<std::size_t>(var)] = std::floor(v);
+        }
+        lp::SimplexOptions probe_opts = options_.lp;
+        probe_opts.max_iterations = 50;
+        lp::SimplexSolver probe(*form_, probe_opts);
+        lp::LpResult r = probe.resolve_dual(lb2, ub2, lp_result.basis);
+        stats_.total_ops.add(r.ops);
+        if (r.status == lp::LpStatus::Infeasible) return 1e30;
+        if (r.status != lp::LpStatus::Optimal && r.status != lp::LpStatus::IterationLimit) {
+          return 0.0;
+        }
+        return std::max(0.0, r.objective - lp_result.objective);
+      };
+    }
+    const int var = select_branch_var(options_.branching, lp_result.x, model_.integer_flags(),
+                                      options_.int_tol, &pseudocosts_, strong_probe);
+    check_internal(var >= 0, "no fractional variable in a non-integral node");
+    const double value = lp_result.x[static_cast<std::size_t>(var)];
+
+    BnbNode down;
+    down.parent = id;
+    down.depth = node.depth + 1;
+    down.branch_var = var;
+    down.branch_up = false;
+    down.bound = lp_result.objective;
+    down.lb = node.lb;
+    down.ub = node.ub;
+    down.ub[static_cast<std::size_t>(var)] = std::floor(value);
+    down.warm_basis = lp_result.basis;
+
+    BnbNode up = down;
+    up.branch_up = true;
+    up.ub = node.ub;
+    up.lb = node.lb;
+    up.lb[static_cast<std::size_t>(var)] = std::ceil(value);
+
+    pool_->set_state(id, NodeState::Branched);
+    if (down.lb[static_cast<std::size_t>(var)] <= down.ub[static_cast<std::size_t>(var)] + 1e-9) {
+      pool_->push(std::move(down));
+    }
+    if (up.lb[static_cast<std::size_t>(var)] <= up.ub[static_cast<std::size_t>(var)] + 1e-9) {
+      pool_->push(std::move(up));
+    }
+  }
+
+  // Assemble the result.
+  stats_.anatomy = pool_->anatomy();
+  result.stats = stats_;
+  result.has_solution = !incumbent_x_.empty();
+  if (hit_node_limit) {
+    result.status = MipStatus::NodeLimit;
+  } else {
+    result.status = result.has_solution ? MipStatus::Optimal : MipStatus::Infeasible;
+  }
+  const double best_bound =
+      pool_->active_empty() ? incumbent_obj_ : std::min(pool_->best_active_bound(), incumbent_obj_);
+  result.bound = form_->user_objective(best_bound);
+  if (result.has_solution) {
+    result.objective = form_->user_objective(incumbent_obj_);
+    result.x = incumbent_x_;
+  }
+  return result;
+}
+
+MipResult solve_by_enumeration(const MipModel& model, double int_tol) {
+  model.validate();
+  MipResult result;
+  const lp::StandardForm form = lp::build_standard_form(model.lp());
+  // Enumerate assignments of integer variables within their bounds.
+  std::vector<int> int_vars;
+  for (int j = 0; j < model.num_cols(); ++j) {
+    if (model.is_integer(j)) int_vars.push_back(j);
+  }
+  for (int j : int_vars) {
+    check_arg(std::isfinite(model.lp().col(j).lb) && std::isfinite(model.lp().col(j).ub),
+              "enumeration requires bounded integer variables");
+    check_arg(model.lp().col(j).ub - model.lp().col(j).lb <= 64,
+              "enumeration domain too large");
+  }
+  double best = 1e300;
+  linalg::Vector best_x;
+  lp::SimplexSolver solver(form);
+
+  std::function<void(std::size_t, linalg::Vector&, linalg::Vector&)> recurse =
+      [&](std::size_t idx, linalg::Vector& lb, linalg::Vector& ub) {
+        if (idx == int_vars.size()) {
+          lp::LpResult r = solver.solve(lb, ub, nullptr);
+          if (r.status == lp::LpStatus::Optimal && r.objective < best - 1e-12) {
+            best = r.objective;
+            best_x.assign(r.x.begin(), r.x.begin() + model.num_cols());
+          }
+          return;
+        }
+        const int j = int_vars[idx];
+        const std::size_t k = static_cast<std::size_t>(j);
+        const double lo = std::ceil(model.lp().col(j).lb - int_tol);
+        const double hi = std::floor(model.lp().col(j).ub + int_tol);
+        const double save_lb = lb[k], save_ub = ub[k];
+        for (double v = lo; v <= hi + 1e-9; v += 1.0) {
+          lb[k] = ub[k] = v;
+          recurse(idx + 1, lb, ub);
+        }
+        lb[k] = save_lb;
+        ub[k] = save_ub;
+      };
+  linalg::Vector lb = form.lb, ub = form.ub;
+  recurse(0, lb, ub);
+
+  result.has_solution = best < 1e299;
+  result.status = result.has_solution ? MipStatus::Optimal : MipStatus::Infeasible;
+  if (result.has_solution) {
+    result.objective = form.user_objective(best);
+    result.bound = result.objective;
+    result.x = best_x;
+  }
+  return result;
+}
+
+}  // namespace gpumip::mip

@@ -1,0 +1,135 @@
+// Sequential branch-and-bound / cut-and-branch MIP engine.
+//
+// The engine keeps the tree in host memory (the paper's recommended
+// strategy 2 layout), solves each node's LP relaxation with the revised
+// simplex (dual-simplex warm starts from the parent basis), strengthens the
+// root with GMI/cover cuts, and runs primal heuristics for incumbents. All
+// linear algebra performed per node is recorded as a NodeTrace so the
+// strategy layer (parallel/strategies.hpp) can replay it onto simulated
+// GPU/CPU timelines.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "lp/simplex.hpp"
+#include "mip/branching.hpp"
+#include "mip/cuts.hpp"
+#include "mip/heuristics.hpp"
+#include "mip/model.hpp"
+#include "mip/snapshot.hpp"
+#include "mip/tree.hpp"
+
+namespace gpumip::mip {
+
+enum class MipStatus {
+  Optimal,
+  Infeasible,
+  Unbounded,
+  NodeLimit,
+};
+
+const char* mip_status_name(MipStatus status) noexcept;
+
+struct MipOptions {
+  long max_nodes = 200000;
+  double gap_tol = 1e-9;        ///< relative optimality gap to stop at
+  double int_tol = 1e-6;
+  NodeSelection node_selection = NodeSelection::BestFirst;
+  double locality_slack = 0.1;  ///< GpuLocality policy slack
+  BranchRule branching = BranchRule::MostFractional;
+  bool enable_cuts = true;
+  int cut_rounds = 3;           ///< root cut-and-branch rounds
+  CutOptions cuts;
+  bool enable_heuristics = true;
+  lp::SimplexOptions lp;
+  /// Emit a consistent snapshot every N evaluated nodes (0 = never).
+  int snapshot_interval = 0;
+  std::function<void(const ConsistentSnapshot&)> on_snapshot;
+  /// Known upper bound (min form) from outside, e.g. a supervisor's global
+  /// incumbent: nodes at or above it are pruned immediately.
+  double initial_cutoff = 1e300;
+};
+
+/// Linear-algebra record of one node evaluation, for timeline replay.
+struct NodeTrace {
+  int node_id = -1;
+  int parent = -1;
+  bool hot = false;  ///< parent was the previously evaluated node (locality)
+  lp::LpStatus lp_status = lp::LpStatus::NumericalTrouble;
+  lp::LpOpStats ops;
+};
+
+struct MipStats {
+  long nodes_evaluated = 0;
+  long lp_iterations = 0;
+  long cuts_added = 0;
+  int cut_rounds_used = 0;
+  long heuristic_incumbents = 0;
+  long hot_nodes = 0;  ///< nodes warm-continuing from the previous node
+  double root_bound = 0.0;  ///< LP bound after cuts (min form)
+  lp::LpOpStats total_ops;
+  TreeAnatomy anatomy;
+};
+
+struct MipResult {
+  MipStatus status = MipStatus::Infeasible;
+  double objective = 0.0;  ///< user-sense incumbent objective (if any)
+  bool has_solution = false;
+  linalg::Vector x;        ///< structural variable values
+  double bound = 0.0;      ///< user-sense best dual bound
+  MipStats stats;
+
+  double gap() const;
+};
+
+class BnbSolver {
+ public:
+  BnbSolver(const MipModel& model, MipOptions options = {});
+  ~BnbSolver();
+  BnbSolver(const BnbSolver&) = delete;
+  BnbSolver& operator=(const BnbSolver&) = delete;
+
+  /// Full solve from the root.
+  MipResult solve();
+
+  /// Continue a search from a consistent snapshot (checkpoint restart).
+  MipResult solve_from(const ConsistentSnapshot& snapshot);
+
+  /// A consistent snapshot of the current frontier (valid during/after
+  /// solve; between node evaluations the active set is exactly consistent).
+  ConsistentSnapshot capture_snapshot() const;
+
+  /// Tree inspection (Figure 1 reproduction).
+  const NodePool& pool() const;
+
+  /// Per-node linear-algebra traces in evaluation order.
+  const std::vector<NodeTrace>& trace() const noexcept { return trace_; }
+
+  /// The (possibly cut-strengthened) model the search ran on.
+  const MipModel& working_model() const noexcept { return model_; }
+
+ private:
+  struct Impl;
+  MipResult run(const ConsistentSnapshot* snapshot);
+  void root_cut_loop();
+
+  MipModel model_;  // private copy; cuts append rows
+  MipOptions options_;
+  std::unique_ptr<lp::StandardForm> form_;
+  std::unique_ptr<lp::SimplexSolver> lp_solver_;
+  std::unique_ptr<NodePool> pool_;
+  std::vector<NodeTrace> trace_;
+  MipStats stats_;
+  // Incumbent in min form.
+  double incumbent_obj_ = 1e300;
+  linalg::Vector incumbent_x_;
+  PseudocostTable pseudocosts_;
+};
+
+/// Solves a MIP by brute-force enumeration over integer assignments with an
+/// LP for the continuous part. Exponential; only for cross-checking the
+/// engine on tiny instances in tests.
+MipResult solve_by_enumeration(const MipModel& model, double int_tol = 1e-6);
+
+}  // namespace gpumip::mip

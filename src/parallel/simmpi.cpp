@@ -1,0 +1,176 @@
+#include "parallel/simmpi.hpp"
+
+#include <atomic>
+#include <thread>
+
+namespace gpumip::parallel {
+
+namespace detail {
+
+struct Mailbox {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<Message> queue;
+};
+
+struct World {
+  int size = 0;
+  NetworkConfig network;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes;
+  std::mutex stats_mutex;
+  NetworkStats stats;
+
+  // Barrier state.
+  std::mutex barrier_mutex;
+  std::condition_variable barrier_cv;
+  int barrier_waiting = 0;
+  std::uint64_t barrier_generation = 0;
+  double barrier_clock = 0.0;
+};
+
+}  // namespace detail
+
+int Comm::size() const noexcept { return world_->size; }
+
+void Comm::send(int dest, int tag, std::span<const std::byte> payload) {
+  check_arg(dest >= 0 && dest < world_->size, "send: bad destination rank");
+  Message msg;
+  msg.source = rank_;
+  msg.tag = tag;
+  msg.payload.assign(payload.begin(), payload.end());
+  msg.send_time = clock_ + world_->network.wire_time(payload.size());
+  {
+    std::lock_guard<std::mutex> lock(world_->stats_mutex);
+    ++world_->stats.messages;
+    world_->stats.bytes += payload.size();
+  }
+  detail::Mailbox& box = *world_->mailboxes[static_cast<std::size_t>(dest)];
+  {
+    std::lock_guard<std::mutex> lock(box.mutex);
+    box.queue.push_back(std::move(msg));
+  }
+  box.cv.notify_all();
+}
+
+namespace {
+
+bool matches(const Message& msg, int source, int tag) {
+  return (source < 0 || msg.source == source) && (tag < 0 || msg.tag == tag);
+}
+
+}  // namespace
+
+Message Comm::recv(int source, int tag) {
+  detail::Mailbox& box = *world_->mailboxes[static_cast<std::size_t>(rank_)];
+  std::unique_lock<std::mutex> lock(box.mutex);
+  for (;;) {
+    for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+      if (matches(*it, source, tag)) {
+        Message msg = std::move(*it);
+        box.queue.erase(it);
+        clock_ = std::max(clock_, msg.send_time);
+        return msg;
+      }
+    }
+    box.cv.wait(lock);
+  }
+}
+
+bool Comm::try_recv(Message& out, int source, int tag) {
+  detail::Mailbox& box = *world_->mailboxes[static_cast<std::size_t>(rank_)];
+  std::lock_guard<std::mutex> lock(box.mutex);
+  for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
+    if (matches(*it, source, tag)) {
+      out = std::move(*it);
+      box.queue.erase(it);
+      clock_ = std::max(clock_, out.send_time);
+      return true;
+    }
+  }
+  return false;
+}
+
+void Comm::barrier() {
+  std::unique_lock<std::mutex> lock(world_->barrier_mutex);
+  world_->barrier_clock = std::max(world_->barrier_clock, clock_);
+  const std::uint64_t generation = world_->barrier_generation;
+  if (++world_->barrier_waiting == world_->size) {
+    world_->barrier_waiting = 0;
+    ++world_->barrier_generation;
+    world_->barrier_cv.notify_all();
+  } else {
+    world_->barrier_cv.wait(lock, [&] { return world_->barrier_generation != generation; });
+  }
+  clock_ = std::max(clock_, world_->barrier_clock + world_->network.latency);
+}
+
+RunReport run_ranks(int n, const std::function<void(Comm&)>& body, NetworkConfig network) {
+  check_arg(n >= 1, "run_ranks: need at least one rank");
+  detail::World world;
+  world.size = n;
+  world.network = network;
+  for (int i = 0; i < n; ++i) world.mailboxes.push_back(std::make_unique<detail::Mailbox>());
+
+  std::vector<double> clocks(static_cast<std::size_t>(n), 0.0);
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(n));
+  for (int r = 0; r < n; ++r) {
+    threads.emplace_back([&, r] {
+      Comm comm(&world, r);
+      try {
+        body(comm);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      clocks[static_cast<std::size_t>(r)] = comm.now();
+      // Wake everyone so blocked recvs in crashed protocols do not hang the
+      // process forever (a rank waiting on a dead peer will still deadlock
+      // logically, but error propagation paths get a chance).
+      for (auto& box : world.mailboxes) box->cv.notify_all();
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+
+  RunReport report;
+  report.rank_clocks = clocks;
+  for (double c : clocks) report.makespan = std::max(report.makespan, c);
+  report.network = world.stats;
+  return report;
+}
+
+void ByteWriter::write_doubles(std::span<const double> values) {
+  write<std::uint64_t>(values.size());
+  const auto* p = reinterpret_cast<const std::byte*>(values.data());
+  buffer_.insert(buffer_.end(), p, p + values.size_bytes());
+}
+
+void ByteWriter::write_ints(std::span<const int> values) {
+  write<std::uint64_t>(values.size());
+  const auto* p = reinterpret_cast<const std::byte*>(values.data());
+  buffer_.insert(buffer_.end(), p, p + values.size_bytes());
+}
+
+std::vector<double> ByteReader::read_doubles() {
+  const auto count = read<std::uint64_t>();
+  check_arg(pos_ + count * sizeof(double) <= data_.size(), "read_doubles: out of data");
+  std::vector<double> out(count);
+  std::memcpy(out.data(), data_.data() + pos_, count * sizeof(double));
+  pos_ += count * sizeof(double);
+  return out;
+}
+
+std::vector<int> ByteReader::read_ints() {
+  const auto count = read<std::uint64_t>();
+  check_arg(pos_ + count * sizeof(int) <= data_.size(), "read_ints: out of data");
+  std::vector<int> out(count);
+  std::memcpy(out.data(), data_.data() + pos_, count * sizeof(int));
+  pos_ += count * sizeof(int);
+  return out;
+}
+
+}  // namespace gpumip::parallel

@@ -1,0 +1,135 @@
+// simmpi: an in-process message-passing runtime standing in for MPI (see
+// DESIGN.md, hardware substitution). Ranks run as threads; messages are
+// byte payloads delivered through per-rank mailboxes; every rank carries a
+// simulated clock advanced by local compute charges and by message arrival
+// times (Lamport-style: recv_time = max(local, send_time + wire_time)), so
+// a run yields both a correct parallel execution and a simulated makespan.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace gpumip::parallel {
+
+/// Interconnect cost model (InfiniBand-class defaults).
+struct NetworkConfig {
+  double latency = 2.0e-6;     ///< seconds per message
+  double bandwidth = 12.0e9;   ///< bytes/s
+  double wire_time(std::size_t bytes) const {
+    return latency + static_cast<double>(bytes) / bandwidth;
+  }
+};
+
+struct Message {
+  int source = -1;
+  int tag = 0;
+  std::vector<std::byte> payload;
+  double send_time = 0.0;  ///< sender clock + wire time (arrival time)
+};
+
+/// Aggregated traffic statistics of one run.
+struct NetworkStats {
+  std::uint64_t messages = 0;
+  std::uint64_t bytes = 0;
+};
+
+namespace detail {
+struct World;
+}
+
+class Comm;
+
+struct RunReport {
+  double makespan = 0.0;  ///< max final rank clock
+  std::vector<double> rank_clocks;
+  NetworkStats network;
+};
+
+/// Spawns `n` ranks running `body` and joins them. Exceptions thrown by a
+/// rank are rethrown (first one wins) after all ranks stop.
+RunReport run_ranks(int n, const std::function<void(Comm&)>& body,
+                    NetworkConfig network = {});
+
+/// Per-rank communicator handle. Valid only inside run_ranks' callback.
+class Comm {
+ public:
+  int rank() const noexcept { return rank_; }
+  int size() const noexcept;
+
+  /// Sends bytes to `dest` (non-blocking buffered send).
+  void send(int dest, int tag, std::span<const std::byte> payload);
+
+  /// Blocking receive; source/tag of -1 match anything.
+  Message recv(int source = -1, int tag = -1);
+
+  /// Non-blocking receive; returns false if no matching message queued.
+  bool try_recv(Message& out, int source = -1, int tag = -1);
+
+  /// Local simulated clock.
+  double now() const noexcept { return clock_; }
+  /// Charges local compute time.
+  void advance(double seconds) { clock_ += seconds; }
+
+  /// Simple synchronizing barrier (also aligns simulated clocks).
+  void barrier();
+
+ private:
+  friend struct detail::World;
+  friend RunReport run_ranks(int, const std::function<void(Comm&)>&, NetworkConfig);
+  Comm(detail::World* world, int rank) : world_(world), rank_(rank) {}
+  detail::World* world_;
+  int rank_;
+  double clock_ = 0.0;
+};
+
+// --- serialization helpers for message payloads ---
+
+class ByteWriter {
+ public:
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  void write(const T& value) {
+    const auto* p = reinterpret_cast<const std::byte*>(&value);
+    buffer_.insert(buffer_.end(), p, p + sizeof(T));
+  }
+  void write_doubles(std::span<const double> values);
+  void write_ints(std::span<const int> values);
+  std::vector<std::byte> take() { return std::move(buffer_); }
+  std::size_t size() const noexcept { return buffer_.size(); }
+
+ private:
+  std::vector<std::byte> buffer_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> data) : data_(data) {}
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  T read() {
+    check_arg(pos_ + sizeof(T) <= data_.size(), "ByteReader: out of data");
+    T value;
+    std::memcpy(&value, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+  std::vector<double> read_doubles();
+  std::vector<int> read_ints();
+  bool exhausted() const noexcept { return pos_ == data_.size(); }
+
+ private:
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace gpumip::parallel

@@ -1,0 +1,328 @@
+#include "parallel/supervisor.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "support/log.hpp"
+
+namespace gpumip::parallel {
+
+namespace {
+
+enum Tag : int {
+  kTagRequest = 1,  // worker -> supervisor: idle, wants work
+  kTagWork = 2,     // supervisor -> worker: one subproblem
+  kTagResult = 3,   // worker -> supervisor: assignment outcome
+  kTagStop = 4,     // supervisor -> worker: shut down
+};
+
+struct Subproblem {
+  linalg::Vector lb, ub;
+  double bound = -1e300;
+  int depth = 0;
+};
+
+std::vector<std::byte> encode_subproblem(const Subproblem& sub, double cutoff) {
+  ByteWriter w;
+  w.write(cutoff);
+  w.write(sub.bound);
+  w.write(sub.depth);
+  w.write_doubles(sub.lb);
+  w.write_doubles(sub.ub);
+  return w.take();
+}
+
+struct WorkItem {
+  double cutoff;
+  Subproblem sub;
+};
+
+WorkItem decode_subproblem(std::span<const std::byte> payload) {
+  ByteReader r(payload);
+  WorkItem item;
+  item.cutoff = r.read<double>();
+  item.sub.bound = r.read<double>();
+  item.sub.depth = r.read<int>();
+  item.sub.lb = r.read_doubles();
+  item.sub.ub = r.read_doubles();
+  return item;
+}
+
+struct WorkerReport {
+  bool improved = false;
+  double objective = 0.0;
+  linalg::Vector x;
+  std::vector<Subproblem> frontier;  // unsolved remainder (node budget hit)
+  long nodes = 0;
+  double busy_seconds = 0.0;
+};
+
+std::vector<std::byte> encode_report(const WorkerReport& report) {
+  ByteWriter w;
+  w.write<std::uint8_t>(report.improved ? 1 : 0);
+  w.write(report.objective);
+  w.write_doubles(report.x);
+  w.write(report.nodes);
+  w.write(report.busy_seconds);
+  w.write<std::uint64_t>(report.frontier.size());
+  for (const Subproblem& sub : report.frontier) {
+    w.write(sub.bound);
+    w.write(sub.depth);
+    w.write_doubles(sub.lb);
+    w.write_doubles(sub.ub);
+  }
+  return w.take();
+}
+
+WorkerReport decode_report(std::span<const std::byte> payload) {
+  ByteReader r(payload);
+  WorkerReport report;
+  report.improved = r.read<std::uint8_t>() != 0;
+  report.objective = r.read<double>();
+  report.x = r.read_doubles();
+  report.nodes = r.read<long>();
+  report.busy_seconds = r.read<double>();
+  const auto count = r.read<std::uint64_t>();
+  report.frontier.resize(count);
+  for (Subproblem& sub : report.frontier) {
+    sub.bound = r.read<double>();
+    sub.depth = r.read<int>();
+    sub.lb = r.read_doubles();
+    sub.ub = r.read_doubles();
+  }
+  return report;
+}
+
+SupervisorResult run_supervised(const mip::MipModel& model,
+                                const mip::ConsistentSnapshot* resume,
+                                const SupervisorOptions& options) {
+  check_arg(options.workers >= 1, "supervisor: need at least one worker");
+  SupervisorResult out;
+  out.worker_nodes.assign(static_cast<std::size_t>(options.workers), 0);
+  out.worker_busy.assign(static_cast<std::size_t>(options.workers), 0.0);
+
+  // ---- supervisor-side ramp-up (sequential, before ranks start) ----
+  // Run the root (with cuts + heuristics per options) under a node budget,
+  // stopping once the frontier is wide enough; its snapshot seeds the pool.
+  mip::MipOptions ramp_opts = options.mip;
+  ramp_opts.max_nodes = options.ramp_up_nodes;
+  mip::BnbSolver ramp_solver(model, ramp_opts);
+
+  mip::ConsistentSnapshot seed;
+  double incumbent_obj = 1e300;
+  linalg::Vector incumbent_x;
+  bool solved_in_ramp_up = false;
+  mip::MipResult ramp_result;
+
+  if (resume != nullptr) {
+    seed = *resume;
+    if (seed.has_incumbent()) {
+      incumbent_obj = seed.incumbent_objective;
+      incumbent_x = seed.incumbent_x;
+    }
+    // A resume still needs the engine's standard form: run a zero-node
+    // solve to build it (cuts must match the original run: mip.enable_cuts
+    // must be false for resumable runs; documented in the header).
+  } else {
+    ramp_result = ramp_solver.solve();
+    if (ramp_result.status == mip::MipStatus::NodeLimit) {
+      seed = ramp_solver.capture_snapshot();
+      if (seed.has_incumbent()) {
+        incumbent_obj = seed.incumbent_objective;
+        incumbent_x = seed.incumbent_x;
+      }
+    } else {
+      solved_in_ramp_up = true;
+    }
+    // Simulated ramp-up cost: the supervisor's own LP work.
+    out.ramp_up_seconds =
+        lp::cpu_seconds(ramp_result.stats.total_ops) * options.rate_scale;
+  }
+
+  if (solved_in_ramp_up) {
+    out.result = ramp_result;
+    out.makespan = out.ramp_up_seconds;
+    return out;
+  }
+
+  // Workers all search the same strengthened model.
+  const mip::MipModel& working_model =
+      resume != nullptr ? model : ramp_solver.working_model();
+
+  std::deque<Subproblem> pool;
+  for (const mip::SnapshotNode& node : seed.frontier) {
+    pool.push_back({node.lb, node.ub, node.bound, node.depth});
+  }
+
+  const int ranks = options.workers + 1;
+  long dispatched_total = 0;
+  long checkpoints = 0;
+
+  auto body = [&](Comm& comm) {
+    if (comm.rank() == 0) {
+      // ------------- supervisor -------------
+      comm.advance(out.ramp_up_seconds);
+      int outstanding = 0;
+      std::vector<int> waiting;  // idle workers with no work yet
+      int stopped = 0;
+      long completed = 0;
+
+      auto best_pool_node = [&]() {
+        std::size_t best = 0;
+        for (std::size_t i = 1; i < pool.size(); ++i) {
+          if (pool[i].bound < pool[best].bound) best = i;
+        }
+        return best;
+      };
+      auto dispatch = [&](int worker) {
+        const std::size_t idx = best_pool_node();
+        Subproblem sub = std::move(pool[idx]);
+        pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(idx));
+        comm.send(worker, kTagWork, encode_subproblem(sub, incumbent_obj));
+        ++outstanding;
+        ++dispatched_total;
+      };
+      auto emit_checkpoint = [&] {
+        if (options.checkpoint_interval <= 0 || !options.on_checkpoint) return;
+        if (completed == 0 || completed % options.checkpoint_interval != 0) return;
+        // Consistent parallel snapshot: queued nodes only would LOSE the
+        // in-flight assignments; since outstanding work is unfinished, the
+        // snapshot is only emitted when nothing is in flight. (The
+        // supervisor could also retain dispatched copies; we keep the
+        // stronger quiesced-point semantics and emit opportunistically.)
+        if (outstanding != 0) return;
+        mip::ConsistentSnapshot snap;
+        snap.incumbent_objective = incumbent_obj;
+        snap.incumbent_x = incumbent_x;
+        snap.nodes_solved_so_far = completed;
+        for (const Subproblem& sub : pool) {
+          snap.frontier.push_back({sub.lb, sub.ub, sub.bound, sub.depth});
+        }
+        options.on_checkpoint(snap);
+        ++checkpoints;
+      };
+
+      while (stopped < options.workers) {
+        Message msg = comm.recv();
+        if (msg.tag == kTagResult) {
+          --outstanding;
+          ++completed;
+          WorkerReport report = decode_report(msg.payload);
+          out.worker_nodes[static_cast<std::size_t>(msg.source - 1)] += report.nodes;
+          out.worker_busy[static_cast<std::size_t>(msg.source - 1)] += report.busy_seconds;
+          if (report.improved && report.objective < incumbent_obj - 1e-12) {
+            incumbent_obj = report.objective;
+            incumbent_x = report.x;
+            // Prune the pool against the new incumbent.
+            std::erase_if(pool, [&](const Subproblem& sub) {
+              return sub.bound >= incumbent_obj - 1e-9;
+            });
+          }
+          for (Subproblem& sub : report.frontier) {
+            if (sub.bound < incumbent_obj - 1e-9) pool.push_back(std::move(sub));
+          }
+          emit_checkpoint();
+          continue;
+        }
+        check_internal(msg.tag == kTagRequest, "supervisor: unexpected tag");
+        if (!pool.empty()) {
+          dispatch(msg.source);
+        } else if (outstanding > 0) {
+          waiting.push_back(msg.source);
+        } else {
+          comm.send(msg.source, kTagStop, {});
+          ++stopped;
+        }
+        // Serve newly available work to waiting workers.
+        while (!waiting.empty() && !pool.empty()) {
+          const int worker = waiting.back();
+          waiting.pop_back();
+          dispatch(worker);
+        }
+        // If the pool drained and nothing is outstanding, release waiters.
+        if (pool.empty() && outstanding == 0) {
+          for (int worker : waiting) {
+            comm.send(worker, kTagStop, {});
+            ++stopped;
+          }
+          waiting.clear();
+        }
+      }
+    } else {
+      // ------------- worker -------------
+      for (;;) {
+        comm.send(0, kTagRequest, {});
+        Message msg = comm.recv(0);
+        if (msg.tag == kTagStop) break;
+        check_internal(msg.tag == kTagWork, "worker: unexpected tag");
+        const WorkItem item = decode_subproblem(msg.payload);
+
+        mip::ConsistentSnapshot task;
+        task.incumbent_objective = item.cutoff;
+        task.frontier.push_back({item.sub.lb, item.sub.ub, item.sub.bound, item.sub.depth});
+
+        mip::MipOptions wopts = options.mip;
+        wopts.enable_cuts = false;  // the model is already strengthened
+        wopts.max_nodes = options.worker_node_budget;
+        wopts.initial_cutoff = item.cutoff;
+        mip::BnbSolver solver(working_model, wopts);
+        mip::MipResult r = solver.solve_from(task);
+
+        WorkerReport report;
+        report.nodes = r.stats.nodes_evaluated;
+        report.busy_seconds = lp::cpu_seconds(r.stats.total_ops) * options.rate_scale;
+        comm.advance(report.busy_seconds);
+        if (r.has_solution) {
+          // r.objective is user-sense; convert back to min form via the
+          // model sense for supervisor-side comparison.
+          const double min_obj =
+              working_model.lp().sense() == lp::Sense::Maximize ? -r.objective : r.objective;
+          report.improved = true;
+          report.objective = min_obj;
+          report.x = r.x;
+        }
+        if (r.status == mip::MipStatus::NodeLimit) {
+          mip::ConsistentSnapshot rest = solver.capture_snapshot();
+          for (const mip::SnapshotNode& node : rest.frontier) {
+            report.frontier.push_back({node.lb, node.ub, node.bound, node.depth});
+          }
+        }
+        comm.send(0, kTagResult, encode_report(report));
+      }
+    }
+  };
+
+  RunReport run = run_ranks(ranks, body, options.network);
+
+  out.makespan = run.makespan;
+  out.network = run.network;
+  out.subproblems_dispatched = dispatched_total;
+  out.checkpoints_emitted = checkpoints;
+
+  // Final result assembly (supervisor state).
+  const lp::StandardForm form = lp::build_standard_form(working_model.lp());
+  out.result.has_solution = !incumbent_x.empty();
+  out.result.status =
+      out.result.has_solution ? mip::MipStatus::Optimal : mip::MipStatus::Infeasible;
+  if (out.result.has_solution) {
+    out.result.objective = form.user_objective(incumbent_obj);
+    out.result.bound = out.result.objective;
+    out.result.x = incumbent_x;
+  }
+  for (long n : out.worker_nodes) out.result.stats.nodes_evaluated += n;
+  return out;
+}
+
+}  // namespace
+
+SupervisorResult solve_supervised(const mip::MipModel& model, const SupervisorOptions& options) {
+  return run_supervised(model, nullptr, options);
+}
+
+SupervisorResult resume_supervised(const mip::MipModel& model,
+                                   const mip::ConsistentSnapshot& snapshot,
+                                   const SupervisorOptions& options) {
+  return run_supervised(model, &snapshot, options);
+}
+
+}  // namespace gpumip::parallel

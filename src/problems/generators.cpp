@@ -1,0 +1,168 @@
+#include "problems/generators.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gpumip::problems {
+
+using lp::Term;
+
+mip::MipModel knapsack(int items, Rng& rng, double capacity_ratio) {
+  check_arg(items > 0, "knapsack: items must be positive");
+  mip::MipModel m;
+  m.lp().set_sense(lp::Sense::Maximize);
+  std::vector<Term> row;
+  double total_weight = 0.0;
+  for (int j = 0; j < items; ++j) {
+    const double value = rng.uniform(1.0, 20.0);
+    const double weight = rng.uniform(1.0, 20.0);
+    m.add_bin_col(value, "x" + std::to_string(j));
+    row.push_back({j, weight});
+    total_weight += weight;
+  }
+  m.lp().add_row_le(row, capacity_ratio * total_weight, "capacity");
+  return m;
+}
+
+mip::MipModel set_cover(int elements, int sets, Rng& rng, double cover_prob) {
+  check_arg(elements > 0 && sets > 0, "set_cover: sizes must be positive");
+  mip::MipModel m;
+  m.lp().set_sense(lp::Sense::Minimize);
+  for (int j = 0; j < sets; ++j) {
+    m.add_bin_col(rng.uniform(1.0, 5.0), "s" + std::to_string(j));
+  }
+  for (int i = 0; i < elements; ++i) {
+    std::vector<Term> row;
+    for (int j = 0; j < sets; ++j) {
+      if (rng.flip(cover_prob)) row.push_back({j, 1.0});
+    }
+    if (row.empty()) row.push_back({static_cast<int>(rng.index(static_cast<std::size_t>(sets))), 1.0});
+    m.lp().add_row_ge(row, 1.0, "e" + std::to_string(i));
+  }
+  return m;
+}
+
+mip::MipModel generalized_assignment(int agents, int jobs, Rng& rng) {
+  check_arg(agents > 0 && jobs > 0, "gap: sizes must be positive");
+  mip::MipModel m;
+  m.lp().set_sense(lp::Sense::Maximize);
+  // x[i][j]: agent i takes job j.
+  std::vector<std::vector<int>> var(static_cast<std::size_t>(agents));
+  std::vector<std::vector<double>> weight(static_cast<std::size_t>(agents));
+  for (int i = 0; i < agents; ++i) {
+    for (int j = 0; j < jobs; ++j) {
+      var[static_cast<std::size_t>(i)].push_back(
+          m.add_bin_col(rng.uniform(1.0, 10.0), "x" + std::to_string(i) + "_" + std::to_string(j)));
+      weight[static_cast<std::size_t>(i)].push_back(rng.uniform(1.0, 8.0));
+    }
+  }
+  for (int j = 0; j < jobs; ++j) {
+    std::vector<Term> row;
+    for (int i = 0; i < agents; ++i) row.push_back({var[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)], 1.0});
+    m.lp().add_row_eq(row, 1.0, "job" + std::to_string(j));
+  }
+  // Capacity generous enough that round-robin assignment fits.
+  const double cap = 8.0 * (static_cast<double>(jobs) / agents + 1.0);
+  for (int i = 0; i < agents; ++i) {
+    std::vector<Term> row;
+    for (int j = 0; j < jobs; ++j) {
+      row.push_back({var[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)],
+                     weight[static_cast<std::size_t>(i)][static_cast<std::size_t>(j)]});
+    }
+    m.lp().add_row_le(row, cap, "cap" + std::to_string(i));
+  }
+  return m;
+}
+
+mip::MipModel unit_commitment(int generators, int periods, Rng& rng) {
+  check_arg(generators > 0 && periods > 0, "uc: sizes must be positive");
+  mip::MipModel m;
+  m.lp().set_sense(lp::Sense::Minimize);
+  std::vector<double> pmax(static_cast<std::size_t>(generators));
+  double total_cap = 0.0;
+  for (int g = 0; g < generators; ++g) {
+    pmax[static_cast<std::size_t>(g)] = rng.uniform(20.0, 100.0);
+    total_cap += pmax[static_cast<std::size_t>(g)];
+  }
+  // u[g][t] binary, p[g][t] continuous.
+  std::vector<std::vector<int>> u(static_cast<std::size_t>(generators)),
+      p(static_cast<std::size_t>(generators));
+  for (int g = 0; g < generators; ++g) {
+    const double fixed_cost = rng.uniform(50.0, 200.0);
+    const double var_cost = rng.uniform(5.0, 25.0);
+    for (int t = 0; t < periods; ++t) {
+      u[static_cast<std::size_t>(g)].push_back(
+          m.add_bin_col(fixed_cost, "u" + std::to_string(g) + "_" + std::to_string(t)));
+      p[static_cast<std::size_t>(g)].push_back(
+          m.add_col(var_cost, 0.0, pmax[static_cast<std::size_t>(g)],
+                    "p" + std::to_string(g) + "_" + std::to_string(t)));
+    }
+  }
+  for (int t = 0; t < periods; ++t) {
+    // Demand: 30-70% of total capacity, satisfiable.
+    const double demand = rng.uniform(0.3, 0.7) * total_cap;
+    std::vector<Term> balance;
+    for (int g = 0; g < generators; ++g) {
+      balance.push_back({p[static_cast<std::size_t>(g)][static_cast<std::size_t>(t)], 1.0});
+      // p[g,t] - Pmax u[g,t] <= 0 (output only when committed).
+      m.lp().add_row_le({{p[static_cast<std::size_t>(g)][static_cast<std::size_t>(t)], 1.0},
+                         {u[static_cast<std::size_t>(g)][static_cast<std::size_t>(t)],
+                          -pmax[static_cast<std::size_t>(g)]}},
+                        0.0, "link" + std::to_string(g) + "_" + std::to_string(t));
+    }
+    m.lp().add_row_ge(balance, demand, "demand" + std::to_string(t));
+  }
+  return m;
+}
+
+mip::MipModel random_mip(const RandomMipConfig& config, Rng& rng) {
+  check_arg(config.rows > 0 && config.cols > 0, "random_mip: sizes must be positive");
+  mip::MipModel m;
+  m.lp().set_sense(lp::Sense::Maximize);
+  for (int j = 0; j < config.cols; ++j) {
+    const double obj = rng.uniform(1.0, 10.0);
+    if (rng.flip(config.integer_fraction)) {
+      m.add_int_col(obj, 0.0, config.bound, "xi" + std::to_string(j));
+    } else {
+      m.add_col(obj, 0.0, config.bound, "xc" + std::to_string(j));
+    }
+  }
+  for (int i = 0; i < config.rows; ++i) {
+    std::vector<Term> row;
+    for (int j = 0; j < config.cols; ++j) {
+      if (rng.flip(config.density)) row.push_back({j, rng.uniform(0.5, 3.0)});
+    }
+    if (row.empty()) row.push_back({static_cast<int>(rng.index(static_cast<std::size_t>(config.cols))), 1.0});
+    // rhs keeps a random corner feasible but the LP bound fractional.
+    m.lp().add_row_le(row, rng.uniform(2.0, 4.0) * static_cast<double>(row.size()),
+                      "r" + std::to_string(i));
+  }
+  return m;
+}
+
+lp::LpModel dense_lp(int rows, int cols, Rng& rng) {
+  lp::LpModel m;
+  for (int j = 0; j < cols; ++j) m.add_col(rng.uniform(-5.0, -1.0), 0.0, 10.0);
+  for (int i = 0; i < rows; ++i) {
+    std::vector<Term> row;
+    for (int j = 0; j < cols; ++j) row.push_back({j, rng.uniform(0.1, 1.0)});
+    m.add_row_le(row, rng.uniform(1.0, 2.0) * cols);
+  }
+  return m;
+}
+
+lp::LpModel sparse_lp(int rows, int cols, double density, Rng& rng) {
+  lp::LpModel m;
+  for (int j = 0; j < cols; ++j) m.add_col(rng.uniform(-5.0, -1.0), 0.0, 10.0);
+  for (int i = 0; i < rows; ++i) {
+    std::vector<Term> row;
+    for (int j = 0; j < cols; ++j) {
+      if (rng.flip(density)) row.push_back({j, rng.uniform(0.1, 1.0)});
+    }
+    if (row.empty()) row.push_back({static_cast<int>(rng.index(static_cast<std::size_t>(cols))), 1.0});
+    m.add_row_le(row, rng.uniform(1.0, 2.0) * static_cast<double>(row.size()) * 3.0);
+  }
+  return m;
+}
+
+}  // namespace gpumip::problems

@@ -1,0 +1,49 @@
+// Synthetic instance generators — the stand-in for MIPLIB/production
+// instances (see DESIGN.md, hardware substitution). Each family exercises a
+// structure the paper's discussion depends on: knapsack (binary, dense
+// rows), set cover (sparse 0/1), generalized assignment (equality +
+// capacity mix), unit commitment (the paper's cited application: linked
+// binary/continuous), random MIPs with controllable density, and pure LPs
+// for the linear-algebra experiments.
+#pragma once
+
+#include "mip/model.hpp"
+#include "support/rng.hpp"
+
+namespace gpumip::problems {
+
+/// 0/1 knapsack: max Σ v_j x_j st Σ w_j x_j <= capacity.
+mip::MipModel knapsack(int items, Rng& rng, double capacity_ratio = 0.5);
+
+/// Set cover: min Σ x_j st every element covered. Feasible by construction.
+mip::MipModel set_cover(int elements, int sets, Rng& rng, double cover_prob = 0.2);
+
+/// Generalized assignment: max profit, each job to exactly one agent,
+/// agent capacities. Generous capacities keep it feasible.
+mip::MipModel generalized_assignment(int agents, int jobs, Rng& rng);
+
+/// Unit commitment (simplified): T periods, G generators; binary commit
+/// u[g,t], continuous output p[g,t] <= Pmax u[g,t]; demand per period;
+/// min fixed + variable cost. Feasible by construction.
+mip::MipModel unit_commitment(int generators, int periods, Rng& rng);
+
+struct RandomMipConfig {
+  int rows = 20;
+  int cols = 30;
+  double density = 0.3;
+  double integer_fraction = 0.7;
+  double bound = 5.0;  ///< integer variables range in [0, bound]
+};
+
+/// Random feasible MIP: <= rows with nonnegative coefficients (x = 0 is
+/// feasible), maximization objective.
+mip::MipModel random_mip(const RandomMipConfig& config, Rng& rng);
+
+/// Dense bounded LP (for linear-algebra experiments): min cᵀx, Ax <= b,
+/// 0 <= x <= u with dense A.
+lp::LpModel dense_lp(int rows, int cols, Rng& rng);
+
+/// Sparse bounded LP with the given density.
+lp::LpModel sparse_lp(int rows, int cols, double density, Rng& rng);
+
+}  // namespace gpumip::problems

@@ -1,0 +1,23 @@
+// MPS file reader/writer so real instances (e.g. MIPLIB) can be loaded
+// when available. Free-format MPS with the common sections: NAME, ROWS,
+// COLUMNS (with INTORG/INTEND markers), RHS, RANGES, BOUNDS, ENDATA.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "mip/model.hpp"
+
+namespace gpumip::problems {
+
+/// Parses free-format MPS. Throws Error(kIoError) on malformed input.
+mip::MipModel read_mps(std::istream& in);
+mip::MipModel read_mps_file(const std::string& path);
+mip::MipModel read_mps_string(const std::string& text);
+
+/// Writes free-format MPS.
+void write_mps(const mip::MipModel& model, std::ostream& out,
+               const std::string& name = "GPUMIP");
+std::string write_mps_string(const mip::MipModel& model, const std::string& name = "GPUMIP");
+
+}  // namespace gpumip::problems

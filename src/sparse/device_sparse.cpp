@@ -1,0 +1,93 @@
+#include "sparse/device_sparse.hpp"
+
+#include <algorithm>
+
+namespace gpumip::sparse {
+
+using gpu::KernelCost;
+
+DeviceCsr DeviceCsr::upload(gpu::Device& device, gpu::StreamId stream, const Csr& host,
+                            std::string label) {
+  DeviceCsr out;
+  out.rows_ = host.rows;
+  out.cols_ = host.cols;
+  out.nnz_ = host.nnz();
+  const RowStats stats = row_stats(host);
+  // Irregular row lengths -> divergent warps. cv of 0 (perfectly regular)
+  // still pays some divergence for the gather pattern of col_index.
+  out.divergence_ = std::clamp(0.3 + 0.5 * stats.cv, 0.0, 1.0);
+  out.row_start_ = device.alloc(host.row_start.size() * sizeof(int), label + ".rowptr");
+  out.col_index_ = device.alloc(std::max<std::size_t>(1, host.col_index.size()) * sizeof(int),
+                                label + ".colidx");
+  out.values_ = device.alloc(std::max<std::size_t>(1, host.values.size()) * sizeof(double),
+                             label + ".values");
+  device.copy_h2d(stream, out.row_start_, host.row_start.data(),
+                  host.row_start.size() * sizeof(int));
+  if (!host.col_index.empty()) {
+    device.copy_h2d(stream, out.col_index_, host.col_index.data(),
+                    host.col_index.size() * sizeof(int));
+    device.copy_h2d(stream, out.values_, host.values.data(), host.values.size() * sizeof(double));
+  }
+  return out;
+}
+
+Csr DeviceCsr::download(gpu::StreamId stream) const {
+  Csr host;
+  host.rows = rows_;
+  host.cols = cols_;
+  host.row_start.resize(static_cast<std::size_t>(rows_) + 1);
+  host.col_index.resize(static_cast<std::size_t>(nnz_));
+  host.values.resize(static_cast<std::size_t>(nnz_));
+  device()->copy_d2h(stream, row_start_, host.row_start.data(),
+                     host.row_start.size() * sizeof(int));
+  if (nnz_ > 0) {
+    device()->copy_d2h(stream, col_index_, host.col_index.data(),
+                       host.col_index.size() * sizeof(int));
+    device()->copy_d2h(stream, values_, host.values.data(), host.values.size() * sizeof(double));
+  }
+  return host;
+}
+
+namespace {
+
+Csr view_as_csr(const DeviceCsr& a) {
+  // Zero-copy "view" for the kernel body: wraps the device-side arrays in a
+  // host Csr so the reference kernels can run on them.
+  Csr v;
+  v.rows = a.rows();
+  v.cols = a.cols();
+  v.row_start.assign(a.row_start().begin(), a.row_start().end());
+  v.col_index.assign(a.col_index().begin(), a.col_index().begin() + a.nnz());
+  v.values.assign(a.values().begin(), a.values().begin() + a.nnz());
+  return v;
+}
+
+KernelCost spmv_cost(const DeviceCsr& a) {
+  KernelCost cost = KernelCost::sparse_irregular(2.0 * a.nnz(),
+                                                 static_cast<double>(a.nnz()) * 1.5 + a.rows(),
+                                                 a.divergence());
+  cost.occupancy = linalg::occupancy_for_elements(static_cast<std::size_t>(a.nnz()));
+  return cost;
+}
+
+}  // namespace
+
+void dev_spmv(gpu::StreamId stream, double alpha, const DeviceCsr& a,
+              const linalg::DeviceVector& x, double beta, linalg::DeviceVector& y) {
+  check_arg(x.size() == a.cols() && y.size() == a.rows(), "dev_spmv: shape mismatch");
+  a.device()->launch(stream, spmv_cost(a), [&, alpha, beta] {
+    const Csr v = view_as_csr(a);
+    spmv(alpha, v, x.span(), beta, y.span());
+  });
+}
+
+void dev_spmv_t(gpu::StreamId stream, double alpha, const DeviceCsr& a,
+                const linalg::DeviceVector& x, double beta, linalg::DeviceVector& y) {
+  check_arg(x.size() == a.rows() && y.size() == a.cols(), "dev_spmv_t: shape mismatch");
+  a.device()->launch(stream, spmv_cost(a), [&, alpha, beta] {
+    const Csr v = view_as_csr(a);
+    spmv_t(alpha, v, x.span(), beta, y.span());
+  });
+}
+
+}  // namespace gpumip::sparse

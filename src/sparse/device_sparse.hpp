@@ -1,0 +1,56 @@
+// Device-resident CSR matrix and priced sparse kernels.
+//
+// Sparse kernels are charged at the cost model's sparse efficiency with a
+// divergence estimate derived from row-length irregularity — this is what
+// makes the dense-vs-sparse crossover (paper section 5.4, experiment E6)
+// emerge from the simulation rather than being hard-coded.
+#pragma once
+
+#include "gpu/device.hpp"
+#include "linalg/device_blas.hpp"
+#include "sparse/formats.hpp"
+#include "sparse/ops.hpp"
+
+namespace gpumip::sparse {
+
+/// CSR matrix living in (simulated) device memory.
+class DeviceCsr {
+ public:
+  DeviceCsr() = default;
+
+  /// Allocates and uploads in one transfer per array.
+  static DeviceCsr upload(gpu::Device& device, gpu::StreamId stream, const Csr& host,
+                          std::string label = "devcsr");
+
+  Csr download(gpu::StreamId stream) const;
+
+  int rows() const noexcept { return rows_; }
+  int cols() const noexcept { return cols_; }
+  int nnz() const noexcept { return nnz_; }
+  bool valid() const noexcept { return values_.valid(); }
+  gpu::Device* device() const noexcept { return values_.device(); }
+  double divergence() const noexcept { return divergence_; }
+
+  std::span<const int> row_start() const { return row_start_.as<int>(); }
+  std::span<const int> col_index() const { return col_index_.as<int>(); }
+  std::span<const double> values() const { return values_.as<double>(); }
+
+ private:
+  gpu::DeviceBuffer row_start_;
+  gpu::DeviceBuffer col_index_;
+  gpu::DeviceBuffer values_;
+  int rows_ = 0;
+  int cols_ = 0;
+  int nnz_ = 0;
+  double divergence_ = 0.0;
+};
+
+/// y = alpha A x + beta y on the device (sparse-priced kernel).
+void dev_spmv(gpu::StreamId stream, double alpha, const DeviceCsr& a,
+              const linalg::DeviceVector& x, double beta, linalg::DeviceVector& y);
+
+/// y = alpha Aᵀ x + beta y on the device.
+void dev_spmv_t(gpu::StreamId stream, double alpha, const DeviceCsr& a,
+                const linalg::DeviceVector& x, double beta, linalg::DeviceVector& y);
+
+}  // namespace gpumip::sparse

@@ -1,0 +1,33 @@
+// Sparse BLAS kernels (host reference implementations).
+#pragma once
+
+#include <span>
+
+#include "sparse/formats.hpp"
+
+namespace gpumip::sparse {
+
+/// y = alpha A x + beta y (CSR).
+void spmv(double alpha, const Csr& a, std::span<const double> x, double beta,
+          std::span<double> y);
+
+/// y = alpha Aᵀ x + beta y (CSR input).
+void spmv_t(double alpha, const Csr& a, std::span<const double> x, double beta,
+            std::span<double> y);
+
+/// C = A B with sparse A (CSR) and dense B; dense C.
+void spmm(const Csr& a, const linalg::Matrix& b, linalg::Matrix& c);
+
+/// Dot of sparse column j of A (CSC) with a dense vector.
+double column_dot(const Csc& a, int j, std::span<const double> x);
+
+/// Row-length statistics used by the device cost model to estimate warp
+/// divergence of an SpMV (irregular row lengths -> divergent lanes).
+struct RowStats {
+  double mean = 0.0;
+  double max = 0.0;
+  double cv = 0.0;  ///< coefficient of variation (stddev/mean)
+};
+RowStats row_stats(const Csr& a);
+
+}  // namespace gpumip::sparse

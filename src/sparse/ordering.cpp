@@ -1,0 +1,163 @@
+#include "sparse/ordering.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <set>
+
+namespace gpumip::sparse {
+
+std::vector<std::vector<int>> symmetric_adjacency(const Csr& a) {
+  check_arg(a.rows == a.cols, "symmetric_adjacency: square matrix required");
+  std::vector<std::set<int>> adj(static_cast<std::size_t>(a.rows));
+  for (int r = 0; r < a.rows; ++r) {
+    for (int k = a.row_start[static_cast<std::size_t>(r)];
+         k < a.row_start[static_cast<std::size_t>(r) + 1]; ++k) {
+      const int c = a.col_index[static_cast<std::size_t>(k)];
+      if (c == r) continue;
+      adj[static_cast<std::size_t>(r)].insert(c);
+      adj[static_cast<std::size_t>(c)].insert(r);
+    }
+  }
+  std::vector<std::vector<int>> out(adj.size());
+  for (std::size_t i = 0; i < adj.size(); ++i) out[i].assign(adj[i].begin(), adj[i].end());
+  return out;
+}
+
+std::vector<int> rcm_ordering(const Csr& a) {
+  const auto adj = symmetric_adjacency(a);
+  const int n = a.rows;
+  std::vector<bool> visited(static_cast<std::size_t>(n), false);
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(n));
+
+  auto degree = [&](int v) { return static_cast<int>(adj[static_cast<std::size_t>(v)].size()); };
+
+  for (int pass = 0; pass < n; ++pass) {
+    // Find an unvisited start node of minimum degree (pseudo-peripheral-ish).
+    int start = -1;
+    for (int v = 0; v < n; ++v) {
+      if (!visited[static_cast<std::size_t>(v)] && (start < 0 || degree(v) < degree(start))) {
+        start = v;
+      }
+    }
+    if (start < 0) break;
+    std::queue<int> frontier;
+    frontier.push(start);
+    visited[static_cast<std::size_t>(start)] = true;
+    while (!frontier.empty()) {
+      const int v = frontier.front();
+      frontier.pop();
+      order.push_back(v);
+      std::vector<int> next;
+      for (int u : adj[static_cast<std::size_t>(v)]) {
+        if (!visited[static_cast<std::size_t>(u)]) {
+          visited[static_cast<std::size_t>(u)] = true;
+          next.push_back(u);
+        }
+      }
+      std::sort(next.begin(), next.end(), [&](int x, int y) { return degree(x) < degree(y); });
+      for (int u : next) frontier.push(u);
+    }
+  }
+  std::reverse(order.begin(), order.end());
+  return order;
+}
+
+std::vector<int> min_degree_ordering(const Csr& a) {
+  auto adj_list = symmetric_adjacency(a);
+  const int n = a.rows;
+  std::vector<std::set<int>> adj(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    adj[static_cast<std::size_t>(v)].insert(adj_list[static_cast<std::size_t>(v)].begin(),
+                                            adj_list[static_cast<std::size_t>(v)].end());
+  }
+  std::vector<bool> eliminated(static_cast<std::size_t>(n), false);
+  std::vector<int> order;
+  order.reserve(static_cast<std::size_t>(n));
+  for (int step = 0; step < n; ++step) {
+    int best = -1;
+    std::size_t best_deg = 0;
+    for (int v = 0; v < n; ++v) {
+      if (eliminated[static_cast<std::size_t>(v)]) continue;
+      const std::size_t deg = adj[static_cast<std::size_t>(v)].size();
+      if (best < 0 || deg < best_deg) {
+        best = v;
+        best_deg = deg;
+      }
+    }
+    order.push_back(best);
+    eliminated[static_cast<std::size_t>(best)] = true;
+    // Eliminate: connect remaining neighbours into a clique.
+    std::vector<int> nbrs;
+    for (int u : adj[static_cast<std::size_t>(best)]) {
+      if (!eliminated[static_cast<std::size_t>(u)]) nbrs.push_back(u);
+    }
+    for (std::size_t i = 0; i < nbrs.size(); ++i) {
+      auto& ai = adj[static_cast<std::size_t>(nbrs[i])];
+      ai.erase(best);
+      for (std::size_t j = 0; j < nbrs.size(); ++j) {
+        if (i != j) ai.insert(nbrs[j]);
+      }
+    }
+  }
+  return order;
+}
+
+Csr permute_symmetric(const Csr& a, const std::vector<int>& perm) {
+  check_arg(a.rows == a.cols, "permute_symmetric: square matrix required");
+  check_arg(static_cast<int>(perm.size()) == a.rows, "permute_symmetric: perm size mismatch");
+  std::vector<int> inv(perm.size());
+  for (std::size_t k = 0; k < perm.size(); ++k) inv[static_cast<std::size_t>(perm[k])] = static_cast<int>(k);
+  std::vector<Triplet> triplets;
+  triplets.reserve(static_cast<std::size_t>(a.nnz()));
+  for (int r = 0; r < a.rows; ++r) {
+    for (int k = a.row_start[static_cast<std::size_t>(r)];
+         k < a.row_start[static_cast<std::size_t>(r) + 1]; ++k) {
+      triplets.push_back({inv[static_cast<std::size_t>(r)],
+                          inv[static_cast<std::size_t>(a.col_index[static_cast<std::size_t>(k)])],
+                          a.values[static_cast<std::size_t>(k)]});
+    }
+  }
+  return csr_from_triplets(a.rows, a.cols, triplets);
+}
+
+int bandwidth(const Csr& a) {
+  check_arg(a.rows == a.cols, "bandwidth: square matrix required");
+  int band = 0;
+  for (int r = 0; r < a.rows; ++r) {
+    for (int k = a.row_start[static_cast<std::size_t>(r)];
+         k < a.row_start[static_cast<std::size_t>(r) + 1]; ++k) {
+      band = std::max(band, std::abs(r - a.col_index[static_cast<std::size_t>(k)]));
+    }
+  }
+  return band;
+}
+
+long symbolic_fill(const Csr& a) {
+  // Symbolic elimination in natural order on the symmetrized pattern.
+  auto adj_list = symmetric_adjacency(a);
+  const int n = a.rows;
+  std::vector<std::set<int>> adj(static_cast<std::size_t>(n));
+  for (int v = 0; v < n; ++v) {
+    for (int u : adj_list[static_cast<std::size_t>(v)]) {
+      if (u > v) adj[static_cast<std::size_t>(v)].insert(u);
+    }
+  }
+  long fill = 0;
+  // Track full future-neighbour sets as we eliminate 0..n-1.
+  std::vector<std::set<int>> future = adj;
+  for (int v = 0; v < n; ++v) {
+    const auto& nbrs = future[static_cast<std::size_t>(v)];
+    std::vector<int> ns(nbrs.begin(), nbrs.end());
+    for (std::size_t i = 0; i < ns.size(); ++i) {
+      for (std::size_t j = i + 1; j < ns.size(); ++j) {
+        const int x = std::min(ns[i], ns[j]);
+        const int y = std::max(ns[i], ns[j]);
+        if (future[static_cast<std::size_t>(x)].insert(y).second) ++fill;
+      }
+    }
+  }
+  return fill;
+}
+
+}  // namespace gpumip::sparse

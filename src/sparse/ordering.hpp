@@ -1,0 +1,34 @@
+// Fill-reducing orderings for sparse factorization (paper section 4.2: the
+// "setup stages" of sparse solves that the hybrid strategy delegates to the
+// CPU). Reverse Cuthill-McKee for bandwidth, greedy minimum degree for fill.
+#pragma once
+
+#include <vector>
+
+#include "sparse/formats.hpp"
+
+namespace gpumip::sparse {
+
+/// Symmetrized adjacency (pattern of A + Aᵀ, diagonal removed).
+std::vector<std::vector<int>> symmetric_adjacency(const Csr& a);
+
+/// Reverse Cuthill-McKee ordering: returns perm with perm[k] = original
+/// index placed at position k. Handles disconnected graphs.
+std::vector<int> rcm_ordering(const Csr& a);
+
+/// Greedy minimum-degree ordering on the symmetrized pattern (naive
+/// clique-update variant, adequate for moderate n).
+std::vector<int> min_degree_ordering(const Csr& a);
+
+/// Symmetric permutation B = P A Pᵀ for a square matrix, with
+/// perm[k] = original index at position k.
+Csr permute_symmetric(const Csr& a, const std::vector<int>& perm);
+
+/// Bandwidth of a square sparse matrix: max |i - j| over nonzeros.
+int bandwidth(const Csr& a);
+
+/// Exact fill-in count of an (unpivoted) symbolic Cholesky/LU on the
+/// symmetrized pattern; used to test that orderings reduce fill.
+long symbolic_fill(const Csr& a);
+
+}  // namespace gpumip::sparse

@@ -1,0 +1,106 @@
+#include "sparse/sparse_lu.hpp"
+
+#include <cmath>
+
+namespace gpumip::sparse {
+
+SparseLU::SparseLU(const Csc& a, double pivot_tol) {
+  check_arg(a.rows == a.cols, "SparseLU: square matrix required");
+  n_ = a.rows;
+  l_cols_.resize(static_cast<std::size_t>(n_));
+  u_cols_.resize(static_cast<std::size_t>(n_));
+  u_diag_.assign(static_cast<std::size_t>(n_), 0.0);
+  pivot_row_.assign(static_cast<std::size_t>(n_), -1);
+  pinv_.assign(static_cast<std::size_t>(n_), -1);
+
+  std::vector<double> x(static_cast<std::size_t>(n_), 0.0);  // dense work vector by original row
+  std::vector<int> touched;
+
+  for (int j = 0; j < n_; ++j) {
+    // Scatter A(:, j).
+    touched.clear();
+    for (int k = a.col_start[static_cast<std::size_t>(j)];
+         k < a.col_start[static_cast<std::size_t>(j) + 1]; ++k) {
+      const int r = a.row_index[static_cast<std::size_t>(k)];
+      x[static_cast<std::size_t>(r)] = a.values[static_cast<std::size_t>(k)];
+      touched.push_back(r);
+    }
+    // Left-looking update: apply previous columns in pivot order. U(k,j) is
+    // the value at the pivot row of column k once all updates from columns
+    // < k are in; processing k in increasing order guarantees that.
+    for (int k = 0; k < j; ++k) {
+      const int rk = pivot_row_[static_cast<std::size_t>(k)];
+      const double ukj = x[static_cast<std::size_t>(rk)];
+      if (ukj == 0.0) continue;
+      u_cols_[static_cast<std::size_t>(j)].push_back({k, ukj});
+      for (const Entry& e : l_cols_[static_cast<std::size_t>(k)]) {
+        if (x[static_cast<std::size_t>(e.index)] == 0.0) touched.push_back(e.index);
+        x[static_cast<std::size_t>(e.index)] -= ukj * e.value;
+      }
+      x[static_cast<std::size_t>(rk)] = 0.0;  // consumed into U
+    }
+    // Partial pivot among rows not yet pivotal.
+    int pivot = -1;
+    double pivot_abs = pivot_tol;
+    for (int r : touched) {
+      if (pinv_[static_cast<std::size_t>(r)] >= 0) continue;
+      const double v = std::fabs(x[static_cast<std::size_t>(r)]);
+      if (v > pivot_abs) {
+        pivot_abs = v;
+        pivot = r;
+      }
+    }
+    if (pivot < 0) {
+      n_ = 0;
+      throw NumericalError("SparseLU: numerically singular at column " + std::to_string(j));
+    }
+    const double diag = x[static_cast<std::size_t>(pivot)];
+    u_diag_[static_cast<std::size_t>(j)] = diag;
+    pivot_row_[static_cast<std::size_t>(j)] = pivot;
+    pinv_[static_cast<std::size_t>(pivot)] = j;
+    x[static_cast<std::size_t>(pivot)] = 0.0;
+    // Remaining non-pivotal entries form L(:, j).
+    for (int r : touched) {
+      const double v = x[static_cast<std::size_t>(r)];
+      x[static_cast<std::size_t>(r)] = 0.0;
+      if (v == 0.0 || pinv_[static_cast<std::size_t>(r)] >= 0) continue;
+      l_cols_[static_cast<std::size_t>(j)].push_back({r, v / diag});
+    }
+  }
+}
+
+linalg::Vector SparseLU::solve(std::span<const double> b) const {
+  check_arg(valid(), "SparseLU::solve on empty factorization");
+  check_arg(static_cast<int>(b.size()) == n_, "SparseLU::solve: size mismatch");
+  // Forward: L y = P b, working in position space.
+  linalg::Vector y(static_cast<std::size_t>(n_));
+  linalg::Vector bp(b.begin(), b.end());
+  for (int k = 0; k < n_; ++k) {
+    const double yk = bp[static_cast<std::size_t>(pivot_row_[static_cast<std::size_t>(k)])];
+    y[static_cast<std::size_t>(k)] = yk;
+    if (yk == 0.0) continue;
+    for (const Entry& e : l_cols_[static_cast<std::size_t>(k)]) {
+      bp[static_cast<std::size_t>(e.index)] -= e.value * yk;
+    }
+  }
+  // Backward: U x = y. U stored by columns with position-space row indices.
+  linalg::Vector x = y;
+  for (int j = n_ - 1; j >= 0; --j) {
+    const double xj = x[static_cast<std::size_t>(j)] / u_diag_[static_cast<std::size_t>(j)];
+    x[static_cast<std::size_t>(j)] = xj;
+    if (xj == 0.0) continue;
+    for (const Entry& e : u_cols_[static_cast<std::size_t>(j)]) {
+      x[static_cast<std::size_t>(e.index)] -= e.value * xj;
+    }
+  }
+  return x;
+}
+
+long SparseLU::factor_nnz() const noexcept {
+  long nnz = n_;  // diagonals
+  for (const auto& col : l_cols_) nnz += static_cast<long>(col.size());
+  for (const auto& col : u_cols_) nnz += static_cast<long>(col.size());
+  return nnz;
+}
+
+}  // namespace gpumip::sparse

@@ -1,0 +1,31 @@
+#include "support/error.hpp"
+
+namespace gpumip {
+
+const char* error_code_name(ErrorCode code) noexcept {
+  switch (code) {
+    case ErrorCode::kInvalidArgument: return "InvalidArgument";
+    case ErrorCode::kOutOfDeviceMemory: return "OutOfDeviceMemory";
+    case ErrorCode::kNumericalFailure: return "NumericalFailure";
+    case ErrorCode::kLimitExceeded: return "LimitExceeded";
+    case ErrorCode::kIoError: return "IoError";
+    case ErrorCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+namespace {
+std::string with_location(const std::string& message, const std::source_location& loc) {
+  return message + " [" + loc.file_name() + ":" + std::to_string(loc.line()) + "]";
+}
+}  // namespace
+
+void check_arg(bool cond, const std::string& message, std::source_location loc) {
+  if (!cond) throw Error(ErrorCode::kInvalidArgument, with_location(message, loc));
+}
+
+void check_internal(bool cond, const std::string& message, std::source_location loc) {
+  if (!cond) throw Error(ErrorCode::kInternal, with_location(message, loc));
+}
+
+}  // namespace gpumip

@@ -1,0 +1,63 @@
+// Error handling primitives for gpumip.
+//
+// The library reports unrecoverable contract violations and environmental
+// failures via exceptions derived from gpumip::Error, each carrying an
+// ErrorCode so callers can dispatch without string matching.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace gpumip {
+
+/// Machine-readable category of a failure.
+enum class ErrorCode {
+  kInvalidArgument,   ///< caller violated a documented precondition
+  kOutOfDeviceMemory, ///< simulated device allocation failed
+  kNumericalFailure,  ///< singular matrix, factorization breakdown, ...
+  kLimitExceeded,     ///< iteration/node/time budget exhausted unexpectedly
+  kIoError,           ///< file parse/write failure
+  kInternal,          ///< invariant broken inside the library (a bug)
+};
+
+/// Human-readable name of an ErrorCode ("InvalidArgument", ...).
+const char* error_code_name(ErrorCode code) noexcept;
+
+/// Base exception for all gpumip failures.
+class Error : public std::runtime_error {
+ public:
+  Error(ErrorCode code, const std::string& message)
+      : std::runtime_error(std::string(error_code_name(code)) + ": " + message),
+        code_(code) {}
+
+  ErrorCode code() const noexcept { return code_; }
+
+ private:
+  ErrorCode code_;
+};
+
+/// Thrown when a simulated device allocation exceeds capacity.
+class DeviceOutOfMemory : public Error {
+ public:
+  explicit DeviceOutOfMemory(const std::string& message)
+      : Error(ErrorCode::kOutOfDeviceMemory, message) {}
+};
+
+/// Thrown on numerical breakdown (singular basis, indefinite matrix, ...).
+class NumericalError : public Error {
+ public:
+  explicit NumericalError(const std::string& message)
+      : Error(ErrorCode::kNumericalFailure, message) {}
+};
+
+/// Throws Error(kInvalidArgument) with location info when `cond` is false.
+void check_arg(bool cond, const std::string& message,
+               std::source_location loc = std::source_location::current());
+
+/// Throws Error(kInternal) with location info when `cond` is false.
+/// Used for invariants that indicate a library bug, not misuse.
+void check_internal(bool cond, const std::string& message,
+                    std::source_location loc = std::source_location::current());
+
+}  // namespace gpumip

@@ -1,0 +1,46 @@
+#include "support/log.hpp"
+
+#include <atomic>
+#include <cstdio>
+
+namespace gpumip {
+
+namespace {
+std::atomic<int> g_level{static_cast<int>(LogLevel::Warn)};
+std::mutex g_emit_mutex;
+
+const char* level_tag(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "D";
+    case LogLevel::Info: return "I";
+    case LogLevel::Warn: return "W";
+    case LogLevel::Error: return "E";
+    case LogLevel::Off: return "?";
+  }
+  return "?";
+}
+}  // namespace
+
+LogLevel log_level() noexcept { return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed)); }
+
+void set_log_level(LogLevel level) noexcept {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+namespace detail {
+
+LogLine::LogLine(LogLevel level, const char* file, int line) : level_(level) {
+  const char* base = file;
+  for (const char* p = file; *p; ++p) {
+    if (*p == '/') base = p + 1;
+  }
+  stream_ << "[" << level_tag(level) << " " << base << ":" << line << "] ";
+}
+
+LogLine::~LogLine() {
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fputs((stream_.str() + "\n").c_str(), stderr);
+}
+
+}  // namespace detail
+}  // namespace gpumip

@@ -1,0 +1,49 @@
+// Minimal leveled logger. Thread-safe, writes to stderr.
+//
+// Usage:
+//   GPUMIP_LOG(Info) << "ranks=" << n << " nodes=" << pool.size();
+//
+// The stream body is only evaluated when the level is enabled, so hot-path
+// logging at Debug level is free in production runs.
+#pragma once
+
+#include <mutex>
+#include <sstream>
+#include <string>
+
+namespace gpumip {
+
+enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3, Off = 4 };
+
+/// Global minimum level; messages below it are discarded.
+LogLevel log_level() noexcept;
+void set_log_level(LogLevel level) noexcept;
+
+namespace detail {
+
+/// Accumulates one log line and emits it on destruction.
+class LogLine {
+ public:
+  LogLine(LogLevel level, const char* file, int line);
+  ~LogLine();
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace gpumip
+
+#define GPUMIP_LOG(severity)                                              \
+  if (::gpumip::LogLevel::severity < ::gpumip::log_level()) {             \
+  } else                                                                  \
+    ::gpumip::detail::LogLine(::gpumip::LogLevel::severity, __FILE__, __LINE__)

@@ -1,0 +1,44 @@
+#include "support/rng.hpp"
+
+#include <numeric>
+
+namespace gpumip {
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  check_arg(lo <= hi, "uniform_int requires lo <= hi");
+  std::uniform_int_distribution<std::int64_t> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::uniform(double lo, double hi) {
+  check_arg(lo < hi, "uniform requires lo < hi");
+  std::uniform_real_distribution<double> dist(lo, hi);
+  return dist(engine_);
+}
+
+double Rng::normal(double mean, double stddev) {
+  std::normal_distribution<double> dist(mean, stddev);
+  return dist(engine_);
+}
+
+bool Rng::flip(double p) {
+  check_arg(p >= 0.0 && p <= 1.0, "flip requires p in [0,1]");
+  std::bernoulli_distribution dist(p);
+  return dist(engine_);
+}
+
+std::size_t Rng::index(std::size_t n) {
+  check_arg(n > 0, "index requires n > 0");
+  std::uniform_int_distribution<std::size_t> dist(0, n - 1);
+  return dist(engine_);
+}
+
+std::vector<int> Rng::permutation(int n) {
+  check_arg(n >= 0, "permutation requires n >= 0");
+  std::vector<int> perm(static_cast<std::size_t>(n));
+  std::iota(perm.begin(), perm.end(), 0);
+  shuffle(perm);
+  return perm;
+}
+
+}  // namespace gpumip

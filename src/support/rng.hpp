@@ -1,0 +1,52 @@
+// Deterministic random number generation.
+//
+// All stochastic components of gpumip (instance generators, randomized
+// heuristics) draw from Rng so that a run is fully reproducible from a seed.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "support/error.hpp"
+
+namespace gpumip {
+
+/// Seeded pseudo-random source; a thin, testable wrapper over mt19937_64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform real in [lo, hi). Requires lo < hi.
+  double uniform(double lo = 0.0, double hi = 1.0);
+
+  /// Normal variate.
+  double normal(double mean = 0.0, double stddev = 1.0);
+
+  /// Bernoulli draw with probability p of true.
+  bool flip(double p = 0.5);
+
+  /// Uniformly chosen index in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& values) {
+    for (std::size_t i = values.size(); i > 1; --i) {
+      std::swap(values[i - 1], values[index(i)]);
+    }
+  }
+
+  /// Random permutation of 0..n-1.
+  std::vector<int> permutation(int n);
+
+  std::mt19937_64& engine() noexcept { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace gpumip

@@ -1,0 +1,31 @@
+// Small string/formatting helpers shared across modules.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace gpumip {
+
+/// "12.0 KiB", "3.4 GiB", ... for reporting memory footprints.
+std::string human_bytes(std::uint64_t bytes);
+
+/// "1.23 ms", "4.5 s", ... for reporting simulated times (input seconds).
+std::string human_seconds(double seconds);
+
+/// Joins items with a separator.
+std::string join(const std::vector<std::string>& items, const std::string& sep);
+
+/// Splits on any whitespace, skipping empty tokens.
+std::vector<std::string> split_ws(const std::string& line);
+
+/// Trims ASCII whitespace from both ends.
+std::string trim(const std::string& s);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(const std::string& s, const std::string& prefix);
+
+/// Uppercases ASCII in place and returns a copy.
+std::string to_upper(std::string s);
+
+}  // namespace gpumip

@@ -1,0 +1,25 @@
+// Wall-clock timer for host-side measurements (benchmarks report both
+// wall time and the simulated device clock; see gpu/sim_clock.hpp).
+#pragma once
+
+#include <chrono>
+
+namespace gpumip {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  double elapsed() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace gpumip

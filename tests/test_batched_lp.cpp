@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "lp/batched_lp.hpp"
+#include "problems/generators.hpp"
+
+namespace gpumip::lp {
+namespace {
+
+struct Batch {
+  std::vector<std::unique_ptr<StandardForm>> storage;
+  std::vector<const StandardForm*> views;
+};
+
+Batch make_batch(int count, std::uint64_t seed) {
+  Rng rng(seed);
+  Batch batch;
+  for (int i = 0; i < count; ++i) {
+    LpModel model = problems::dense_lp(8 + i % 4, 12 + i % 5, rng);
+    batch.storage.push_back(std::make_unique<StandardForm>(build_standard_form(model)));
+    batch.views.push_back(batch.storage.back().get());
+  }
+  return batch;
+}
+
+TEST(BatchedLp, AllModesProduceIdenticalResults) {
+  Batch batch = make_batch(12, 11);
+  std::vector<double> reference;
+  for (BatchMode mode : {BatchMode::Sequential, BatchMode::Streams, BatchMode::Lockstep}) {
+    gpu::Device device;
+    BatchedLpReport report = solve_batched(batch.views, device, mode);
+    ASSERT_EQ(report.results.size(), batch.views.size()) << batch_mode_name(mode);
+    if (reference.empty()) {
+      for (const LpResult& r : report.results) {
+        EXPECT_EQ(r.status, LpStatus::Optimal);
+        reference.push_back(r.objective);
+      }
+    } else {
+      for (std::size_t i = 0; i < report.results.size(); ++i) {
+        EXPECT_NEAR(report.results[i].objective, reference[i], 1e-9)
+            << batch_mode_name(mode) << " problem " << i;
+      }
+    }
+    EXPECT_GT(report.sim_seconds, 0.0);
+  }
+}
+
+TEST(BatchedLp, StreamsOverlapBeatsSequential) {
+  Batch batch = make_batch(32, 13);
+  gpu::Device d1, d2;
+  BatchedLpReport seq = solve_batched(batch.views, d1, BatchMode::Sequential);
+  BatchedLpReport str = solve_batched(batch.views, d2, BatchMode::Streams);
+  EXPECT_LT(str.sim_seconds, seq.sim_seconds);
+  EXPECT_EQ(seq.kernels, str.kernels);  // same work, different schedule
+}
+
+TEST(BatchedLp, LockstepUsesFarFewerKernels) {
+  Batch batch = make_batch(32, 17);
+  gpu::Device d1, d2;
+  BatchedLpReport seq = solve_batched(batch.views, d1, BatchMode::Sequential);
+  BatchedLpReport lock = solve_batched(batch.views, d2, BatchMode::Lockstep);
+  EXPECT_LT(lock.kernels, seq.kernels / 4);
+  EXPECT_GT(lock.waves, 0);
+  EXPECT_LT(lock.sim_seconds, seq.sim_seconds);
+}
+
+TEST(BatchedLp, CapacityIsEnforced) {
+  Batch batch = make_batch(8, 19);
+  gpu::CostModelConfig tiny;
+  tiny.memory_bytes = 4 * 1024;  // cannot hold 8 relaxations
+  gpu::Device device(tiny);
+  EXPECT_THROW(solve_batched(batch.views, device, BatchMode::Lockstep), DeviceOutOfMemory);
+}
+
+TEST(BatchedLp, InputValidation) {
+  gpu::Device device;
+  EXPECT_THROW(solve_batched({}, device, BatchMode::Sequential), Error);
+  Batch batch = make_batch(1, 23);
+  EXPECT_THROW(solve_batched(batch.views, device, BatchMode::Streams, {}, 0), Error);
+  std::vector<const StandardForm*> with_null = {nullptr};
+  EXPECT_THROW(solve_batched(with_null, device, BatchMode::Sequential), Error);
+}
+
+TEST(BatchedLp, SingleProblemDegeneratesGracefully) {
+  Batch batch = make_batch(1, 29);
+  gpu::Device device;
+  BatchedLpReport r = solve_batched(batch.views, device, BatchMode::Lockstep);
+  EXPECT_EQ(r.results.size(), 1u);
+  EXPECT_EQ(r.results[0].status, LpStatus::Optimal);
+}
+
+}  // namespace
+}  // namespace gpumip::lp

@@ -1,0 +1,182 @@
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "gpu/device.hpp"
+
+namespace gpumip::gpu {
+namespace {
+
+CostModelConfig small_config() {
+  CostModelConfig cfg;
+  cfg.memory_bytes = 1 << 20;  // 1 MiB device for OOM tests
+  return cfg;
+}
+
+TEST(CostModel, TransferHasLatencyFloor) {
+  CostModelConfig cfg;
+  EXPECT_GT(transfer_seconds(cfg, 0), 0.0);
+  EXPECT_NEAR(transfer_seconds(cfg, 0), cfg.pcie_latency, 1e-12);
+  // Doubling bytes roughly doubles the bandwidth term.
+  const double t1 = transfer_seconds(cfg, 1 << 26) - cfg.pcie_latency;
+  const double t2 = transfer_seconds(cfg, 1 << 27) - cfg.pcie_latency;
+  EXPECT_NEAR(t2 / t1, 2.0, 1e-9);
+}
+
+TEST(CostModel, SparseKernelsAreSlowerThanDense) {
+  CostModelConfig cfg;
+  const double flops = 1e9;
+  const double dense = kernel_seconds(cfg, KernelCost::dense(flops, 1e6));
+  const double sparse = kernel_seconds(cfg, KernelCost::sparse_irregular(flops, 1e6));
+  EXPECT_GT(sparse, dense * 3.0);  // efficiency gap + divergence penalty
+}
+
+TEST(CostModel, LaunchOverheadDominatesTinyKernels) {
+  CostModelConfig cfg;
+  const double t = kernel_seconds(cfg, KernelCost::dense(10.0, 10.0));
+  EXPECT_NEAR(t, cfg.launch_overhead, cfg.launch_overhead * 0.01);
+}
+
+TEST(CostModel, OccupancyScalesThroughput) {
+  CostModelConfig cfg;
+  KernelCost full = KernelCost::dense(1e10, 0);
+  KernelCost half = full;
+  half.occupancy = 0.5;
+  EXPECT_NEAR(kernel_seconds(cfg, half) / kernel_seconds(cfg, full), 2.0, 0.01);
+}
+
+TEST(Device, AllocTracksCapacityAndPeak) {
+  Device dev(small_config());
+  auto a = dev.alloc(512 * 1024, "a");
+  EXPECT_EQ(dev.stats().allocated_bytes, 512u * 1024);
+  {
+    auto b = dev.alloc(256 * 1024, "b");
+    EXPECT_EQ(dev.stats().allocated_bytes, 768u * 1024);
+  }
+  EXPECT_EQ(dev.stats().allocated_bytes, 512u * 1024);
+  EXPECT_EQ(dev.stats().peak_allocated_bytes, 768u * 1024);
+}
+
+TEST(Device, OverCapacityThrows) {
+  Device dev(small_config());
+  auto a = dev.alloc(900 * 1024);
+  EXPECT_THROW(dev.alloc(200 * 1024), DeviceOutOfMemory);
+  // After the failed alloc the accounting is unchanged.
+  EXPECT_EQ(dev.stats().allocated_bytes, 900u * 1024);
+}
+
+TEST(Device, BufferMoveTransfersOwnership) {
+  Device dev(small_config());
+  DeviceBuffer a = dev.alloc(1024);
+  DeviceBuffer b = std::move(a);
+  EXPECT_FALSE(a.valid());
+  EXPECT_TRUE(b.valid());
+  EXPECT_EQ(dev.stats().allocated_bytes, 1024u);
+}
+
+TEST(Device, RoundTripCopyPreservesData) {
+  Device dev;
+  std::vector<double> host = {1.0, 2.0, 3.0, 4.5};
+  auto buf = dev.alloc_doubles(host.size());
+  dev.upload(0, buf, host);
+  std::vector<double> back(host.size(), 0.0);
+  dev.download(0, buf, back);
+  EXPECT_EQ(host, back);
+  EXPECT_EQ(dev.stats().transfers_h2d, 1u);
+  EXPECT_EQ(dev.stats().transfers_d2h, 1u);
+  EXPECT_EQ(dev.stats().bytes_h2d, host.size() * sizeof(double));
+}
+
+TEST(Device, OutOfRangeCopyThrows) {
+  Device dev;
+  auto buf = dev.alloc_doubles(4);
+  std::vector<double> host(8, 1.0);
+  EXPECT_THROW(dev.upload(0, buf, host), Error);
+}
+
+TEST(Device, KernelsOnOneStreamSerialize) {
+  Device dev;
+  KernelCost cost = KernelCost::dense(7e9, 0);  // ~1 ms each
+  dev.launch(0, cost, {});
+  dev.launch(0, cost, {});
+  const double t = dev.synchronize();
+  const double one = kernel_seconds(dev.config(), cost);
+  EXPECT_NEAR(t, 2 * one, one * 0.01);
+}
+
+TEST(Device, KernelsOnTwoStreamsOverlap) {
+  Device dev;
+  const StreamId s1 = dev.create_stream();
+  KernelCost cost = KernelCost::dense(7e9, 0);
+  dev.launch(0, cost, {});
+  dev.launch(s1, cost, {});
+  const double t = dev.synchronize();
+  const double one = kernel_seconds(dev.config(), cost);
+  EXPECT_NEAR(t, one, one * 0.01);
+}
+
+TEST(Device, ParallelSlotsBoundOverlap) {
+  CostModelConfig cfg;
+  cfg.parallel_slots = 2;
+  Device dev(cfg);
+  std::vector<StreamId> streams = {0};
+  for (int i = 0; i < 3; ++i) streams.push_back(dev.create_stream());
+  KernelCost cost = KernelCost::dense(7e9, 0);
+  for (StreamId s : streams) dev.launch(s, cost, {});
+  const double t = dev.synchronize();
+  const double one = kernel_seconds(dev.config(), cost);
+  // 4 kernels, 2 slots -> 2 serial waves.
+  EXPECT_NEAR(t, 2 * one, one * 0.05);
+}
+
+TEST(Device, TransfersUseSerialCopyEngines) {
+  Device dev;
+  auto buf = dev.alloc_doubles(1 << 20);
+  std::vector<double> host(1 << 20, 1.0);
+  const StreamId s1 = dev.create_stream();
+  dev.upload(0, buf, host);
+  dev.upload(s1, buf, host);  // same direction: must queue behind engine
+  const double t = dev.synchronize();
+  const double one = transfer_seconds(dev.config(), host.size() * sizeof(double));
+  EXPECT_NEAR(t, 2 * one, one * 0.01);
+}
+
+TEST(Device, EventsOrderAcrossStreams) {
+  Device dev;
+  const StreamId s1 = dev.create_stream();
+  KernelCost cost = KernelCost::dense(7e9, 0);
+  dev.launch(0, cost, {});
+  Event e = dev.record(0);
+  dev.wait(s1, e);
+  dev.launch(s1, cost, {});
+  const double one = kernel_seconds(dev.config(), cost);
+  EXPECT_NEAR(dev.synchronize(), 2 * one, one * 0.01);
+}
+
+TEST(Device, KernelBodyRunsEagerly) {
+  Device dev;
+  int ran = 0;
+  dev.launch(0, KernelCost::dense(1, 1), [&] { ran = 1; });
+  EXPECT_EQ(ran, 1);
+  EXPECT_EQ(dev.stats().kernels, 1u);
+}
+
+TEST(Device, ResetStatsKeepsAllocations) {
+  Device dev;
+  auto buf = dev.alloc_doubles(128);
+  dev.launch(0, KernelCost::dense(1e6, 0), {});
+  dev.synchronize();
+  dev.reset_stats();
+  EXPECT_EQ(dev.stats().kernels, 0u);
+  EXPECT_EQ(dev.stats().allocated_bytes, 128 * sizeof(double));
+  EXPECT_EQ(dev.now(), 0.0);
+}
+
+TEST(Device, InvalidStreamRejected) {
+  Device dev;
+  EXPECT_THROW(dev.launch(5, KernelCost::dense(1, 1), {}), Error);
+  EXPECT_THROW(dev.record(-1), Error);
+}
+
+}  // namespace
+}  // namespace gpumip::gpu

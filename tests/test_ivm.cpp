@@ -1,0 +1,236 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "ivm/flowshop.hpp"
+#include "ivm/gpu_bnb.hpp"
+#include "ivm/ivm.hpp"
+#include "ivm/knapsack_bnb.hpp"
+
+namespace gpumip::ivm {
+namespace {
+
+TEST(Factoradic, RankDigitsRoundTrip) {
+  for (int n : {1, 3, 5, 8}) {
+    const std::uint64_t total = Factoradic::factorial(n);
+    for (std::uint64_t r = 0; r < total; r += std::max<std::uint64_t>(1, total / 50)) {
+      EXPECT_EQ(Factoradic::rank(Factoradic::digits(r, n), n), r);
+    }
+  }
+}
+
+TEST(Factoradic, FactorialValues) {
+  EXPECT_EQ(Factoradic::factorial(0), 1u);
+  EXPECT_EQ(Factoradic::factorial(5), 120u);
+  EXPECT_EQ(Factoradic::factorial(20), 2432902008176640000ull);
+  EXPECT_THROW(Factoradic::factorial(21), Error);
+}
+
+TEST(Ivm, FullTraversalVisitsEveryPermutationOnce) {
+  // Walk the whole tree descending everywhere; leaves must enumerate all
+  // n! permutations in lexicographic Lehmer order.
+  const int n = 5;
+  Ivm ivm(n, 0, Factoradic::factorial(n));
+  std::vector<std::vector<int>> leaves;
+  while (!ivm.exhausted()) {
+    if (ivm.at_leaf()) {
+      leaves.push_back(ivm.prefix());
+      ivm.advance();
+    } else {
+      ivm.descend();
+    }
+  }
+  EXPECT_EQ(leaves.size(), 120u);
+  // Every leaf is a permutation; all distinct.
+  std::sort(leaves.begin(), leaves.end());
+  EXPECT_EQ(std::adjacent_find(leaves.begin(), leaves.end()), leaves.end());
+  for (const auto& perm : leaves) {
+    std::vector<int> sorted = perm;
+    std::sort(sorted.begin(), sorted.end());
+    std::vector<int> expect(static_cast<std::size_t>(n));
+    std::iota(expect.begin(), expect.end(), 0);
+    EXPECT_EQ(sorted, expect);
+  }
+}
+
+TEST(Ivm, AdvancePrunesWholeSubtree) {
+  const int n = 4;
+  Ivm ivm(n, 0, Factoradic::factorial(n));
+  // At the root (depth 0, first child), advancing skips 3! permutations.
+  const std::uint64_t before = ivm.position_rank();
+  ivm.advance();
+  EXPECT_EQ(ivm.position_rank() - before, Factoradic::factorial(3));
+}
+
+TEST(Ivm, IntervalRestrictsTraversal) {
+  const int n = 4;
+  // Only the second half of the tree.
+  Ivm ivm(n, 12, 24);
+  long leaves = 0;
+  while (!ivm.exhausted()) {
+    if (ivm.at_leaf()) {
+      ++leaves;
+      ivm.advance();
+    } else {
+      ivm.descend();
+    }
+  }
+  EXPECT_EQ(leaves, 12);
+}
+
+TEST(Ivm, SplitPartitionsWork) {
+  const int n = 5;
+  Ivm left(n, 0, Factoradic::factorial(n));
+  Ivm right = left.split();
+  long leaves = 0;
+  for (Ivm* ivm : {&left, &right}) {
+    while (!ivm->exhausted()) {
+      if (ivm->at_leaf()) {
+        ++leaves;
+        ivm->advance();
+      } else {
+        ivm->descend();
+      }
+    }
+  }
+  EXPECT_EQ(leaves, 120);
+}
+
+TEST(Flowshop, MakespanKnownExample) {
+  // 2 machines, 3 jobs; processing times chosen so permutation (0,1,2) has
+  // makespan computable by hand: m0: 3,2,4 ; m1: 2,5,1.
+  FlowshopInstance inst;
+  inst.machines = 2;
+  inst.jobs = 3;
+  inst.processing = {3, 2, 4, 2, 5, 1};
+  // Order 0,1,2: m0 completes 3,5,9; m1: max(3)+2=5, max(5,5)+5=10, max(9,10)+1=11.
+  EXPECT_DOUBLE_EQ(inst.makespan(std::vector<int>{0, 1, 2}), 11.0);
+}
+
+TEST(Flowshop, LowerBoundIsValidAndTightAtLeaves) {
+  Rng rng(5);
+  FlowshopInstance inst = FlowshopInstance::random(3, 6, rng);
+  std::vector<int> perm(6);
+  std::iota(perm.begin(), perm.end(), 0);
+  // Bound of any prefix must not exceed the makespan of any completion.
+  do {
+    const double full = inst.makespan(perm);
+    for (int d = 1; d <= 6; ++d) {
+      const double lb = inst.lower_bound(std::span<const int>(perm.data(), static_cast<std::size_t>(d)));
+      EXPECT_LE(lb, full + 1e-9) << "prefix len " << d;
+    }
+  } while (std::next_permutation(perm.begin(), perm.end()) &&
+           perm[0] < 2 /* limit runtime: subsets of permutations */);
+  // At a complete permutation the bound equals the makespan.
+  std::iota(perm.begin(), perm.end(), 0);
+  EXPECT_DOUBLE_EQ(inst.lower_bound(perm), inst.makespan(perm));
+}
+
+TEST(Flowshop, GreedyUpperBoundIsAchievable) {
+  Rng rng(6);
+  FlowshopInstance inst = FlowshopInstance::random(3, 7, rng);
+  const double ub = inst.greedy_upper_bound();
+  BnbStats exact = solve_flowshop_cpu(inst);
+  EXPECT_GE(ub + 1e-9, exact.best_makespan);
+}
+
+TEST(Bnb, CpuMatchesBruteForce) {
+  Rng rng(7);
+  FlowshopInstance inst = FlowshopInstance::random(3, 6, rng);
+  // Brute force.
+  std::vector<int> perm(6);
+  std::iota(perm.begin(), perm.end(), 0);
+  double best = 1e300;
+  do {
+    best = std::min(best, inst.makespan(perm));
+  } while (std::next_permutation(perm.begin(), perm.end()));
+  BnbStats r = solve_flowshop_cpu(inst);
+  EXPECT_DOUBLE_EQ(r.best_makespan, best);
+  EXPECT_DOUBLE_EQ(inst.makespan(r.best_permutation), best);
+}
+
+TEST(Bnb, IvmHostMatchesCpu) {
+  Rng rng(8);
+  for (int trial = 0; trial < 4; ++trial) {
+    FlowshopInstance inst = FlowshopInstance::random(2 + trial % 3, 6 + trial % 2, rng);
+    BnbStats cpu = solve_flowshop_cpu(inst);
+    BnbStats ivm = solve_flowshop_ivm_host(inst);
+    EXPECT_DOUBLE_EQ(ivm.best_makespan, cpu.best_makespan) << "trial " << trial;
+  }
+}
+
+TEST(Bnb, GpuFleetMatchesCpuAndStaysOnDevice) {
+  Rng rng(9);
+  FlowshopInstance inst = FlowshopInstance::random(3, 7, rng);
+  BnbStats cpu = solve_flowshop_cpu(inst);
+  gpu::Device device;
+  GpuBnbOptions opts;
+  opts.num_ivms = 16;
+  BnbStats gpu_r = solve_flowshop_gpu(inst, device, opts);
+  EXPECT_DOUBLE_EQ(gpu_r.best_makespan, cpu.best_makespan);
+  // S1's signature: exactly one upload (instance) and one download (result).
+  EXPECT_EQ(device.stats().transfers_h2d, 1u);
+  EXPECT_EQ(device.stats().transfers_d2h, 1u);
+  EXPECT_GT(device.stats().kernels, 0u);
+  EXPECT_GT(gpu_r.steals, 0);
+}
+
+TEST(Bnb, GpuFleetSizeSweepsConsistent) {
+  Rng rng(10);
+  FlowshopInstance inst = FlowshopInstance::random(2, 6, rng);
+  BnbStats reference = solve_flowshop_cpu(inst);
+  for (int fleet : {1, 4, 32}) {
+    gpu::Device device;
+    GpuBnbOptions opts;
+    opts.num_ivms = fleet;
+    BnbStats r = solve_flowshop_gpu(inst, device, opts);
+    EXPECT_DOUBLE_EQ(r.best_makespan, reference.best_makespan) << "fleet " << fleet;
+  }
+}
+
+TEST(Bnb, MoreIvmsFewerWaves) {
+  Rng rng(11);
+  FlowshopInstance inst = FlowshopInstance::random(3, 8, rng);
+  gpu::Device d1, d2;
+  GpuBnbOptions small, large;
+  small.num_ivms = 2;
+  large.num_ivms = 64;
+  const BnbStats r_small = solve_flowshop_gpu(inst, d1, small);
+  const BnbStats r_large = solve_flowshop_gpu(inst, d2, large);
+  EXPECT_DOUBLE_EQ(r_small.best_makespan, r_large.best_makespan);
+  EXPECT_LT(r_large.kernel_waves, r_small.kernel_waves);
+}
+
+TEST(Knapsack, CpuMatchesDp) {
+  Rng rng(12);
+  for (int trial = 0; trial < 5; ++trial) {
+    KnapsackInstance inst = KnapsackInstance::random(16, rng);
+    const double dp = knapsack_dp(inst);
+    KnapsackResult r = solve_knapsack_cpu(inst);
+    EXPECT_DOUBLE_EQ(r.best_value, dp) << "trial " << trial;
+    // Chosen set must be consistent with the reported value and capacity.
+    double v = 0.0, w = 0.0;
+    for (int i : r.chosen) {
+      v += inst.value[static_cast<std::size_t>(i)];
+      w += inst.weight[static_cast<std::size_t>(i)];
+    }
+    EXPECT_DOUBLE_EQ(v, r.best_value);
+    EXPECT_LE(w, inst.capacity + 1e-9);
+  }
+}
+
+TEST(Knapsack, GpuMatchesCpu) {
+  Rng rng(13);
+  KnapsackInstance inst = KnapsackInstance::random(18, rng);
+  gpu::Device device;
+  KnapsackResult cpu = solve_knapsack_cpu(inst);
+  KnapsackResult gpu_r = solve_knapsack_gpu(inst, device);
+  EXPECT_DOUBLE_EQ(gpu_r.best_value, cpu.best_value);
+  EXPECT_GT(device.stats().kernels, 0u);
+  // Frontier-synchronous engine does far fewer, bigger launches.
+  EXPECT_LT(gpu_r.kernel_waves, cpu.nodes);
+}
+
+}  // namespace
+}  // namespace gpumip::ivm

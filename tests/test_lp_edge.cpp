@@ -1,0 +1,132 @@
+// LP engine edge cases: option ablations (refactor cadence, Bland
+// threshold), limits, and warm-start corner cases.
+#include <gtest/gtest.h>
+
+#include "lp/simplex.hpp"
+#include "problems/generators.hpp"
+
+namespace gpumip::lp {
+namespace {
+
+LpModel medium_lp(std::uint64_t seed) {
+  Rng rng(seed);
+  return problems::dense_lp(15, 25, rng);
+}
+
+TEST(SimplexOptionsAblation, RefactorEveryIterationSameAnswer) {
+  const StandardForm form = build_standard_form(medium_lp(1));
+  SimplexOptions lazy;  // default interval 64
+  SimplexOptions eager;
+  eager.refactor_interval = 1;  // the "no PFI reuse" ablation
+  LpResult a = SimplexSolver(form, lazy).solve_default();
+  LpResult b = SimplexSolver(form, eager).solve_default();
+  ASSERT_EQ(a.status, LpStatus::Optimal);
+  ASSERT_EQ(b.status, LpStatus::Optimal);
+  EXPECT_NEAR(a.objective, b.objective, 1e-8);
+  EXPECT_GT(b.ops.refactor, a.ops.refactor * 4);
+  EXPECT_LT(a.ops.refactor, a.ops.iterations);
+}
+
+TEST(SimplexOptionsAblation, AggressiveBlandStillOptimal) {
+  const StandardForm form = build_standard_form(medium_lp(2));
+  SimplexOptions opts;
+  opts.bland_threshold = 0;  // Bland's rule from the first degenerate pivot
+  LpResult r = SimplexSolver(form, opts).solve_default();
+  ASSERT_EQ(r.status, LpStatus::Optimal);
+  LpResult reference = SimplexSolver(form).solve_default();
+  EXPECT_NEAR(r.objective, reference.objective, 1e-8);
+}
+
+TEST(SimplexLimits, IterationLimitReported) {
+  const StandardForm form = build_standard_form(medium_lp(3));
+  SimplexOptions opts;
+  opts.max_iterations = 2;
+  LpResult r = SimplexSolver(form, opts).solve_default();
+  EXPECT_EQ(r.status, LpStatus::IterationLimit);
+}
+
+TEST(SimplexWarmStart, GarbageBasisFallsBackToColdStart) {
+  const StandardForm form = build_standard_form(medium_lp(4));
+  Basis garbage;
+  garbage.basic.assign(static_cast<std::size_t>(form.num_rows), 0);  // duplicate columns
+  garbage.status.assign(static_cast<std::size_t>(form.num_vars), VarStatus::AtLower);
+  SimplexSolver solver(form);
+  LpResult r = solver.solve(form.lb, form.ub, &garbage);
+  ASSERT_EQ(r.status, LpStatus::Optimal);
+  EXPECT_NEAR(r.objective, solver.solve_default().objective, 1e-8);
+}
+
+TEST(SimplexWarmStart, OversizedBasisRejectedGracefully) {
+  const StandardForm form = build_standard_form(medium_lp(5));
+  Basis wrong;
+  wrong.basic.assign(3, 0);  // wrong m
+  wrong.status.assign(2, VarStatus::AtLower);
+  SimplexSolver solver(form);
+  LpResult r = solver.solve(form.lb, form.ub, &wrong);
+  EXPECT_EQ(r.status, LpStatus::Optimal);
+}
+
+TEST(DualSimplex, RaisedLowerBoundResolve) {
+  // Branching "up": raise a lower bound above the LP value and dual-resolve.
+  LpModel m;
+  m.set_sense(Sense::Maximize);
+  const int x = m.add_col(3.0, 0, 10), y = m.add_col(5.0, 0, 10);
+  m.add_row_le({{x, 1.0}}, 4.0);
+  m.add_row_le({{y, 2.0}}, 12.0);
+  m.add_row_le({{x, 3.0}, {y, 2.0}}, 18.0);
+  const StandardForm form = build_standard_form(m);
+  SimplexSolver solver(form);
+  LpResult root = solver.solve_default();
+  ASSERT_EQ(root.status, LpStatus::Optimal);  // (2, 6)
+  linalg::Vector lb = form.lb, ub = form.ub;
+  lb[0] = 3.0;  // x >= 3
+  LpResult dual = solver.resolve_dual(lb, ub, root.basis);
+  LpResult cold = solver.solve(lb, ub, nullptr);
+  ASSERT_EQ(dual.status, LpStatus::Optimal);
+  EXPECT_NEAR(dual.objective, cold.objective, 1e-8);
+  // x = 3 -> 3x + 2y <= 18 gives y <= 4.5: obj 9 + 22.5 = 31.5.
+  EXPECT_NEAR(form.user_objective(dual.objective), 31.5, 1e-7);
+}
+
+TEST(DualSimplex, BothBoundsTightenedSimultaneously) {
+  const StandardForm form = build_standard_form(medium_lp(6));
+  SimplexSolver solver(form);
+  LpResult root = solver.solve_default();
+  ASSERT_EQ(root.status, LpStatus::Optimal);
+  linalg::Vector lb = form.lb, ub = form.ub;
+  // Fix two variables to interior integers.
+  for (int j = 0; j < 2; ++j) {
+    const double v = std::floor(root.x[static_cast<std::size_t>(j)]);
+    lb[static_cast<std::size_t>(j)] = ub[static_cast<std::size_t>(j)] = v;
+  }
+  LpResult dual = solver.resolve_dual(lb, ub, root.basis);
+  LpResult cold = solver.solve(lb, ub, nullptr);
+  ASSERT_EQ(dual.status, cold.status);
+  if (cold.status == LpStatus::Optimal) {
+    EXPECT_NEAR(dual.objective, cold.objective, 1e-7);
+  }
+}
+
+TEST(SimplexDegenerate, ManyRedundantRowsStillSolve) {
+  // The same constraint repeated: massively degenerate but solvable.
+  LpModel m;
+  const int x = m.add_col(-1.0, 0, 100);
+  for (int i = 0; i < 12; ++i) m.add_row_le({{x, 1.0}}, 7.0);
+  LpResult r = SimplexSolver(build_standard_form(m)).solve_default();
+  ASSERT_EQ(r.status, LpStatus::Optimal);
+  EXPECT_NEAR(r.x[0], 7.0, 1e-8);
+}
+
+TEST(StandardFormEdge, EmptyObjectiveAndFreeRow) {
+  LpModel m;
+  const int x = m.add_col(0.0, 1.0, 2.0);
+  m.add_row(-kInf, kInf, "free-row");  // never binds
+  m.set_coef(0, x, 1.0);
+  const StandardForm form = build_standard_form(m);
+  LpResult r = SimplexSolver(form).solve_default();
+  EXPECT_EQ(r.status, LpStatus::Optimal);
+  EXPECT_EQ(r.objective, 0.0);
+}
+
+}  // namespace
+}  // namespace gpumip::lp

@@ -1,0 +1,193 @@
+// Direct tests of the node pool's selection policies, logging, and
+// device-BLAS corners not covered by the higher-level suites.
+#include <gtest/gtest.h>
+
+#include "linalg/blas.hpp"
+#include "linalg/device_blas.hpp"
+#include "linalg/qr.hpp"
+#include "mip/branching.hpp"
+#include "mip/tree.hpp"
+#include "support/log.hpp"
+
+namespace gpumip {
+namespace {
+
+using linalg::Matrix;
+using linalg::Vector;
+
+mip::BnbNode make_node(int parent, double bound, int depth = 0) {
+  mip::BnbNode node;
+  node.parent = parent;
+  node.bound = bound;
+  node.depth = depth;
+  node.lb = {0.0};
+  node.ub = {1.0};
+  return node;
+}
+
+TEST(NodePool, BestFirstPopsLowestBound) {
+  mip::NodePool pool(mip::NodeSelection::BestFirst);
+  pool.push(make_node(-1, 5.0));
+  pool.push(make_node(-1, 1.0));
+  pool.push(make_node(-1, 3.0));
+  EXPECT_EQ(pool.node(pool.pop(-1, 1e300)).bound, 1.0);
+  EXPECT_EQ(pool.node(pool.pop(-1, 1e300)).bound, 3.0);
+  EXPECT_EQ(pool.node(pool.pop(-1, 1e300)).bound, 5.0);
+  EXPECT_EQ(pool.pop(-1, 1e300), -1);
+}
+
+TEST(NodePool, DepthFirstPopsLifo) {
+  mip::NodePool pool(mip::NodeSelection::DepthFirst);
+  const int a = pool.push(make_node(-1, 1.0));
+  const int b = pool.push(make_node(-1, 9.0));
+  EXPECT_EQ(pool.pop(-1, 1e300), b);  // most recently pushed, despite worse bound
+  EXPECT_EQ(pool.pop(-1, 1e300), a);
+}
+
+TEST(NodePool, GpuLocalityPrefersChildrenOfLastNode) {
+  mip::NodePool pool(mip::NodeSelection::GpuLocality, /*locality_slack=*/0.5);
+  const int root = pool.push(make_node(-1, 0.0));
+  EXPECT_EQ(pool.pop(-1, 1e300), root);
+  pool.set_state(root, mip::NodeState::Branched);
+  pool.push(make_node(-1, 0.05));           // unrelated, slightly better bound
+  const int child = pool.push(make_node(root, 0.3));
+  // The child of the just-evaluated node wins despite its worse bound
+  // (within the slack).
+  EXPECT_EQ(pool.pop(root, 1e300), child);
+}
+
+TEST(NodePool, GpuLocalityFallsBackToBestFirst) {
+  mip::NodePool pool(mip::NodeSelection::GpuLocality, 0.01);
+  pool.push(make_node(-1, 0.0));
+  const int far = pool.push(make_node(7, 100.0));  // child of an unknown node
+  const int best = pool.push(make_node(-1, -5.0));
+  (void)far;
+  EXPECT_EQ(pool.pop(/*last=*/99, 1e300), best);
+}
+
+TEST(NodePool, PruneWorseThanRetagsAndCounts) {
+  mip::NodePool pool(mip::NodeSelection::BestFirst);
+  pool.push(make_node(-1, 1.0));
+  pool.push(make_node(-1, 10.0));
+  pool.push(make_node(-1, 20.0));
+  EXPECT_EQ(pool.prune_worse_than(5.0), 2);
+  EXPECT_EQ(pool.anatomy().pruned_leaves, 2);
+  EXPECT_EQ(pool.active_size(), 1u);
+  const int left = pool.pop(-1, 1e300);
+  EXPECT_EQ(pool.node(left).bound, 1.0);
+}
+
+TEST(NodePool, AnatomyTracksPeakAndDepth) {
+  mip::NodePool pool(mip::NodeSelection::BestFirst);
+  pool.push(make_node(-1, 0.0, 0));
+  pool.push(make_node(0, 1.0, 3));
+  EXPECT_EQ(pool.anatomy().active_peak, 2);
+  EXPECT_EQ(pool.anatomy().max_depth, 3);
+  EXPECT_EQ(pool.anatomy().total_nodes, 2);
+}
+
+TEST(NodePool, RenderHandlesEmptyAndTruncation) {
+  mip::NodePool pool(mip::NodeSelection::BestFirst);
+  EXPECT_NE(pool.render_ascii().find("empty"), std::string::npos);
+  const int root = pool.push(make_node(-1, 0.0));
+  for (int i = 0; i < 5; ++i) pool.push(make_node(root, 1.0));
+  const std::string art = pool.render_ascii(/*max_nodes=*/3);
+  EXPECT_NE(art.find("truncated"), std::string::npos);
+}
+
+TEST(NodePool, NamesForEnums) {
+  EXPECT_STREQ(mip::node_state_name(mip::NodeState::PrunedLeaf), "pruned");
+  EXPECT_STREQ(mip::node_selection_name(mip::NodeSelection::GpuLocality), "gpu-locality");
+  EXPECT_STREQ(mip::branch_rule_name(mip::BranchRule::Pseudocost), "pseudocost");
+}
+
+TEST(Log, DisabledLevelSkipsEvaluation) {
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::Error);
+  int evaluations = 0;
+  GPUMIP_LOG(Debug) << (++evaluations, "never shown");
+  EXPECT_EQ(evaluations, 0);
+  set_log_level(LogLevel::Debug);
+  GPUMIP_LOG(Debug) << (++evaluations, "shown");
+  EXPECT_EQ(evaluations, 1);
+  set_log_level(saved);
+}
+
+TEST(DeviceBlas, GemmMatchesHost) {
+  gpu::Device dev;
+  Rng rng(7);
+  Matrix a = Matrix::random(6, 4, rng), b = Matrix::random(4, 5, rng);
+  Matrix expect(6, 5);
+  linalg::gemm(1.0, a, b, 0.0, expect);
+  auto da = linalg::DeviceMatrix::upload(dev, 0, a);
+  auto db = linalg::DeviceMatrix::upload(dev, 0, b);
+  linalg::DeviceMatrix dc(dev, 6, 5);
+  linalg::dev_gemm(0, 1.0, da, db, 0.0, dc);
+  EXPECT_LT(linalg::max_abs_diff(dc.download(0), expect), 1e-13);
+}
+
+TEST(DeviceBlas, GerMatchesHost) {
+  gpu::Device dev;
+  Rng rng(9);
+  Matrix a = Matrix::random(5, 3, rng);
+  Vector x(5), y(3);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  for (auto& v : y) v = rng.uniform(-1, 1);
+  Matrix expect = a;
+  linalg::ger(2.0, x, y, expect);
+  auto da = linalg::DeviceMatrix::upload(dev, 0, a);
+  auto dx = linalg::DeviceVector::upload(dev, 0, x);
+  auto dy = linalg::DeviceVector::upload(dev, 0, y);
+  linalg::dev_ger(0, 2.0, dx, dy, da);
+  EXPECT_LT(linalg::max_abs_diff(da.download(0), expect), 1e-13);
+}
+
+TEST(DeviceBlas, EtaVectorApplication) {
+  gpu::Device dev;
+  Rng rng(11);
+  Vector y(6);
+  for (auto& v : y) v = rng.uniform(-1, 1);
+  y[2] += 3.0;
+  const linalg::Eta eta = linalg::Eta::from_ftran(y, 2);
+  Vector x(6);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  Vector expect = x;
+  eta.apply(expect);
+  auto dx = linalg::DeviceVector::upload(dev, 0, x);
+  linalg::dev_apply_eta_vec(0, eta, dx);
+  EXPECT_LT(linalg::max_abs_diff(dx.download(0), expect), 1e-14);
+}
+
+TEST(DeviceBlas, AssignColUpdatesOneColumn) {
+  gpu::Device dev;
+  Matrix a = Matrix::identity(4);
+  auto da = linalg::DeviceMatrix::upload(dev, 0, a);
+  Vector col = {9, 8, 7, 6};
+  da.assign_col(0, 2, col);
+  Matrix back = da.download(0);
+  EXPECT_EQ(back(0, 2), 9.0);
+  EXPECT_EQ(back(3, 2), 6.0);
+  EXPECT_EQ(back(0, 0), 1.0);
+  EXPECT_THROW(da.assign_col(0, 9, col), Error);
+}
+
+TEST(QR, RFactorIsUpperTriangularAndConsistent) {
+  Rng rng(13);
+  Matrix a = Matrix::random(8, 5, rng);
+  linalg::HouseholderQR qr(a);
+  Matrix r = qr.r();
+  for (int i = 0; i < 5; ++i) {
+    for (int j = 0; j < i; ++j) EXPECT_EQ(r(i, j), 0.0);
+  }
+  // ||A x|| == ||Q^T A x|| == ||R x|| for any x (Q orthogonal).
+  Vector x(5);
+  for (auto& v : x) v = rng.uniform(-1, 1);
+  Vector ax(8, 0.0);
+  linalg::gemv(1.0, a, x, 0.0, ax);
+  Vector rx(5, 0.0);
+  linalg::gemv(1.0, r, x, 0.0, rx);
+  EXPECT_NEAR(linalg::nrm2(ax), linalg::nrm2(rx), 1e-10);
+}
+
+}  // namespace
+}  // namespace gpumip
