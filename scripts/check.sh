@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Full correctness sweep for the invariant-checking toolchain (DESIGN.md,
+# "Checked builds & invariants"). Runs three independent gates and exits
+# nonzero if any of them finds a problem:
+#
+#   1. sanitize   — ASan+UBSan build (-DGPUMIP_SANITIZE=ON) + full ctest.
+#   2. checked    — GPUMIP_CHECKED build (invariant validators live) + ctest.
+#   3. tidy       — clang-tidy over src/ with the repo .clang-tidy, using the
+#                   compile database of the sanitize build. Skipped with a
+#                   warning when clang-tidy is not installed (the check still
+#                   exits 0 for this step: it is an extra gate, not a
+#                   replacement for the other two).
+#
+# Both build gates compile with -Werror (GPUMIP_WERROR=ON), so warnings
+# promoted in the top-level CMakeLists (-Wall -Wextra -Wpedantic -Wshadow)
+# are hard failures here even though normal developer builds only warn.
+#
+# Usage: scripts/check.sh [jobs]     (default: nproc)
+set -u -o pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+FAILURES=0
+
+run_gate() {
+  local name="$1" build_dir="$2"
+  shift 2
+  echo "==> [$name] configure ($build_dir)"
+  if ! cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+       -DGPUMIP_WERROR=ON "$@" >"$build_dir.configure.log" 2>&1; then
+    echo "==> [$name] CONFIGURE FAILED (see $build_dir.configure.log)"
+    FAILURES=$((FAILURES + 1))
+    return
+  fi
+  echo "==> [$name] build"
+  if ! cmake --build "$build_dir" -j "$JOBS" >"$build_dir.build.log" 2>&1; then
+    echo "==> [$name] BUILD FAILED (see $build_dir.build.log)"
+    tail -n 30 "$build_dir.build.log"
+    FAILURES=$((FAILURES + 1))
+    return
+  fi
+  echo "==> [$name] ctest"
+  if ! (cd "$build_dir" && ctest --output-on-failure -j "$JOBS"); then
+    echo "==> [$name] TESTS FAILED"
+    FAILURES=$((FAILURES + 1))
+    return
+  fi
+  echo "==> [$name] OK"
+}
+
+# Gate 1: sanitizers. detect_leaks needs ptrace; fall back gracefully where
+# the environment forbids it (containers without CAP_SYS_PTRACE).
+export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}"
+export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
+run_gate sanitize build-asan -DGPUMIP_SANITIZE=ON
+
+# Gate 2: checked mode — every GPUMIP_ASSERT / GPUMIP_VALIDATE call site in
+# the solver runs live (tree, snapshot, basis residual, sparse structure,
+# device ledger, message audit).
+run_gate checked build-checked -DGPUMIP_CHECKED=ON
+
+# Gate 3: clang-tidy (optional tool; the compile database comes from the
+# sanitize build, which exports compile_commands.json).
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "==> [tidy] clang-tidy over src/"
+  mapfile -t sources < <(find src -name '*.cpp' | sort)
+  if ! clang-tidy -p build-asan --quiet "${sources[@]}"; then
+    echo "==> [tidy] LINT FINDINGS"
+    FAILURES=$((FAILURES + 1))
+  else
+    echo "==> [tidy] OK"
+  fi
+else
+  echo "==> [tidy] SKIPPED: clang-tidy not installed (install LLVM tools to enable this gate)"
+fi
+
+echo
+if [ "$FAILURES" -ne 0 ]; then
+  echo "check.sh: $FAILURES gate(s) failed"
+  exit 1
+fi
+echo "check.sh: all gates passed"

@@ -1,0 +1,85 @@
+#include "check/message_audit.hpp"
+
+#include "check/registry.hpp"
+#include "support/error.hpp"
+
+namespace gpumip::check {
+
+std::uint64_t MessageAuditor::shipped(int dest) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t id = next_id_++;
+  entries_[id].dest = dest;
+  return id;
+}
+
+void MessageAuditor::delivered(std::uint64_t id, int rank) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    anomalies_.push_back("delivery of unknown subproblem id " + std::to_string(id) +
+                         " at rank " + std::to_string(rank));
+    return;
+  }
+  if (++it->second.deliveries > 1) {
+    anomalies_.push_back("subproblem " + std::to_string(id) + " delivered " +
+                         std::to_string(it->second.deliveries) + " times (last at rank " +
+                         std::to_string(rank) + ")");
+  }
+}
+
+void MessageAuditor::completed(std::uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    anomalies_.push_back("completion for unknown subproblem id " + std::to_string(id));
+    return;
+  }
+  if (++it->second.completions > 1) {
+    anomalies_.push_back("subproblem " + std::to_string(id) + " completed " +
+                         std::to_string(it->second.completions) + " times");
+  }
+}
+
+long MessageAuditor::in_flight() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  long open = 0;
+  for (const auto& [id, entry] : entries_) {
+    if (entry.completions == 0) ++open;
+  }
+  return open;
+}
+
+long MessageAuditor::anomalies() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<long>(anomalies_.size());
+}
+
+std::uint64_t MessageAuditor::total_shipped() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return next_id_ - 1;
+}
+
+std::string MessageAuditor::report() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [id, entry] : entries_) {
+    if (entry.completions == 0) {
+      out += "lost subproblem " + std::to_string(id) + " (shipped to rank " +
+             std::to_string(entry.dest) +
+             (entry.deliveries == 0 ? ", never delivered" : ", delivered but no result") + "); ";
+    }
+  }
+  for (const std::string& a : anomalies_) out += a + "; ";
+  return out;
+}
+
+void MessageAuditor::finalize() const {
+  count_check(Subsystem::kMessages);
+  const std::string what = report();
+  if (!what.empty()) {
+    count_failure(Subsystem::kMessages);
+    throw Error(ErrorCode::kInternal, "message audit failed: " + what);
+  }
+}
+
+}  // namespace gpumip::check

@@ -1,0 +1,66 @@
+// Supervisor<->worker message auditor for the simmpi runtime.
+//
+// Every subproblem the supervisor ships is registered under a fresh
+// tracking id; the worker acknowledges delivery and the supervisor marks
+// completion when the matching result returns. At shutdown, finalize()
+// proves no subproblem was lost (shipped but never completed) or
+// double-delivered (two workers evaluated the same assignment) — the two
+// failure modes that silently corrupt a parallel search: a lost node breaks
+// snapshot coverage/optimality, a duplicated node double-counts work and
+// can double-apply frontier returns.
+//
+// Thread-safe: ranks run as threads in simmpi, and all record calls take
+// the auditor mutex.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace gpumip::check {
+
+class MessageAuditor {
+ public:
+  /// Registers a subproblem shipped to `dest`; returns its tracking id.
+  std::uint64_t shipped(int dest);
+
+  /// Records delivery of `id` at `rank`. Delivery of an unknown id or a
+  /// second delivery of the same id is recorded as an anomaly (reported by
+  /// finalize(), not thrown here: record runs on worker threads).
+  void delivered(std::uint64_t id, int rank);
+
+  /// Records that the result for `id` arrived back at the supervisor.
+  void completed(std::uint64_t id);
+
+  // -- shutdown audit ------------------------------------------------------
+
+  /// Number of subproblems shipped but not (yet) completed.
+  long in_flight() const;
+  /// Number of recorded anomalies (double/unknown deliveries, duplicate or
+  /// unknown completions).
+  long anomalies() const;
+  std::uint64_t total_shipped() const;
+
+  /// Human-readable description of everything wrong, empty when clean.
+  std::string report() const;
+
+  /// Throws Error(kInternal) listing lost / double-delivered subproblems;
+  /// no-op when the ledger is clean. Call after run_ranks() returns.
+  void finalize() const;
+
+ private:
+  struct Entry {
+    int dest = -1;
+    int deliveries = 0;
+    int completions = 0;
+  };
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::uint64_t, Entry> entries_;
+  std::uint64_t next_id_ = 1;
+  std::vector<std::string> anomalies_;
+};
+
+}  // namespace gpumip::check

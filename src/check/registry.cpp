@@ -1,0 +1,68 @@
+#include "check/registry.hpp"
+
+#include <array>
+#include <atomic>
+
+namespace gpumip::check {
+
+namespace {
+
+constexpr int kSubsystems = static_cast<int>(Subsystem::kCount_);
+
+struct Counters {
+  std::array<std::atomic<std::uint64_t>, kSubsystems> run{};
+  std::array<std::atomic<std::uint64_t>, kSubsystems> failed{};
+};
+
+Counters& counters() {
+  static Counters instance;
+  return instance;
+}
+
+}  // namespace
+
+const char* subsystem_name(Subsystem s) noexcept {
+  switch (s) {
+    case Subsystem::kTree: return "tree";
+    case Subsystem::kSnapshot: return "snapshot";
+    case Subsystem::kBasis: return "basis";
+    case Subsystem::kSparse: return "sparse";
+    case Subsystem::kLedger: return "ledger";
+    case Subsystem::kMessages: return "messages";
+    case Subsystem::kCount_: break;
+  }
+  return "?";
+}
+
+void count_check(Subsystem s) noexcept {
+  counters().run[static_cast<std::size_t>(s)].fetch_add(1, std::memory_order_relaxed);
+}
+
+void count_failure(Subsystem s) noexcept {
+  counters().failed[static_cast<std::size_t>(s)].fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t checks_run(Subsystem s) noexcept {
+  return counters().run[static_cast<std::size_t>(s)].load(std::memory_order_relaxed);
+}
+
+std::uint64_t checks_failed(Subsystem s) noexcept {
+  return counters().failed[static_cast<std::size_t>(s)].load(std::memory_order_relaxed);
+}
+
+std::uint64_t checks_run_total() noexcept {
+  std::uint64_t total = 0;
+  for (int i = 0; i < kSubsystems; ++i) {
+    total += counters().run[static_cast<std::size_t>(i)].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void reset_counters() noexcept {
+  for (int i = 0; i < kSubsystems; ++i) {
+    counters().run[static_cast<std::size_t>(i)].store(0, std::memory_order_relaxed);
+    counters().failed[static_cast<std::size_t>(i)].store(0, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace gpumip::check

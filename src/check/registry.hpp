@@ -1,0 +1,44 @@
+// Counter registry for the invariant-checking subsystem.
+//
+// Every validator in check/ bumps a per-subsystem counter on entry, so tests
+// (and scripts/check.sh runs) can assert that checked-mode instrumentation
+// actually executed rather than silently compiling out. Counters are global
+// and thread-safe; reset_counters() is for test isolation only.
+#pragma once
+
+#include <cstdint>
+
+namespace gpumip::check {
+
+/// Which validator family ran (indexes the counter table).
+enum class Subsystem : int {
+  kTree = 0,      ///< check_tree: B&B tree structure
+  kSnapshot,      ///< check_snapshot: consistent-snapshot coverage
+  kBasis,         ///< check_basis / check_basis_inverse: factorization reuse
+  kSparse,        ///< check_sparse: CSR/CSC structure
+  kLedger,        ///< device-memory ledger audits
+  kMessages,      ///< simmpi supervisor<->worker message audits
+  kCount_,        // sentinel
+};
+
+const char* subsystem_name(Subsystem s) noexcept;
+
+/// Bumps the run counter for `s` (called by every validator on entry).
+void count_check(Subsystem s) noexcept;
+
+/// Bumps the failure counter for `s` (called just before a validator throws).
+void count_failure(Subsystem s) noexcept;
+
+/// How many times validators of `s` have run since start/reset.
+std::uint64_t checks_run(Subsystem s) noexcept;
+
+/// How many validator invocations of `s` found a violation.
+std::uint64_t checks_failed(Subsystem s) noexcept;
+
+/// Total validator invocations across all subsystems.
+std::uint64_t checks_run_total() noexcept;
+
+/// Zeroes all counters (test isolation).
+void reset_counters() noexcept;
+
+}  // namespace gpumip::check

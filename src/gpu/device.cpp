@@ -3,19 +3,26 @@
 #include <algorithm>
 #include <cstring>
 
+#include "check/registry.hpp"
+#include "support/log.hpp"
 #include "support/strings.hpp"
 
 namespace gpumip::gpu {
 
-DeviceBuffer::DeviceBuffer(Device* device, std::size_t bytes, std::string label)
-    : device_(device), storage_(bytes), label_(std::move(label)) {}
+DeviceBuffer::DeviceBuffer(Device* device, std::size_t bytes, std::string label,
+                           std::uint64_t alloc_id)
+    : device_(device), storage_(bytes), label_(std::move(label)), alloc_id_(alloc_id) {}
 
 DeviceBuffer::~DeviceBuffer() { release(); }
 
 DeviceBuffer::DeviceBuffer(DeviceBuffer&& other) noexcept
-    : device_(other.device_), storage_(std::move(other.storage_)), label_(std::move(other.label_)) {
+    : device_(other.device_),
+      storage_(std::move(other.storage_)),
+      label_(std::move(other.label_)),
+      alloc_id_(other.alloc_id_) {
   other.device_ = nullptr;
   other.storage_.clear();
+  other.alloc_id_ = 0;
 }
 
 DeviceBuffer& DeviceBuffer::operator=(DeviceBuffer&& other) noexcept {
@@ -24,16 +31,19 @@ DeviceBuffer& DeviceBuffer::operator=(DeviceBuffer&& other) noexcept {
     device_ = other.device_;
     storage_ = std::move(other.storage_);
     label_ = std::move(other.label_);
+    alloc_id_ = other.alloc_id_;
     other.device_ = nullptr;
     other.storage_.clear();
+    other.alloc_id_ = 0;
   }
   return *this;
 }
 
 void DeviceBuffer::release() noexcept {
   if (device_ != nullptr) {
-    device_->on_free(storage_.size());
+    device_->on_free(alloc_id_, storage_.size());
     device_ = nullptr;
+    alloc_id_ = 0;
   }
   storage_.clear();
   storage_.shrink_to_fit();
@@ -41,6 +51,17 @@ void DeviceBuffer::release() noexcept {
 
 Device::Device(CostModelConfig config, int id) : config_(config), id_(id) {
   streams_.push_back(0.0);  // stream 0
+}
+
+Device::~Device() {
+  // Destructors cannot throw; surface teardown leaks loudly instead. Checked
+  // flows should call audit() explicitly before the device goes away.
+  if (!ledger_.empty()) {
+    GPUMIP_LOG(Warn) << "device " << id_ << " destroyed with " << ledger_.size()
+                     << " leaked block(s); first: "
+                     << (ledger_.begin()->second.label.empty() ? "<unlabeled>"
+                                                               : ledger_.begin()->second.label);
+  }
 }
 
 DeviceBuffer Device::alloc(std::size_t bytes, std::string label) {
@@ -52,7 +73,9 @@ DeviceBuffer Device::alloc(std::size_t bytes, std::string label) {
   stats_.allocated_bytes += bytes;
   stats_.peak_allocated_bytes = std::max(stats_.peak_allocated_bytes, stats_.allocated_bytes);
   ++stats_.allocations;
-  return DeviceBuffer(this, bytes, std::move(label));
+  const std::uint64_t alloc_id = next_alloc_id_++;
+  ledger_.emplace(alloc_id, LedgerEntry{bytes, label});
+  return DeviceBuffer(this, bytes, std::move(label), alloc_id);
 }
 
 DeviceBuffer Device::alloc_doubles(std::size_t count, std::string label) {
@@ -74,7 +97,10 @@ void Device::copy_h2d(StreamId stream, DeviceBuffer& dst, const void* src, std::
   validate_stream(stream);
   check_arg(dst.valid() && dst.device() == this, "copy_h2d: buffer not on this device");
   check_arg(dst_offset + bytes <= dst.size_bytes(), "copy_h2d: out of range");
-  std::memcpy(dst.storage_.data() + dst_offset, src, bytes);
+  // Zero-byte transfers carry a null host pointer (empty vectors); memcpy
+  // with null is UB even for size 0. Still charged below: a real cudaMemcpy
+  // of 0 bytes pays the launch latency too.
+  if (bytes > 0) std::memcpy(dst.storage_.data() + dst_offset, src, bytes);
   const double duration = transfer_seconds(config_, bytes);
   const double start = std::max(streams_[stream], h2d_engine_);
   const double end = start + duration;
@@ -90,7 +116,7 @@ void Device::copy_d2h(StreamId stream, const DeviceBuffer& src, void* dst, std::
   validate_stream(stream);
   check_arg(src.valid() && src.device() == this, "copy_d2h: buffer not on this device");
   check_arg(src_offset + bytes <= src.size_bytes(), "copy_d2h: out of range");
-  std::memcpy(dst, src.storage_.data() + src_offset, bytes);
+  if (bytes > 0) std::memcpy(dst, src.storage_.data() + src_offset, bytes);
   const double duration = transfer_seconds(config_, bytes);
   const double start = std::max(streams_[stream], d2h_engine_);
   const double end = start + duration;
@@ -157,15 +183,50 @@ double Device::stream_clock(StreamId stream) const {
 
 void Device::reset_stats() {
   const auto allocated = stats_.allocated_bytes;
+  const auto double_frees = stats_.double_frees;  // correctness flag, not activity
   stats_ = DeviceStats{};
   stats_.allocated_bytes = allocated;
   stats_.peak_allocated_bytes = allocated;
+  stats_.double_frees = double_frees;
   clock_ = 0.0;
   h2d_engine_ = d2h_engine_ = 0.0;
   std::fill(streams_.begin(), streams_.end(), 0.0);
   while (!slot_ends_.empty()) slot_ends_.pop();
 }
 
-void Device::on_free(std::size_t bytes) noexcept { stats_.allocated_bytes -= bytes; }
+void Device::on_free(std::uint64_t alloc_id, std::size_t bytes) noexcept {
+  auto it = ledger_.find(alloc_id);
+  if (it == ledger_.end()) {
+    // Freeing an id the ledger does not consider live: a double-free (or a
+    // free of foreign memory). Recorded, not thrown — this runs inside
+    // buffer destructors; audit() reports it.
+    ++stats_.double_frees;
+    GPUMIP_LOG(Error) << "device " << id_ << ": double free of allocation id " << alloc_id;
+    return;
+  }
+  ledger_.erase(it);
+  stats_.allocated_bytes -= bytes;
+}
+
+void Device::audit() const {
+  check::count_check(check::Subsystem::kLedger);
+  std::string what;
+  if (!ledger_.empty()) {
+    what += std::to_string(ledger_.size()) + " leaked block(s):";
+    for (const auto& [alloc_id, entry] : ledger_) {
+      what += " [id " + std::to_string(alloc_id) + ", " + human_bytes(entry.bytes) +
+              (entry.label.empty() ? "" : ", " + entry.label) + "]";
+    }
+  }
+  if (stats_.double_frees > 0) {
+    if (!what.empty()) what += "; ";
+    what += std::to_string(stats_.double_frees) + " double free(s) recorded";
+  }
+  if (!what.empty()) {
+    check::count_failure(check::Subsystem::kLedger);
+    throw Error(ErrorCode::kInternal,
+                "device " + std::to_string(id_) + " memory ledger audit failed: " + what);
+  }
+}
 
 }  // namespace gpumip::gpu

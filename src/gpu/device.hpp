@@ -20,6 +20,7 @@
 #include <queue>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "gpu/cost_model.hpp"
@@ -45,6 +46,8 @@ class DeviceBuffer {
   std::size_t size_bytes() const noexcept { return storage_.size(); }
   Device* device() const noexcept { return device_; }
   const std::string& label() const noexcept { return label_; }
+  /// Ledger id of this allocation (0 when invalid/moved-from).
+  std::uint64_t alloc_id() const noexcept { return alloc_id_; }
 
   /// Typed view of the buffer contents (device-side data). Only kernel
   /// bodies and the transfer engine should touch this.
@@ -59,12 +62,13 @@ class DeviceBuffer {
 
  private:
   friend class Device;
-  DeviceBuffer(Device* device, std::size_t bytes, std::string label);
+  DeviceBuffer(Device* device, std::size_t bytes, std::string label, std::uint64_t alloc_id);
   void release() noexcept;
 
   Device* device_ = nullptr;
   std::vector<std::byte> storage_;
   std::string label_;
+  std::uint64_t alloc_id_ = 0;
 };
 
 /// Identifies a stream on a device. Stream 0 always exists.
@@ -87,12 +91,19 @@ struct DeviceStats {
   std::uint64_t allocated_bytes = 0;
   std::uint64_t peak_allocated_bytes = 0;
   std::uint64_t allocations = 0;
+  std::uint64_t double_frees = 0;  ///< frees of ids not live in the ledger
 };
 
 /// One simulated accelerator.
+///
+/// Every allocation is recorded in a ledger keyed by a monotonically
+/// increasing id; frees must match a live entry. audit() proves the ledger
+/// is empty (no leaked blocks) and that no double-free was ever recorded —
+/// the device-memory teardown check of the analysis layer (check/).
 class Device {
  public:
   explicit Device(CostModelConfig config = {}, int id = 0);
+  ~Device();
 
   int id() const noexcept { return id_; }
   const CostModelConfig& config() const noexcept { return config_; }
@@ -150,19 +161,40 @@ class Device {
   /// and rewinds all timelines; used between benchmark phases.
   void reset_stats();
 
+  // ---- memory ledger audit ----
+
+  /// Number of live (not yet freed) allocations in the ledger.
+  std::size_t live_allocations() const noexcept { return ledger_.size(); }
+
+  /// Throws Error(kInternal) when any block is still live (leak at
+  /// teardown) or a double-free was recorded; no-op on a clean ledger.
+  void audit() const;
+
+  /// Fault-injection hook for ledger tests: frees ledger entry `id` as if a
+  /// buffer destructor ran. A second call with the same id is recorded as a
+  /// double-free (audit() then throws).
+  void inject_free(std::uint64_t id, std::size_t bytes) noexcept { on_free(id, bytes); }
+
  private:
   friend class DeviceBuffer;
-  void on_free(std::size_t bytes) noexcept;
+  void on_free(std::uint64_t alloc_id, std::size_t bytes) noexcept;
   void validate_stream(StreamId stream) const;
 
   /// Returns the start time the kernel scheduler grants a kernel that
   /// becomes ready at `ready`: it must also find a free slot.
   double acquire_kernel_slot(double ready, double duration);
 
+  struct LedgerEntry {
+    std::size_t bytes = 0;
+    std::string label;
+  };
+
   CostModelConfig config_;
   int id_ = 0;
   DeviceStats stats_;
   double clock_ = 0.0;
+  std::unordered_map<std::uint64_t, LedgerEntry> ledger_;
+  std::uint64_t next_alloc_id_ = 1;
 
   std::vector<double> streams_;  // per-stream completion frontier
   double h2d_engine_ = 0.0;      // copy engine availability

@@ -6,7 +6,9 @@
 #include "linalg/blas.hpp"
 #include "linalg/eta.hpp"
 #include "linalg/lu.hpp"
+#include "check/invariants.hpp"
 #include "sparse/ops.hpp"
+#include "support/assert.hpp"
 #include "support/log.hpp"
 
 namespace gpumip::lp {
@@ -156,8 +158,7 @@ bool SimplexSolver::try_warm_start(Workspace& ws, const Basis& warm) const {
   return true;
 }
 
-void SimplexSolver::refactorize(Workspace& ws) const {
-  // Rebuild B from the basic columns and invert via LU.
+linalg::Matrix SimplexSolver::basis_matrix(const Workspace& ws) const {
   linalg::Matrix b(ws.m, ws.m);
   for (int i = 0; i < ws.m; ++i) {
     const int v = ws.basic[static_cast<std::size_t>(i)];
@@ -171,10 +172,18 @@ void SimplexSolver::refactorize(Workspace& ws) const {
       }
     }
   }
+  return b;
+}
+
+void SimplexSolver::refactorize(Workspace& ws) const {
+  // Rebuild B from the basic columns and invert via LU.
+  const linalg::Matrix b = basis_matrix(ws);
   linalg::DenseLU lu(b);  // throws NumericalError when basis is singular
   ws.binv = lu.inverse();
   ws.etas_since_refactor = 0;
   ++ws.ops.refactor;
+  // Paper C3: a fresh factorization must reproduce B to LU accuracy.
+  GPUMIP_VALIDATE(check::check_basis_inverse(b, ws.binv, 1e-6, "(after refactorize)"));
   recompute_basic_values(ws);
 }
 
@@ -226,8 +235,11 @@ linalg::Vector SimplexSolver::ftran_column(Workspace& ws, int var) const {
 linalg::Vector SimplexSolver::compute_duals(Workspace& ws, const linalg::Vector& cost) const {
   linalg::Vector cb(static_cast<std::size_t>(ws.m));
   for (int i = 0; i < ws.m; ++i) {
-    cb[static_cast<std::size_t>(i)] =
-        cost[static_cast<std::size_t>(ws.basic[static_cast<std::size_t>(i)])];
+    // A basic variable beyond `cost` is an artificial still in the basis
+    // after an abnormal stop (iteration limit / singularity during phase 1);
+    // its phase-2 cost is zero, it is not an out-of-bounds read.
+    const std::size_t v = static_cast<std::size_t>(ws.basic[static_cast<std::size_t>(i)]);
+    cb[static_cast<std::size_t>(i)] = v < cost.size() ? cost[v] : 0.0;
   }
   linalg::Vector y(static_cast<std::size_t>(ws.m), 0.0);
   linalg::gemv_t(1.0, ws.binv, cb, 0.0, y);
@@ -393,6 +405,9 @@ SimplexSolver::PhaseResult SimplexSolver::primal_loop(Workspace& ws,
     }
     ++ws.ops.eta_updates;
     ++ws.etas_since_refactor;
+    // Paper C3: the eta-updated inverse must still invert the new basis.
+    GPUMIP_VALIDATE(check::check_basis_inverse(basis_matrix(ws), ws.binv, 1e-4,
+                                               "(after primal eta update)"));
   }
 }
 
@@ -419,6 +434,16 @@ LpResult SimplexSolver::finish(Workspace& ws, LpStatus status) const {
   }
   result.basis.basic = ws.basic;
   result.basis.status.assign(ws.status.begin(), ws.status.begin() + ws.n);
+  // The basis handed to branch-and-bound children must be structurally
+  // sound; a degenerate basic artificial can legitimately survive phase 1,
+  // so only a fully structural basis is validated against the form.
+  GPUMIP_VALIDATE({
+    if (status == LpStatus::Optimal &&
+        std::all_of(result.basis.basic.begin(), result.basis.basic.end(),
+                    [&](int v) { return v < ws.n; })) {
+      check::check_basis(*form_, result.basis);
+    }
+  });
   return result;
 }
 
@@ -623,6 +648,8 @@ LpResult SimplexSolver::resolve_dual(std::span<const double> lb, std::span<const
     }
     ++ws.ops.eta_updates;
     ++ws.etas_since_refactor;
+    GPUMIP_VALIDATE(check::check_basis_inverse(basis_matrix(ws), ws.binv, 1e-4,
+                                               "(after dual eta update)"));
     ++ws.iterations;
     ++ws.ops.iterations;
   }

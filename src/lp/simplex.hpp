@@ -61,6 +61,9 @@ class SimplexSolver {
 
   void init_workspace(Workspace& ws, std::span<const double> lb,
                       std::span<const double> ub) const;
+  /// Rebuilds the basis matrix B from the current basic set (checked-mode
+  /// residual validation and refactorization share this).
+  linalg::Matrix basis_matrix(const Workspace& ws) const;
   bool try_warm_start(Workspace& ws, const Basis& warm) const;
   void cold_start(Workspace& ws) const;
   void refactorize(Workspace& ws) const;

@@ -1,7 +1,11 @@
 #include "mip/snapshot.hpp"
 
+#include <cctype>
+#include <cmath>
 #include <cstdlib>
 #include <iomanip>
+#include <istream>
+#include <limits>
 #include <sstream>
 
 #include "support/error.hpp"
@@ -16,27 +20,78 @@ void write_vector(std::ostream& out, const linalg::Vector& v) {
   out << '\n';
 }
 
-/// Reads one double, accepting "inf"/"-inf"/"nan" tokens (bound vectors
-/// routinely contain infinities; istream's num_get rejects them).
-double read_double(std::istream& in) {
-  std::string token;
-  in >> token;
-  check_arg(!token.empty(), "snapshot: missing number");
-  char* end = nullptr;
-  const double value = std::strtod(token.c_str(), &end);
-  check_arg(end != nullptr && *end == '\0', "snapshot: bad number '" + token + "'");
-  return value;
-}
+/// Token reader over the snapshot text format. Tracks the 1-based line
+/// number of the token being consumed so malformed or truncated input can
+/// be reported with its location; every failure throws Error(kIoError).
+class SnapshotReader {
+ public:
+  explicit SnapshotReader(std::istream& in) : in_(in) {}
 
-linalg::Vector read_vector(std::istream& in) {
-  std::size_t n = 0;
-  in >> n;
-  check_arg(in.good() && n < (1u << 26), "snapshot: corrupt vector length");
-  linalg::Vector v(n);
-  for (double& x : v) x = read_double(in);
-  check_arg(!in.fail(), "snapshot: corrupt vector data");
-  return v;
-}
+  [[noreturn]] void fail(const std::string& what, const std::string& got = "") {
+    throw Error(ErrorCode::kIoError,
+                "snapshot: " + what + (got.empty() ? "" : " (got '" + got + "')") +
+                    " at line " + std::to_string(line_) + ", " + context_);
+  }
+
+  /// Names the section being parsed, for error messages.
+  void set_context(std::string context) { context_ = std::move(context); }
+
+  /// Next whitespace-delimited token; fails on end of input.
+  std::string token() {
+    // Skip whitespace, counting newlines so errors carry the line number.
+    int c = in_.get();
+    while (c != std::istream::traits_type::eof() &&
+           std::isspace(static_cast<unsigned char>(c)) != 0) {
+      if (c == '\n') ++line_;
+      c = in_.get();
+    }
+    if (c == std::istream::traits_type::eof()) fail("truncated input, expected more data");
+    std::string tok;
+    while (c != std::istream::traits_type::eof() &&
+           std::isspace(static_cast<unsigned char>(c)) == 0) {
+      tok.push_back(static_cast<char>(c));
+      c = in_.get();
+    }
+    if (c == '\n') ++line_;
+    return tok;
+  }
+
+  /// Reads one double, accepting "inf"/"-inf"/"nan" tokens (bound vectors
+  /// routinely contain infinities; istream's num_get rejects them).
+  double number() {
+    const std::string tok = token();
+    char* end = nullptr;
+    const double value = std::strtod(tok.c_str(), &end);
+    if (end == nullptr || *end != '\0') fail("expected a number", tok);
+    return value;
+  }
+
+  /// Reads a non-negative integer count bounded by `limit`.
+  long count(long limit) {
+    const std::string tok = token();
+    char* end = nullptr;
+    const long value = std::strtol(tok.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') fail("expected a count", tok);
+    if (value < 0) fail("negative count", tok);
+    if (value > limit) fail("count " + tok + " exceeds sanity limit " + std::to_string(limit));
+    return value;
+  }
+
+  linalg::Vector vector(long limit) {
+    const long n = count(limit);
+    linalg::Vector v(static_cast<std::size_t>(n));
+    for (double& x : v) x = number();
+    return v;
+  }
+
+ private:
+  std::istream& in_;
+  long line_ = 1;
+  std::string context_ = "header";
+};
+
+constexpr long kMaxVectorLen = 1L << 26;
+constexpr long kMaxFrontier = 1L << 24;
 
 }  // namespace
 
@@ -54,24 +109,41 @@ void ConsistentSnapshot::serialize(std::ostream& out) const {
 }
 
 ConsistentSnapshot ConsistentSnapshot::deserialize(std::istream& in) {
-  std::string magic;
-  in >> magic;
-  check_arg(magic == "gpumip-snapshot-v1", "snapshot: bad magic '" + magic + "'");
+  SnapshotReader r(in);
+  const std::string magic = r.token();
+  if (magic != "gpumip-snapshot-v1") r.fail("bad magic", magic);
+
   ConsistentSnapshot snap;
-  snap.incumbent_objective = read_double(in);
-  in >> snap.nodes_solved_so_far;
-  snap.incumbent_x = read_vector(in);
-  std::size_t count = 0;
-  in >> count;
-  check_arg(in.good() && count < (1u << 24), "snapshot: corrupt frontier count");
-  snap.frontier.resize(count);
-  for (SnapshotNode& node : snap.frontier) {
-    node.bound = read_double(in);
-    in >> node.depth;
-    node.lb = read_vector(in);
-    node.ub = read_vector(in);
+  r.set_context("incumbent");
+  snap.incumbent_objective = r.number();
+  if (std::isnan(snap.incumbent_objective)) r.fail("incumbent objective is NaN");
+  snap.nodes_solved_so_far = r.count(std::numeric_limits<long>::max());
+  snap.incumbent_x = r.vector(kMaxVectorLen);
+
+  r.set_context("frontier header");
+  const long frontier_count = r.count(kMaxFrontier);
+  snap.frontier.resize(static_cast<std::size_t>(frontier_count));
+  std::size_t expected_len = 0;
+  for (long i = 0; i < frontier_count; ++i) {
+    r.set_context("frontier node " + std::to_string(i));
+    SnapshotNode& node = snap.frontier[static_cast<std::size_t>(i)];
+    node.bound = r.number();
+    if (std::isnan(node.bound)) r.fail("node bound is NaN");
+    node.depth = static_cast<int>(r.count(1L << 30));
+    node.lb = r.vector(kMaxVectorLen);
+    node.ub = r.vector(kMaxVectorLen);
+    // A node with mismatched or inconsistent bound vectors would silently
+    // corrupt a restarted search; reject it here rather than mid-solve.
+    if (node.lb.size() != node.ub.size()) r.fail("lb/ub length mismatch");
+    if (i == 0) expected_len = node.lb.size();
+    if (node.lb.size() != expected_len) r.fail("bound vector length differs from first node");
+    for (std::size_t j = 0; j < node.lb.size(); ++j) {
+      if (std::isnan(node.lb[j]) || std::isnan(node.ub[j])) r.fail("NaN bound entry");
+      if (node.lb[j] > node.ub[j] + 1e-9) {
+        r.fail("crossed bounds at variable " + std::to_string(j));
+      }
+    }
   }
-  check_arg(!in.fail(), "snapshot: truncated data");
   return snap;
 }
 

@@ -2,6 +2,8 @@
 
 #include <cmath>
 
+#include "check/invariants.hpp"
+#include "support/assert.hpp"
 #include "support/log.hpp"
 
 namespace gpumip::mip {
@@ -80,6 +82,7 @@ ConsistentSnapshot BnbSolver::capture_snapshot() const {
     const BnbNode& n = pool_->node(id);
     snap.frontier.push_back({n.lb, n.ub, n.bound, n.depth});
   }
+  GPUMIP_VALIDATE(check::check_snapshot(snap, form_.get()));
   return snap;
 }
 
@@ -153,6 +156,7 @@ MipResult BnbSolver::run(const ConsistentSnapshot* snapshot) {
     if (options_.snapshot_interval > 0 && options_.on_snapshot &&
         stats_.nodes_evaluated - last_snapshot_at >= options_.snapshot_interval) {
       last_snapshot_at = stats_.nodes_evaluated;
+      GPUMIP_VALIDATE(check::check_tree(*pool_));
       options_.on_snapshot(capture_snapshot());
     }
     // Gap-based stop.
@@ -302,6 +306,7 @@ MipResult BnbSolver::run(const ConsistentSnapshot* snapshot) {
   }
 
   // Assemble the result.
+  GPUMIP_VALIDATE(check::check_tree(*pool_));
   stats_.anatomy = pool_->anatomy();
   result.stats = stats_;
   result.has_solution = !incumbent_x_.empty();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "support/assert.hpp"
 #include "support/error.hpp"
 
 namespace gpumip::mip {
@@ -31,6 +32,15 @@ NodePool::NodePool(NodeSelection policy, double locality_slack)
     : policy_(policy), locality_slack_(locality_slack) {}
 
 int NodePool::push(BnbNode node) {
+  GPUMIP_ASSERT(node.parent >= -1 && node.parent < static_cast<int>(nodes_.size()),
+                "push: parent id out of range");
+  GPUMIP_ASSERT(node.parent < 0 ||
+                    nodes_[static_cast<std::size_t>(node.parent)].state == NodeState::Branched,
+                "push: child of a parent that never branched (orphan)");
+  GPUMIP_ASSERT(node.parent < 0 ||
+                    node.bound + 1e-9 >= nodes_[static_cast<std::size_t>(node.parent)].bound,
+                "push: child bound regresses below parent bound");
+  GPUMIP_ASSERT(node.lb.size() == node.ub.size(), "push: lb/ub size mismatch");
   node.id = static_cast<int>(nodes_.size());
   node.state = NodeState::Active;
   const int id = node.id;
@@ -122,6 +132,7 @@ double NodePool::best_active_bound() const {
 }
 
 void NodePool::set_state(int id, NodeState state) {
+  GPUMIP_ASSERT(id >= 0 && id < static_cast<int>(nodes_.size()), "set_state: id out of range");
   BnbNode& n = nodes_[static_cast<std::size_t>(id)];
   check_internal(n.state == NodeState::Active || state != NodeState::Active,
                  "cannot re-activate a finished node");

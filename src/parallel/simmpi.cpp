@@ -3,6 +3,9 @@
 #include <atomic>
 #include <thread>
 
+#include "support/assert.hpp"
+#include "support/log.hpp"
+
 namespace gpumip::parallel {
 
 namespace detail {
@@ -19,6 +22,12 @@ struct World {
   std::vector<std::unique_ptr<Mailbox>> mailboxes;
   std::mutex stats_mutex;
   NetworkStats stats;
+  /// Set when any rank exits with an exception; blocked recv()/barrier()
+  /// calls on the surviving ranks then throw instead of waiting forever for
+  /// a peer that will never send (run_ranks rethrows the original error
+  /// after the join). Without this, a checked-mode invariant failure inside
+  /// one rank would deadlock the whole run.
+  std::atomic<bool> aborted{false};
 
   // Barrier state.
   std::mutex barrier_mutex;
@@ -68,9 +77,16 @@ Message Comm::recv(int source, int tag) {
       if (matches(*it, source, tag)) {
         Message msg = std::move(*it);
         box.queue.erase(it);
+        GPUMIP_ASSERT(msg.source >= 0 && msg.source < world_->size,
+                      "recv: message from out-of-range rank");
+        GPUMIP_ASSERT(msg.send_time >= 0.0, "recv: negative arrival time");
         clock_ = std::max(clock_, msg.send_time);
         return msg;
       }
+    }
+    if (world_->aborted.load()) {
+      throw Error(ErrorCode::kInternal,
+                  "rank " + std::to_string(rank_) + ": run aborted by a failure on another rank");
     }
     box.cv.wait(lock);
   }
@@ -99,7 +115,13 @@ void Comm::barrier() {
     ++world_->barrier_generation;
     world_->barrier_cv.notify_all();
   } else {
-    world_->barrier_cv.wait(lock, [&] { return world_->barrier_generation != generation; });
+    world_->barrier_cv.wait(lock, [&] {
+      return world_->barrier_generation != generation || world_->aborted.load();
+    });
+    if (world_->barrier_generation == generation) {
+      throw Error(ErrorCode::kInternal,
+                  "rank " + std::to_string(rank_) + ": run aborted by a failure on another rank");
+    }
   }
   clock_ = std::max(clock_, world_->barrier_clock + world_->network.latency);
 }
@@ -123,8 +145,21 @@ RunReport run_ranks(int n, const std::function<void(Comm&)>& body, NetworkConfig
       try {
         body(comm);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+        {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        // Unblock every rank waiting on this (now dead) one. Notifying under
+        // each mailbox mutex closes the check-then-wait race in recv().
+        world.aborted.store(true);
+        for (auto& box : world.mailboxes) {
+          std::lock_guard<std::mutex> box_lock(box->mutex);
+          box->cv.notify_all();
+        }
+        {
+          std::lock_guard<std::mutex> barrier_lock(world.barrier_mutex);
+          world.barrier_cv.notify_all();
+        }
       }
       clocks[static_cast<std::size_t>(r)] = comm.now();
       // Wake everyone so blocked recvs in crashed protocols do not hang the
@@ -140,17 +175,30 @@ RunReport run_ranks(int n, const std::function<void(Comm&)>& body, NetworkConfig
   report.rank_clocks = clocks;
   for (double c : clocks) report.makespan = std::max(report.makespan, c);
   report.network = world.stats;
+  for (const auto& box : world.mailboxes) {
+    report.network.undelivered += box->queue.size();
+  }
+  if (report.network.undelivered > 0) {
+    GPUMIP_LOG(Debug) << "run_ranks: " << report.network.undelivered
+                      << " message(s) never received before shutdown";
+  }
   return report;
 }
 
+// The empty-payload guards below matter: memcpy/insert with a null source
+// pointer is undefined behaviour even for zero bytes (UBSan flags it), and
+// empty vectors legitimately cross the wire (e.g. a report with no frontier).
+
 void ByteWriter::write_doubles(std::span<const double> values) {
   write<std::uint64_t>(values.size());
+  if (values.empty()) return;
   const auto* p = reinterpret_cast<const std::byte*>(values.data());
   buffer_.insert(buffer_.end(), p, p + values.size_bytes());
 }
 
 void ByteWriter::write_ints(std::span<const int> values) {
   write<std::uint64_t>(values.size());
+  if (values.empty()) return;
   const auto* p = reinterpret_cast<const std::byte*>(values.data());
   buffer_.insert(buffer_.end(), p, p + values.size_bytes());
 }
@@ -159,6 +207,7 @@ std::vector<double> ByteReader::read_doubles() {
   const auto count = read<std::uint64_t>();
   check_arg(pos_ + count * sizeof(double) <= data_.size(), "read_doubles: out of data");
   std::vector<double> out(count);
+  if (count == 0) return out;
   std::memcpy(out.data(), data_.data() + pos_, count * sizeof(double));
   pos_ += count * sizeof(double);
   return out;
@@ -168,6 +217,7 @@ std::vector<int> ByteReader::read_ints() {
   const auto count = read<std::uint64_t>();
   check_arg(pos_ + count * sizeof(int) <= data_.size(), "read_ints: out of data");
   std::vector<int> out(count);
+  if (count == 0) return out;
   std::memcpy(out.data(), data_.data() + pos_, count * sizeof(int));
   pos_ += count * sizeof(int);
   return out;

@@ -41,6 +41,11 @@ struct Message {
 struct NetworkStats {
   std::uint64_t messages = 0;
   std::uint64_t bytes = 0;
+  /// Messages still sitting in mailboxes when all ranks exited. Nonzero is
+  /// legal for fire-and-forget protocols but usually indicates a lost
+  /// message in request/reply ones; the supervisor's MessageAuditor turns
+  /// the subproblem-level version of this into a hard shutdown check.
+  std::uint64_t undelivered = 0;
 };
 
 namespace detail {

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <deque>
 
+#include "check/invariants.hpp"
+#include "check/message_audit.hpp"
+#include "support/assert.hpp"
 #include "support/log.hpp"
 
 namespace gpumip::parallel {
@@ -22,8 +25,10 @@ struct Subproblem {
   int depth = 0;
 };
 
-std::vector<std::byte> encode_subproblem(const Subproblem& sub, double cutoff) {
+std::vector<std::byte> encode_subproblem(const Subproblem& sub, double cutoff,
+                                         std::uint64_t track_id) {
   ByteWriter w;
+  w.write(track_id);
   w.write(cutoff);
   w.write(sub.bound);
   w.write(sub.depth);
@@ -33,6 +38,7 @@ std::vector<std::byte> encode_subproblem(const Subproblem& sub, double cutoff) {
 }
 
 struct WorkItem {
+  std::uint64_t track_id = 0;  ///< message-audit tracking id
   double cutoff;
   Subproblem sub;
 };
@@ -40,6 +46,7 @@ struct WorkItem {
 WorkItem decode_subproblem(std::span<const std::byte> payload) {
   ByteReader r(payload);
   WorkItem item;
+  item.track_id = r.read<std::uint64_t>();
   item.cutoff = r.read<double>();
   item.sub.bound = r.read<double>();
   item.sub.depth = r.read<int>();
@@ -49,6 +56,7 @@ WorkItem decode_subproblem(std::span<const std::byte> payload) {
 }
 
 struct WorkerReport {
+  std::uint64_t track_id = 0;  ///< echo of the assignment's tracking id
   bool improved = false;
   double objective = 0.0;
   linalg::Vector x;
@@ -59,6 +67,7 @@ struct WorkerReport {
 
 std::vector<std::byte> encode_report(const WorkerReport& report) {
   ByteWriter w;
+  w.write(report.track_id);
   w.write<std::uint8_t>(report.improved ? 1 : 0);
   w.write(report.objective);
   w.write_doubles(report.x);
@@ -77,6 +86,7 @@ std::vector<std::byte> encode_report(const WorkerReport& report) {
 WorkerReport decode_report(std::span<const std::byte> payload) {
   ByteReader r(payload);
   WorkerReport report;
+  report.track_id = r.read<std::uint64_t>();
   report.improved = r.read<std::uint8_t>() != 0;
   report.objective = r.read<double>();
   report.x = r.read_doubles();
@@ -157,6 +167,10 @@ SupervisorResult run_supervised(const mip::MipModel& model,
   const int ranks = options.workers + 1;
   long dispatched_total = 0;
   long checkpoints = 0;
+  // Every subproblem shipped supervisor->worker is tracked; at shutdown the
+  // auditor proves none was lost or double-delivered (checked builds throw,
+  // release builds log).
+  check::MessageAuditor auditor;
 
   auto body = [&](Comm& comm) {
     if (comm.rank() == 0) {
@@ -178,7 +192,8 @@ SupervisorResult run_supervised(const mip::MipModel& model,
         const std::size_t idx = best_pool_node();
         Subproblem sub = std::move(pool[idx]);
         pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(idx));
-        comm.send(worker, kTagWork, encode_subproblem(sub, incumbent_obj));
+        const std::uint64_t track_id = auditor.shipped(worker);
+        comm.send(worker, kTagWork, encode_subproblem(sub, incumbent_obj, track_id));
         ++outstanding;
         ++dispatched_total;
       };
@@ -198,6 +213,9 @@ SupervisorResult run_supervised(const mip::MipModel& model,
         for (const Subproblem& sub : pool) {
           snap.frontier.push_back({sub.lb, sub.ub, sub.bound, sub.depth});
         }
+        // Paper C2: the emitted snapshot must cover the live search — the
+        // in-flight count is part of the validated condition.
+        GPUMIP_VALIDATE(check::check_snapshot(snap, nullptr, outstanding));
         options.on_checkpoint(snap);
         ++checkpoints;
       };
@@ -208,6 +226,7 @@ SupervisorResult run_supervised(const mip::MipModel& model,
           --outstanding;
           ++completed;
           WorkerReport report = decode_report(msg.payload);
+          auditor.completed(report.track_id);
           out.worker_nodes[static_cast<std::size_t>(msg.source - 1)] += report.nodes;
           out.worker_busy[static_cast<std::size_t>(msg.source - 1)] += report.busy_seconds;
           if (report.improved && report.objective < incumbent_obj - 1e-12) {
@@ -256,6 +275,7 @@ SupervisorResult run_supervised(const mip::MipModel& model,
         if (msg.tag == kTagStop) break;
         check_internal(msg.tag == kTagWork, "worker: unexpected tag");
         const WorkItem item = decode_subproblem(msg.payload);
+        auditor.delivered(item.track_id, comm.rank());
 
         mip::ConsistentSnapshot task;
         task.incumbent_objective = item.cutoff;
@@ -269,6 +289,7 @@ SupervisorResult run_supervised(const mip::MipModel& model,
         mip::MipResult r = solver.solve_from(task);
 
         WorkerReport report;
+        report.track_id = item.track_id;
         report.nodes = r.stats.nodes_evaluated;
         report.busy_seconds = lp::cpu_seconds(r.stats.total_ops) * options.rate_scale;
         comm.advance(report.busy_seconds);
@@ -293,6 +314,14 @@ SupervisorResult run_supervised(const mip::MipModel& model,
   };
 
   RunReport run = run_ranks(ranks, body, options.network);
+
+  // Shutdown audit: every shipped subproblem must have come back exactly
+  // once. Checked builds fail hard; release builds log and continue.
+  if constexpr (kCheckedBuild) {
+    auditor.finalize();
+  } else if (auditor.in_flight() != 0 || auditor.anomalies() != 0) {
+    GPUMIP_LOG(Warn) << "supervisor message audit: " << auditor.report();
+  }
 
   out.makespan = run.makespan;
   out.network = run.network;

@@ -3,6 +3,9 @@
 #include <algorithm>
 #include <cmath>
 
+#include "check/invariants.hpp"
+#include "support/assert.hpp"
+
 namespace gpumip::sparse {
 
 namespace {
@@ -45,6 +48,7 @@ Csr csr_from_triplets(int rows, int cols, const std::vector<Triplet>& triplets, 
     }
   }
   out.row_start[static_cast<std::size_t>(rows)] = static_cast<int>(out.col_index.size());
+  GPUMIP_VALIDATE(check::check_sparse(out));
   return out;
 }
 
@@ -74,6 +78,7 @@ Csc csr_to_csc(const Csr& a) {
       out.values[static_cast<std::size_t>(dst)] = a.values[static_cast<std::size_t>(k)];
     }
   }
+  GPUMIP_VALIDATE(check::check_sparse(out));
   return out;
 }
 
@@ -98,6 +103,7 @@ Csr csc_to_csr(const Csc& a) {
       out.values[static_cast<std::size_t>(dst)] = a.values[static_cast<std::size_t>(k)];
     }
   }
+  GPUMIP_VALIDATE(check::check_sparse(out));
   return out;
 }
 
@@ -109,6 +115,7 @@ Csr transpose(const Csr& a) {
   out.row_start = csc.col_start;
   out.col_index = csc.row_index;
   out.values = csc.values;
+  GPUMIP_VALIDATE(check::check_sparse(out));
   return out;
 }
 

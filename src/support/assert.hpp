@@ -1,0 +1,67 @@
+// Checked-build invariant macros.
+//
+// GPUMIP_ASSERT / GPUMIP_INVARIANT guard internal consistency conditions on
+// hot paths. In a GPUMIP_CHECKED build (cmake -DGPUMIP_CHECKED=ON, or the
+// `checked` preset) a failed condition throws Error(kInternal) carrying the
+// source location; in a normal build the condition is not evaluated at all,
+// so validators can be arbitrarily expensive (O(tree), O(m^2) residuals)
+// without taxing release runs.
+//
+//   GPUMIP_ASSERT(x.size() == y.size(), "ftran: size mismatch");
+//   GPUMIP_INVARIANT(check_tree(pool), "tree corrupt after prune");
+//
+// The two names are synonyms; by convention ASSERT guards a local condition
+// and INVARIANT guards a structural/whole-datastructure property.
+#pragma once
+
+#include <string>
+
+#include "support/error.hpp"
+
+namespace gpumip {
+
+/// True when this translation unit was compiled with invariant checking.
+#ifdef GPUMIP_CHECKED
+inline constexpr bool kCheckedBuild = true;
+#else
+inline constexpr bool kCheckedBuild = false;
+#endif
+
+namespace detail {
+[[noreturn]] void assert_fail(const char* condition, const std::string& message,
+                              const char* file, int line);
+}  // namespace detail
+
+}  // namespace gpumip
+
+#ifdef GPUMIP_CHECKED
+#define GPUMIP_ASSERT(cond, msg)                                          \
+  do {                                                                    \
+    if (!(cond)) ::gpumip::detail::assert_fail(#cond, msg, __FILE__, __LINE__); \
+  } while (false)
+#else
+// Not evaluated, but still parsed: the condition stays syntactically and
+// semantically checked in every build, so checked-only code cannot rot.
+#define GPUMIP_ASSERT(cond, msg)                        \
+  do {                                                  \
+    if (false) { static_cast<void>(cond); static_cast<void>(msg); } \
+  } while (false)
+#endif
+
+#define GPUMIP_INVARIANT(cond, msg) GPUMIP_ASSERT(cond, msg)
+
+// Runs a (typically throwing) validator statement only in checked builds:
+//   GPUMIP_VALIDATE(check::check_tree(*pool_));
+// The statement is compiled in every build (so it cannot rot) but the
+// branch is constant-false outside GPUMIP_CHECKED and is dead-stripped.
+#ifdef GPUMIP_CHECKED
+#define GPUMIP_VALIDATE(stmt) \
+  do {                        \
+    stmt;                     \
+  } while (false)
+#else
+#define GPUMIP_VALIDATE(stmt) \
+  do {                        \
+    if (false) { stmt; }      \
+  } while (false)
+#endif

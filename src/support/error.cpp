@@ -1,5 +1,7 @@
 #include "support/error.hpp"
 
+#include "support/assert.hpp"
+
 namespace gpumip {
 
 const char* error_code_name(ErrorCode code) noexcept {
@@ -27,5 +29,14 @@ void check_arg(bool cond, const std::string& message, std::source_location loc) 
 void check_internal(bool cond, const std::string& message, std::source_location loc) {
   if (!cond) throw Error(ErrorCode::kInternal, with_location(message, loc));
 }
+
+namespace detail {
+
+void assert_fail(const char* condition, const std::string& message, const char* file, int line) {
+  throw Error(ErrorCode::kInternal, "invariant violated: " + message + " (" + condition + ") [" +
+                                        file + ":" + std::to_string(line) + "]");
+}
+
+}  // namespace detail
 
 }  // namespace gpumip

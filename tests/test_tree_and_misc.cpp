@@ -59,9 +59,10 @@ TEST(NodePool, GpuLocalityPrefersChildrenOfLastNode) {
 TEST(NodePool, GpuLocalityFallsBackToBestFirst) {
   mip::NodePool pool(mip::NodeSelection::GpuLocality, 0.01);
   pool.push(make_node(-1, 0.0));
-  const int far = pool.push(make_node(7, 100.0));  // child of an unknown node
+  pool.push(make_node(-1, 100.0));
   const int best = pool.push(make_node(-1, -5.0));
-  (void)far;
+  // No active node is a child of `last`: locality finds nothing to reuse and
+  // must fall back to plain best-first selection.
   EXPECT_EQ(pool.pop(/*last=*/99, 1e300), best);
 }
 
@@ -80,7 +81,7 @@ TEST(NodePool, PruneWorseThanRetagsAndCounts) {
 TEST(NodePool, AnatomyTracksPeakAndDepth) {
   mip::NodePool pool(mip::NodeSelection::BestFirst);
   pool.push(make_node(-1, 0.0, 0));
-  pool.push(make_node(0, 1.0, 3));
+  pool.push(make_node(-1, 1.0, 3));
   EXPECT_EQ(pool.anatomy().active_peak, 2);
   EXPECT_EQ(pool.anatomy().max_depth, 3);
   EXPECT_EQ(pool.anatomy().total_nodes, 2);
@@ -90,6 +91,8 @@ TEST(NodePool, RenderHandlesEmptyAndTruncation) {
   mip::NodePool pool(mip::NodeSelection::BestFirst);
   EXPECT_NE(pool.render_ascii().find("empty"), std::string::npos);
   const int root = pool.push(make_node(-1, 0.0));
+  ASSERT_EQ(pool.pop(-1, 1e300), root);
+  pool.set_state(root, mip::NodeState::Branched);
   for (int i = 0; i < 5; ++i) pool.push(make_node(root, 1.0));
   const std::string art = pool.render_ascii(/*max_nodes=*/3);
   EXPECT_NE(art.find("truncated"), std::string::npos);
