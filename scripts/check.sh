@@ -1,15 +1,24 @@
 #!/usr/bin/env bash
-# Full correctness sweep for the invariant-checking toolchain (DESIGN.md,
-# "Checked builds & invariants"). Runs three independent gates and exits
-# nonzero if any of them finds a problem:
+# Full correctness sweep for the analysis toolchain (DESIGN.md, "Checked
+# builds & invariants" and "simmpi concurrency model"). Runs five
+# independent gates and exits nonzero if any of them finds a problem:
 #
 #   1. sanitize   — ASan+UBSan build (-DGPUMIP_SANITIZE=ON) + full ctest.
 #   2. checked    — GPUMIP_CHECKED build (invariant validators live) + ctest.
-#   3. tidy       — clang-tidy over src/ with the repo .clang-tidy, using the
+#   3. tsan       — ThreadSanitizer build (-DGPUMIP_SANITIZE=thread) + full
+#                   ctest: every data race in the thread-per-rank simmpi
+#                   runtime is a hard failure (halt_on_error=1, so detected
+#                   races fail the test even through pipes).
+#   4. schedule   — delivery-order sweep: reruns the protocol tests of the
+#                   checked build under several GPUMIP_SCHEDULE_SEED values,
+#                   so the supervisor-worker exchange is exercised under
+#                   fuzzed (but legal) message schedules. Divergent results
+#                   or a detector-flagged deadlock fail the gate.
+#   5. tidy       — clang-tidy over src/ with the repo .clang-tidy, using the
 #                   compile database of the sanitize build. Skipped with a
 #                   warning when clang-tidy is not installed (the check still
 #                   exits 0 for this step: it is an extra gate, not a
-#                   replacement for the other two).
+#                   replacement for the others).
 #
 # Both build gates compile with -Werror (GPUMIP_WERROR=ON), so warnings
 # promoted in the top-level CMakeLists (-Wall -Wextra -Wpedantic -Wshadow)
@@ -59,7 +68,44 @@ run_gate sanitize build-asan -DGPUMIP_SANITIZE=ON
 # device ledger, message audit).
 run_gate checked build-checked -DGPUMIP_CHECKED=ON
 
-# Gate 3: clang-tidy (optional tool; the compile database comes from the
+# Gate 3: ThreadSanitizer over the thread-per-rank simmpi runtime. TSan is
+# incompatible with ASan, hence its own build tree. halt_on_error makes a
+# detected race abort the test immediately — without it the exit status can
+# be swallowed when output goes through a pipe.
+export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
+run_gate tsan build-tsan -DGPUMIP_SANITIZE=thread
+
+# Gate 4: seeded schedule sweep. GPUMIP_SCHEDULE_SEED fuzzes message
+# delivery order inside run_ranks (see parallel/schedule.hpp), so the same
+# protocol tests now run under several distinct legal schedules. The filter
+# names the order-INDEPENDENT tests: makespan/balance comparisons
+# (MoreWorkersNoWorseMakespan, LoadIsDistributed) legitimately change under
+# a perturbed schedule and are excluded. The dedicated 32-seed-per-strategy
+# determinism sweep (test_schedule) already ran in every gate above.
+schedule_gate() {
+  local build_dir="build-checked"
+  local filter='SimMpi|Supervisor\.(MatchesSequentialOptimum|CheckpointAndResume)'
+  if [ ! -d "$build_dir" ]; then
+    echo "==> [schedule] SKIPPED: no $build_dir (checked gate did not configure)"
+    return
+  fi
+  echo "==> [schedule] fuzzed delivery-order sweep ($build_dir)"
+  local seed
+  for seed in 1 42 7919 104729; do
+    if ! (cd "$build_dir" && GPUMIP_SCHEDULE_SEED="$seed" \
+          ctest -R "$filter" -j "$JOBS" --output-on-failure \
+          >"../$build_dir.schedule-$seed.log" 2>&1); then
+      echo "==> [schedule] SWEEP FAILED at seed $seed (see $build_dir.schedule-$seed.log)"
+      tail -n 20 "$build_dir.schedule-$seed.log"
+      FAILURES=$((FAILURES + 1))
+      return
+    fi
+  done
+  echo "==> [schedule] OK (seeds: 1 42 7919 104729)"
+}
+schedule_gate
+
+# Gate 5: clang-tidy (optional tool; the compile database comes from the
 # sanitize build, which exports compile_commands.json).
 if command -v clang-tidy >/dev/null 2>&1; then
   echo "==> [tidy] clang-tidy over src/"

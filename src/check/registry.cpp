@@ -29,6 +29,7 @@ const char* subsystem_name(Subsystem s) noexcept {
     case Subsystem::kSparse: return "sparse";
     case Subsystem::kLedger: return "ledger";
     case Subsystem::kMessages: return "messages";
+    case Subsystem::kSchedule: return "schedule";
     case Subsystem::kCount_: break;
   }
   return "?";

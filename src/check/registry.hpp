@@ -18,6 +18,7 @@ enum class Subsystem : int {
   kSparse,        ///< check_sparse: CSR/CSC structure
   kLedger,        ///< device-memory ledger audits
   kMessages,      ///< simmpi supervisor<->worker message audits
+  kSchedule,      ///< schedule determinism + delivery-trace validators
   kCount_,        // sentinel
 };
 

@@ -1,0 +1,137 @@
+// Schedule-space validators (header-only, like the structural validators in
+// invariants.hpp: no link dependency on the modules they inspect).
+//
+// PR 1's validators prove properties of one state; these prove properties
+// ACROSS executions: a parallel solve must produce the same answer under
+// every legal message-delivery order (order-independence, the property the
+// paper's consistent-snapshot argument in §2.1 leans on), and every run's
+// delivery trace must respect the simmpi concurrency model (Lamport clocks
+// never regress, per-source FIFO never violated).
+//
+// Usage (see tests/test_schedule.cpp and scripts/check.sh):
+//
+//   check::check_schedule_determinism(
+//       [&](std::uint64_t seed) { return outcome_of(solve_under(seed)); },
+//       seeds);
+//
+// Outcomes are compared bit-for-bit: the supervised search is exhaustive,
+// so the incumbent objective/bound/point must not depend on which schedule
+// the fuzzer produced. Any divergence throws Error(kInternal) naming the
+// two seeds.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <span>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "check/registry.hpp"
+#include "parallel/schedule.hpp"
+#include "support/error.hpp"
+
+namespace gpumip::check {
+
+/// The order-independent fingerprint of one parallel solve.
+struct ScheduleOutcome {
+  bool has_solution = false;
+  double objective = 0.0;
+  double bound = 0.0;
+  std::vector<double> x;
+
+  friend bool operator==(const ScheduleOutcome& a, const ScheduleOutcome& b) {
+    // Bit-identical comparison on purpose: these are outputs of the same
+    // deterministic numeric search, only the message schedule differed.
+    return a.has_solution == b.has_solution && a.objective == b.objective &&
+           a.bound == b.bound && a.x == b.x;
+  }
+
+  std::string to_string() const {
+    std::ostringstream out;
+    out.precision(17);
+    out << (has_solution ? "solution" : "no-solution") << " objective=" << objective
+        << " bound=" << bound << " |x|=" << x.size();
+    return out.str();
+  }
+};
+
+/// Runs `run(seed)` for every seed and throws Error(kInternal) on the first
+/// outcome that differs from the first seed's outcome. `run` must return a
+/// ScheduleOutcome (or something convertible to one).
+template <typename RunFn>
+void check_schedule_determinism(RunFn&& run, std::span<const std::uint64_t> seeds) {
+  count_check(Subsystem::kSchedule);
+  check_arg(!seeds.empty(), "check_schedule_determinism: need at least one seed");
+  std::optional<ScheduleOutcome> reference;
+  std::uint64_t reference_seed = 0;
+  for (const std::uint64_t seed : seeds) {
+    ScheduleOutcome outcome = run(seed);
+    if (!reference.has_value()) {
+      reference = std::move(outcome);
+      reference_seed = seed;
+      continue;
+    }
+    if (!(outcome == *reference)) {
+      count_failure(Subsystem::kSchedule);
+      throw Error(ErrorCode::kInternal,
+                  "schedule determinism violated: seed " + std::to_string(reference_seed) +
+                      " -> " + reference->to_string() + " but seed " + std::to_string(seed) +
+                      " -> " + outcome.to_string());
+    }
+  }
+}
+
+/// Structural validation of one recorded delivery order:
+///  * per-rank Lamport monotonicity — a receiver's simulated clock never
+///    regresses across its deliveries (recv merges with max(), advance()
+///    only adds nonnegative charges, so a regression means clock
+///    accounting is broken);
+///  * per-(source, rank) FIFO — sequence numbers are delivered strictly
+///    increasing, i.e. the fuzzer's reordering stayed inside the
+///    eligibility rule (MPI non-overtaking);
+///  * well-formed records (ranks in range when `world_size` is given,
+///    nonzero seq, finite clocks).
+inline void check_delivery_trace(const parallel::DeliveryTrace& trace, int world_size = -1) {
+  count_check(Subsystem::kSchedule);
+  auto fail = [](const std::string& message) {
+    count_failure(Subsystem::kSchedule);
+    throw Error(ErrorCode::kInternal, "delivery trace: " + message);
+  };
+  std::map<int, double> last_clock;                             // rank -> clock
+  std::map<std::pair<int, int>, std::uint64_t> last_seq;        // (source, rank) -> seq
+  for (std::size_t i = 0; i < trace.deliveries.size(); ++i) {
+    const parallel::DeliveryRecord& record = trace.deliveries[i];
+    const std::string at = " (record " + std::to_string(i) + ")";
+    if (record.rank < 0 || record.source < 0) fail("negative rank or source" + at);
+    if (world_size >= 0 && (record.rank >= world_size || record.source >= world_size)) {
+      fail("rank or source out of range" + at);
+    }
+    if (record.seq == 0) fail("zero sequence number" + at);
+    if (!std::isfinite(record.clock) || record.clock < 0.0) {
+      fail("non-finite or negative clock" + at);
+    }
+    auto [clock_it, clock_new] = last_clock.try_emplace(record.rank, record.clock);
+    if (!clock_new) {
+      if (record.clock < clock_it->second) {
+        fail("Lamport clock regressed at rank " + std::to_string(record.rank) + at);
+      }
+      clock_it->second = record.clock;
+    }
+    auto [seq_it, seq_new] =
+        last_seq.try_emplace({record.source, record.rank}, record.seq);
+    if (!seq_new) {
+      if (record.seq <= seq_it->second) {
+        fail("per-source FIFO violated: source " + std::to_string(record.source) + " -> rank " +
+             std::to_string(record.rank) + " delivered seq " + std::to_string(record.seq) +
+             " after seq " + std::to_string(seq_it->second) + at);
+      }
+      seq_it->second = record.seq;
+    }
+  }
+}
+
+}  // namespace gpumip::check

@@ -3,12 +3,20 @@
 #include <atomic>
 #include <thread>
 
+#include "check/schedule_check.hpp"
 #include "support/assert.hpp"
 #include "support/log.hpp"
 
 namespace gpumip::parallel {
 
 namespace detail {
+
+/// Thrown by blocked primitives when the world is torn down (peer failure
+/// or detected deadlock). Distinguished from a rank's own failure so the
+/// abnormal-exit report counts only genuinely failed ranks.
+struct AbortError : Error {
+  explicit AbortError(const std::string& message) : Error(ErrorCode::kInternal, message) {}
+};
 
 struct Mailbox {
   std::mutex mutex;
@@ -22,12 +30,17 @@ struct World {
   std::vector<std::unique_ptr<Mailbox>> mailboxes;
   std::mutex stats_mutex;
   NetworkStats stats;
-  /// Set when any rank exits with an exception; blocked recv()/barrier()
-  /// calls on the surviving ranks then throw instead of waiting forever for
-  /// a peer that will never send (run_ranks rethrows the original error
-  /// after the join). Without this, a checked-mode invariant failure inside
-  /// one rank would deadlock the whole run.
+  /// Set when any rank exits with an exception or the deadlock detector
+  /// fires; blocked recv()/barrier() calls on the surviving ranks then
+  /// throw instead of waiting forever for a peer that will never send
+  /// (run_ranks rethrows the original error after the join). Without this,
+  /// a checked-mode invariant failure inside one rank would deadlock the
+  /// whole run.
   std::atomic<bool> aborted{false};
+
+  /// Schedule controller: delivery fuzzing, wait-for graph, trace
+  /// record/replay (parallel/schedule.hpp).
+  Scheduler sched;
 
   // Barrier state.
   std::mutex barrier_mutex;
@@ -35,28 +48,69 @@ struct World {
   int barrier_waiting = 0;
   std::uint64_t barrier_generation = 0;
   double barrier_clock = 0.0;
+
+  /// Aborts the run: every blocked rank wakes and unwinds. Notifications
+  /// happen under the corresponding mutex — all waits are predicate waits,
+  /// but the predicate check and the sleep are only atomic against
+  /// notifiers that hold the same mutex. Never call while holding any
+  /// mailbox or barrier mutex.
+  void abort_world() {
+    aborted.store(true);
+    for (auto& box : mailboxes) {
+      std::lock_guard<std::mutex> lock(box->mutex);
+      box->cv.notify_all();
+    }
+    {
+      std::lock_guard<std::mutex> lock(barrier_mutex);
+      barrier_cv.notify_all();
+    }
+  }
 };
 
 }  // namespace detail
 
 int Comm::size() const noexcept { return world_->size; }
 
+void Comm::throw_aborted() const {
+  if (world_->sched.deadlocked()) {
+    throw detail::AbortError(world_->sched.deadlock_report());
+  }
+  throw detail::AbortError("rank " + std::to_string(rank_) +
+                           ": run aborted by a failure on another rank");
+}
+
 void Comm::send(int dest, int tag, std::span<const std::byte> payload) {
   check_arg(dest >= 0 && dest < world_->size, "send: bad destination rank");
+  world_->sched.perturb(rank_);
+  if (send_seq_.empty()) send_seq_.assign(static_cast<std::size_t>(world_->size), 0);
   Message msg;
   msg.source = rank_;
   msg.tag = tag;
   msg.payload.assign(payload.begin(), payload.end());
   msg.send_time = clock_ + world_->network.wire_time(payload.size());
+  msg.seq = ++send_seq_[static_cast<std::size_t>(dest)];
   {
     std::lock_guard<std::mutex> lock(world_->stats_mutex);
     ++world_->stats.messages;
     world_->stats.bytes += payload.size();
   }
+  // Mirror header first: the deadlock detector must never observe a queued
+  // message without its header (it could then conclude a receiver is
+  // unsatisfiable while its wake-up is materializing).
+  world_->sched.on_send(rank_, dest, {rank_, tag, msg.seq, payload.size()}, clock_);
   detail::Mailbox& box = *world_->mailboxes[static_cast<std::size_t>(dest)];
   {
     std::lock_guard<std::mutex> lock(box.mutex);
-    box.queue.push_back(std::move(msg));
+    // Delivery-order fuzzing: the new message may overtake any suffix of
+    // queued messages from OTHER sources (per-source FIFO is the MPI
+    // non-overtaking guarantee and the eligibility rule for reordering).
+    std::size_t eligible = 0;
+    for (auto it = box.queue.rbegin(); it != box.queue.rend(); ++it) {
+      if (it->source == msg.source) break;
+      ++eligible;
+    }
+    const std::size_t jump = world_->sched.overtake(dest, eligible);
+    box.queue.insert(box.queue.end() - static_cast<std::ptrdiff_t>(jump), std::move(msg));
   }
   box.cv.notify_all();
 }
@@ -67,110 +121,212 @@ bool matches(const Message& msg, int source, int tag) {
   return (source < 0 || msg.source == source) && (tag < 0 || msg.tag == tag);
 }
 
+/// First queued message satisfying the caller's filter — or, under replay,
+/// the exact traced next delivery regardless of queue position.
+std::deque<Message>::iterator find_match(std::deque<Message>& queue, int source, int tag,
+                                         const DeliveryRecord* expect) {
+  for (auto it = queue.begin(); it != queue.end(); ++it) {
+    if (expect != nullptr) {
+      if (it->source == expect->source && it->seq == expect->seq) return it;
+    } else if (matches(*it, source, tag)) {
+      return it;
+    }
+  }
+  return queue.end();
+}
+
+[[noreturn]] void throw_replay_filter_mismatch(int rank, const Message& msg, int source, int tag) {
+  throw Error(ErrorCode::kInternal,
+              "schedule replay diverged: rank " + std::to_string(rank) +
+                  " traced delivery (src " + std::to_string(msg.source) + ", tag " +
+                  std::to_string(msg.tag) + ", seq " + std::to_string(msg.seq) +
+                  ") does not satisfy the recv filter (source=" + std::to_string(source) +
+                  ", tag=" + std::to_string(tag) + ")");
+}
+
 }  // namespace
 
 Message Comm::recv(int source, int tag) {
-  detail::Mailbox& box = *world_->mailboxes[static_cast<std::size_t>(rank_)];
-  std::unique_lock<std::mutex> lock(box.mutex);
+  detail::World& world = *world_;
+  world.sched.perturb(rank_);
+  detail::Mailbox& box = *world.mailboxes[static_cast<std::size_t>(rank_)];
   for (;;) {
-    for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
-      if (matches(*it, source, tag)) {
-        Message msg = std::move(*it);
+    const DeliveryRecord* expect = world.sched.replay_next(rank_);
+    bool got = false;
+    Message msg;
+    {
+      std::lock_guard<std::mutex> lock(box.mutex);
+      auto it = find_match(box.queue, source, tag, expect);
+      if (it != box.queue.end()) {
+        msg = std::move(*it);
         box.queue.erase(it);
-        GPUMIP_ASSERT(msg.source >= 0 && msg.source < world_->size,
-                      "recv: message from out-of-range rank");
-        GPUMIP_ASSERT(msg.send_time >= 0.0, "recv: negative arrival time");
-        clock_ = std::max(clock_, msg.send_time);
-        return msg;
+        got = true;
       }
     }
-    if (world_->aborted.load()) {
-      throw Error(ErrorCode::kInternal,
-                  "rank " + std::to_string(rank_) + ": run aborted by a failure on another rank");
+    if (got) {
+      if (expect != nullptr && !matches(msg, source, tag)) {
+        throw_replay_filter_mismatch(rank_, msg, source, tag);
+      }
+      GPUMIP_ASSERT(msg.source >= 0 && msg.source < world.size,
+                    "recv: message from out-of-range rank");
+      GPUMIP_ASSERT(msg.send_time >= 0.0, "recv: negative arrival time");
+      clock_ = std::max(clock_, msg.send_time);
+      world.sched.on_delivered(rank_, msg, clock_);
+      return msg;
     }
-    box.cv.wait(lock);
+    if (world.aborted.load()) throw_aborted();
+    // Register in the wait-for graph; this block may complete a provable
+    // deadlock, in which case the whole world aborts with the dump.
+    if (world.sched.on_block_recv(rank_, source, tag, expect, clock_)) {
+      world.abort_world();
+    }
+    {
+      std::unique_lock<std::mutex> lock(box.mutex);
+      box.cv.wait(lock, [&] {
+        return world.aborted.load() ||
+               find_match(box.queue, source, tag, expect) != box.queue.end();
+      });
+    }
+    world.sched.on_unblock(rank_, clock_);
   }
 }
 
 bool Comm::try_recv(Message& out, int source, int tag) {
-  detail::Mailbox& box = *world_->mailboxes[static_cast<std::size_t>(rank_)];
-  std::lock_guard<std::mutex> lock(box.mutex);
-  for (auto it = box.queue.begin(); it != box.queue.end(); ++it) {
-    if (matches(*it, source, tag)) {
-      out = std::move(*it);
-      box.queue.erase(it);
-      clock_ = std::max(clock_, out.send_time);
-      return true;
-    }
+  detail::World& world = *world_;
+  world.sched.perturb(rank_);
+  // An asynchronous network never guarantees arrival by any particular
+  // poll, so reporting "nothing yet" despite a queued message is always a
+  // legal schedule — fuzz it.
+  if (world.sched.spurious_try_recv_failure(rank_)) return false;
+  const DeliveryRecord* expect = world.sched.replay_next(rank_);
+  detail::Mailbox& box = *world.mailboxes[static_cast<std::size_t>(rank_)];
+  {
+    std::lock_guard<std::mutex> lock(box.mutex);
+    auto it = find_match(box.queue, source, tag, expect);
+    if (it == box.queue.end()) return false;
+    out = std::move(*it);
+    box.queue.erase(it);
   }
-  return false;
+  if (expect != nullptr && !matches(out, source, tag)) {
+    throw_replay_filter_mismatch(rank_, out, source, tag);
+  }
+  clock_ = std::max(clock_, out.send_time);
+  world.sched.on_delivered(rank_, out, clock_);
+  return true;
 }
 
 void Comm::barrier() {
-  std::unique_lock<std::mutex> lock(world_->barrier_mutex);
-  world_->barrier_clock = std::max(world_->barrier_clock, clock_);
-  const std::uint64_t generation = world_->barrier_generation;
-  if (++world_->barrier_waiting == world_->size) {
-    world_->barrier_waiting = 0;
-    ++world_->barrier_generation;
-    world_->barrier_cv.notify_all();
+  detail::World& world = *world_;
+  world.sched.perturb(rank_);
+  std::unique_lock<std::mutex> lock(world.barrier_mutex);
+  world.barrier_clock = std::max(world.barrier_clock, clock_);
+  const std::uint64_t generation = world.barrier_generation;
+  if (++world.barrier_waiting == world.size) {
+    world.barrier_waiting = 0;
+    ++world.barrier_generation;
+    // Tell the detector every waiter of this generation is runnable before
+    // any wake-up races with a new block registration (barrier_mutex is
+    // held across both, and next-generation waiters can only register
+    // after this release).
+    world.sched.on_barrier_release();
+    world.barrier_cv.notify_all();
   } else {
-    world_->barrier_cv.wait(lock, [&] {
-      return world_->barrier_generation != generation || world_->aborted.load();
-    });
-    if (world_->barrier_generation == generation) {
-      throw Error(ErrorCode::kInternal,
-                  "rank " + std::to_string(rank_) + ": run aborted by a failure on another rank");
+    const bool fire = world.sched.on_block_barrier(rank_, clock_);
+    if (fire) {
+      // abort_world needs the mailbox/barrier locks; drop ours first.
+      lock.unlock();
+      world.abort_world();
+      lock.lock();
     }
+    world.barrier_cv.wait(lock, [&] {
+      return world.barrier_generation != generation || world.aborted.load();
+    });
+    if (world.barrier_generation == generation) {
+      lock.unlock();
+      world.sched.on_unblock(rank_, clock_);
+      throw_aborted();
+    }
+    world.sched.on_unblock(rank_, clock_);
   }
-  clock_ = std::max(clock_, world_->barrier_clock + world_->network.latency);
+  clock_ = std::max(clock_, world.barrier_clock + world.network.latency);
 }
 
 RunReport run_ranks(int n, const std::function<void(Comm&)>& body, NetworkConfig network) {
+  RunOptions options;
+  options.network = network;
+  return run_ranks(n, body, options);
+}
+
+RunReport run_ranks(int n, const std::function<void(Comm&)>& body, const RunOptions& options) {
   check_arg(n >= 1, "run_ranks: need at least one rank");
   detail::World world;
   world.size = n;
-  world.network = network;
+  world.network = options.network;
   for (int i = 0; i < n; ++i) world.mailboxes.push_back(std::make_unique<detail::Mailbox>());
+
+  // Environment knobs apply when the caller did not configure the
+  // corresponding control explicitly (so a ctest seed sweep reaches every
+  // run_ranks in the process without code changes).
+  ScheduleConfig schedule = options.schedule;
+  DeliveryTrace env_replay;
+  const ScheduleEnv& env = schedule_env();
+  if (schedule.replay == nullptr && !env.replay_path.empty()) {
+    env_replay = load_trace(env.replay_path);
+    schedule.replay = &env_replay;
+  }
+  if (!schedule.fuzz && schedule.replay == nullptr && env.seed.has_value()) {
+    schedule.fuzz = true;
+    schedule.seed = *env.seed;
+  }
+  world.sched.init(n, schedule);
+  const bool dump_on_failure = !env.trace_path.empty();
+  if (dump_on_failure) world.sched.force_recording();
 
   std::vector<double> clocks(static_cast<std::size_t>(n), 0.0);
   std::exception_ptr first_error;
   std::mutex error_mutex;
+  std::atomic<int> failed_ranks{0};
 
   std::vector<std::thread> threads;
   threads.reserve(static_cast<std::size_t>(n));
   for (int r = 0; r < n; ++r) {
     threads.emplace_back([&, r] {
       Comm comm(&world, r);
+      bool failed = false;
+      bool abort_unwind = false;
       try {
         body(comm);
+      } catch (const detail::AbortError&) {
+        // Torn down by a peer's failure or a detected deadlock: this rank
+        // did not fail, it was unwound. The dump/abort error still wins
+        // the rethrow if nothing was recorded yet (deadlock case).
+        abort_unwind = true;
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
       } catch (...) {
-        {
-          std::lock_guard<std::mutex> lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
-        }
-        // Unblock every rank waiting on this (now dead) one. Notifying under
-        // each mailbox mutex closes the check-then-wait race in recv().
-        world.aborted.store(true);
-        for (auto& box : world.mailboxes) {
-          std::lock_guard<std::mutex> box_lock(box->mutex);
-          box->cv.notify_all();
-        }
-        {
-          std::lock_guard<std::mutex> barrier_lock(world.barrier_mutex);
-          world.barrier_cv.notify_all();
-        }
+        failed = true;
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      // A normal exit can strand survivors blocked on this rank — that is
+      // a protocol bug the detector turns into an abort-with-dump instead
+      // of a hang; a failed exit aborts the world outright.
+      const bool deadlock = world.sched.on_exit(r, failed || abort_unwind, comm.now());
+      if (failed) {
+        failed_ranks.fetch_add(1);
+        world.abort_world();
+      } else if (deadlock) {
+        world.abort_world();
       }
       clocks[static_cast<std::size_t>(r)] = comm.now();
-      // Wake everyone so blocked recvs in crashed protocols do not hang the
-      // process forever (a rank waiting on a dead peer will still deadlock
-      // logically, but error propagation paths get a chance).
-      for (auto& box : world.mailboxes) box->cv.notify_all();
     });
   }
   for (auto& t : threads) t.join();
-  if (first_error) std::rethrow_exception(first_error);
 
+  // The report is truthful on both exits: final rank clocks, traffic
+  // counters, and whatever was still sitting in mailboxes when the world
+  // came down (on the abort path that includes every in-flight message the
+  // dead protocol never consumed).
   RunReport report;
   report.rank_clocks = clocks;
   for (double c : clocks) report.makespan = std::max(report.makespan, c);
@@ -178,9 +334,32 @@ RunReport run_ranks(int n, const std::function<void(Comm&)>& body, NetworkConfig
   for (const auto& box : world.mailboxes) {
     report.network.undelivered += box->queue.size();
   }
-  if (report.network.undelivered > 0) {
+  report.failed_ranks = failed_ranks.load();
+  report.deadlock_detected = world.sched.deadlocked();
+  if (report.network.undelivered > 0 && first_error == nullptr) {
     GPUMIP_LOG(Debug) << "run_ranks: " << report.network.undelivered
                       << " message(s) never received before shutdown";
+  }
+
+  DeliveryTrace trace = world.sched.take_trace();
+  // Lamport invariant: per-rank delivery clocks never regress, per-source
+  // delivery sequence numbers never reorder (checked builds only).
+  GPUMIP_VALIDATE(if (!trace.empty()) check::check_delivery_trace(trace));
+  if (schedule.record != nullptr) *schedule.record = trace;
+  if (options.report_out != nullptr) *options.report_out = report;
+
+  if (first_error) {
+    if (dump_on_failure && !trace.empty()) {
+      try {
+        save_trace(trace, env.trace_path);
+        GPUMIP_LOG(Warn) << "run_ranks: failing delivery order written to " << env.trace_path
+                         << " (" << trace.size() << " deliveries); replay with "
+                         << "GPUMIP_SCHEDULE_REPLAY=" << env.trace_path;
+      } catch (const Error& io) {
+        GPUMIP_LOG(Error) << "run_ranks: could not write schedule trace: " << io.what();
+      }
+    }
+    std::rethrow_exception(first_error);
   }
   return report;
 }

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "parallel/schedule.hpp"
 #include "support/error.hpp"
 
 namespace gpumip::parallel {
@@ -35,6 +36,10 @@ struct Message {
   int tag = 0;
   std::vector<std::byte> payload;
   double send_time = 0.0;  ///< sender clock + wire time (arrival time)
+  /// Per-(source, dest) send sequence number starting at 1. Identifies one
+  /// message uniquely for the delivery trace and for schedule replay, and
+  /// lets validators prove per-source FIFO (the reorder-eligibility rule).
+  std::uint64_t seq = 0;
 };
 
 /// Aggregated traffic statistics of one run.
@@ -58,12 +63,34 @@ struct RunReport {
   double makespan = 0.0;  ///< max final rank clock
   std::vector<double> rank_clocks;
   NetworkStats network;
+  /// Ranks whose body threw an exception of its own. Ranks unwound by the
+  /// resulting world teardown (or by a deadlock abort) are not counted.
+  int failed_ranks = 0;
+  /// The deadlock detector fired (the rethrown error carries the dump).
+  bool deadlock_detected = false;
+};
+
+/// Extended controls for run_ranks.
+struct RunOptions {
+  NetworkConfig network;
+  ScheduleConfig schedule;
+  /// When set, filled with truthful statistics even on the abnormal-exit
+  /// path (rank failure or deadlock): final per-rank clocks, traffic
+  /// counters, and the messages left undelivered in mailboxes at the time
+  /// the world was torn down. The normal return value is unavailable then
+  /// because run_ranks rethrows the failing rank's exception.
+  RunReport* report_out = nullptr;
 };
 
 /// Spawns `n` ranks running `body` and joins them. Exceptions thrown by a
 /// rank are rethrown (first one wins) after all ranks stop.
 RunReport run_ranks(int n, const std::function<void(Comm&)>& body,
                     NetworkConfig network = {});
+
+/// As above with schedule controls (fuzzing, replay, deadlock detection)
+/// and abnormal-exit reporting. When `options.schedule` is default and the
+/// GPUMIP_SCHEDULE_* environment knobs are set, they are applied here.
+RunReport run_ranks(int n, const std::function<void(Comm&)>& body, const RunOptions& options);
 
 /// Per-rank communicator handle. Valid only inside run_ranks' callback.
 class Comm {
@@ -90,11 +117,13 @@ class Comm {
 
  private:
   friend struct detail::World;
-  friend RunReport run_ranks(int, const std::function<void(Comm&)>&, NetworkConfig);
+  friend RunReport run_ranks(int, const std::function<void(Comm&)>&, const RunOptions&);
   Comm(detail::World* world, int rank) : world_(world), rank_(rank) {}
+  [[noreturn]] void throw_aborted() const;
   detail::World* world_;
   int rank_;
   double clock_ = 0.0;
+  std::vector<std::uint64_t> send_seq_;  ///< next per-destination sequence
 };
 
 // --- serialization helpers for message payloads ---

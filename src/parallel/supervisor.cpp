@@ -313,7 +313,10 @@ SupervisorResult run_supervised(const mip::MipModel& model,
     }
   };
 
-  RunReport run = run_ranks(ranks, body, options.network);
+  RunOptions run_options;
+  run_options.network = options.network;
+  run_options.schedule = options.schedule;
+  RunReport run = run_ranks(ranks, body, run_options);
 
   // Shutdown audit: every shipped subproblem must have come back exactly
   // once. Checked builds fail hard; release builds log and continue.

@@ -29,6 +29,11 @@ struct SupervisorOptions {
   long worker_node_budget = 500;  ///< nodes per assignment
   mip::MipOptions mip;            ///< base engine options (cuts run once, at ramp-up)
   NetworkConfig network;
+  /// Schedule controls for the underlying run_ranks world (delivery-order
+  /// fuzzing, deadlock detection, trace record/replay). The supervisor
+  /// protocol must produce the same incumbent under every legal schedule;
+  /// tests/test_schedule.cpp sweeps seeds to prove it.
+  ScheduleConfig schedule;
   /// Worker compute-rate scale: simulated seconds advanced per assignment
   /// are cpu_seconds(ops) * rate_scale (use < 1 to model GPU-accelerated
   /// workers).
