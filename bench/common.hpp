@@ -11,6 +11,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
+
 namespace gpumip::bench {
 
 inline void title(const std::string& id, const std::string& text) {
@@ -29,12 +31,17 @@ inline void row(const char* fmt, ...) {
 
 inline void note(const std::string& text) { std::printf("  %s\n", text.c_str()); }
 
-/// Prints the table then hands over to google-benchmark.
+/// Prints the table then hands over to google-benchmark. On exit, dumps the
+/// process-wide metrics registry to $GPUMIP_METRICS_OUT if set (this is how
+/// scripts/bench.sh harvests the observability counters; the simulated
+/// tables above are deterministic, so the export is too).
 inline int run_benchmarks(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
+  const std::string exported = obs::export_if_requested();
+  if (!exported.empty()) std::printf("metrics written to %s\n", exported.c_str());
   return 0;
 }
 

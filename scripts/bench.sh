@@ -1,0 +1,105 @@
+#!/usr/bin/env bash
+# Recorded-baseline harness for the experiment benches (see EXPERIMENTS.md
+# and docs/METRICS.md). Builds a Release tree with the observability layer
+# ON, runs a fixed set of bench binaries in table-only mode
+# (--benchmark_filter='$^' skips the google-benchmark wall-time loops; the
+# printed series come from simulated clocks), harvests each binary's
+# GPUMIP_METRICS_OUT export, and merges everything into one versioned JSON
+# document (schema gpumip.bench-baseline.v1).
+#
+# The merged file doubles as the committed baseline (BENCH_baseline.json):
+# counters and gauges are driven by the simulated device/network clocks and
+# are deterministic run-to-run; histograms of host wall time (span metrics,
+# idle time) are a recorded snapshot of the machine that produced the file.
+#
+# Usage: scripts/bench.sh [out.json] [jobs]
+#   out.json  merged baseline path        (default: BENCH_baseline.json)
+#   jobs      parallel build jobs         (default: nproc)
+set -eu -o pipefail
+
+cd "$(dirname "$0")/.."
+OUT="${1:-BENCH_baseline.json}"
+JOBS="${2:-$(nproc)}"
+BUILD=build-bench
+
+# The suite: every paper claim the baseline must witness, with margin.
+#   e1  strategies        -> gpu.xfer.{h2d,d2h}.bytes on full solves
+#   e3  basis updates     -> C3 transfer ledger (H2D volume per update rule)
+#   e4  cut round trip    -> C4 cut counts + payload bytes
+#   e5  node reuse        -> C5 lp.ops.refactor + mip.reuse.hit_rate
+#   e7  batching          -> C7 lp.batch.size / lp.batch.occupancy
+#   e8  scale-out         -> per-rank simmpi message counts/bytes + idle
+BENCHES="e1_strategies e3_basis_updates e4_cut_roundtrip e5_node_reuse e7_batching e8_scaleout"
+
+echo "==> [bench] configure ($BUILD, Release, GPUMIP_OBS=ON)"
+cmake -B "$BUILD" -S . -DCMAKE_BUILD_TYPE=Release -DGPUMIP_OBS=ON \
+  >"$BUILD.configure.log" 2>&1
+
+echo "==> [bench] build"
+targets=()
+for b in $BENCHES; do targets+=("bench_$b"); done
+cmake --build "$BUILD" -j "$JOBS" --target "${targets[@]}" >"$BUILD.build.log" 2>&1
+
+METRICS_DIR="$BUILD/metrics"
+mkdir -p "$METRICS_DIR"
+for b in $BENCHES; do
+  echo "==> [bench] run bench_$b (tables + metrics export)"
+  GPUMIP_METRICS_OUT="$METRICS_DIR/$b.json" \
+    "./$BUILD/bench/bench_$b" --benchmark_filter='$^' \
+    >"$METRICS_DIR/$b.out" 2>&1
+done
+
+echo "==> [bench] merge + validate -> $OUT"
+python3 - "$OUT" "$METRICS_DIR" $BENCHES <<'PY'
+import json, re, sys
+
+out_path, metrics_dir, benches = sys.argv[1], sys.argv[2], sys.argv[3:]
+
+merged = {
+    "schema": "gpumip.bench-baseline.v1",
+    "metrics_schema": "gpumip.metrics.v1",
+    "benches": {},
+}
+for b in benches:
+    with open(f"{metrics_dir}/{b}.json") as f:
+        doc = json.load(f)
+    if doc.get("schema") != "gpumip.metrics.v1":
+        sys.exit(f"bench {b}: unexpected metrics schema {doc.get('schema')!r}")
+    if not doc.get("enabled", False):
+        sys.exit(f"bench {b}: metrics export says observability is disabled; "
+                 "rebuild with -DGPUMIP_OBS=ON")
+    merged["benches"][b] = {
+        "counters": doc["counters"],
+        "gauges": doc["gauges"],
+        "histograms": doc["histograms"],
+    }
+
+# Acceptance floor: the baseline must witness each paper-claim metric in at
+# least one bench, and carry at least three benches overall.
+def present(kind, pattern):
+    rx = re.compile(pattern)
+    return [b for b, m in merged["benches"].items()
+            if any(rx.fullmatch(k) for k in m[kind])]
+
+required = [
+    ("counters", r"gpu\.xfer\.h2d\.bytes"),
+    ("counters", r"gpu\.xfer\.d2h\.bytes"),
+    ("counters", r"lp\.ops\.refactor"),
+    ("gauges", r"mip\.reuse\.hit_rate"),
+    ("histograms", r"lp\.batch\.occupancy"),
+    ("counters", r"simmpi\.rank\d+\.sent\.bytes"),
+]
+missing = [pat for kind, pat in required if not present(kind, pat)]
+if missing:
+    sys.exit("baseline is missing required metrics: " + ", ".join(missing))
+if len(merged["benches"]) < 3:
+    sys.exit("baseline needs at least three benches")
+
+with open(out_path, "w") as f:
+    json.dump(merged, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(f"    {len(merged['benches'])} benches, "
+      f"{sum(len(m['counters']) + len(m['gauges']) + len(m['histograms']) for m in merged['benches'].values())} metrics")
+PY
+
+echo "==> [bench] OK ($OUT)"

@@ -19,6 +19,13 @@
 #                   warning when clang-tidy is not installed (the check still
 #                   exits 0 for this step: it is an extra gate, not a
 #                   replacement for the others).
+#   6. obs        — observability smoke: runs two small benches of an
+#                   obs-ON Release build with a metrics export and validates
+#                   the JSON against the docs/METRICS.md glossary (every
+#                   exported name must be documented), then builds one bench
+#                   with -DGPUMIP_OBS=OFF and asserts the hot-path metric
+#                   name literals are absent from the binary (the macros
+#                   compile to parsed-but-unevaluated no-ops).
 #
 # Both build gates compile with -Werror (GPUMIP_WERROR=ON), so warnings
 # promoted in the top-level CMakeLists (-Wall -Wextra -Wpedantic -Wshadow)
@@ -119,6 +126,82 @@ if command -v clang-tidy >/dev/null 2>&1; then
 else
   echo "==> [tidy] SKIPPED: clang-tidy not installed (install LLVM tools to enable this gate)"
 fi
+
+# Gate 6: observability. Half (a): export metrics from two cheap benches
+# (e7 covers the batching histograms, e8 the per-rank simmpi names) and
+# cross-check every exported metric name against the docs/METRICS.md
+# glossary, normalizing rank-indexed names to the documented rank<r> form.
+# Half (b): a -DGPUMIP_OBS=OFF build of the same bench must not contain the
+# hot-path metric name strings — proof the macros compiled to no-ops.
+obs_gate() {
+  local build_dir=build-obs off_dir=build-obs-off
+  echo "==> [obs] configure+build ($build_dir, GPUMIP_OBS=ON)"
+  if ! { cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+           -DGPUMIP_WERROR=ON -DGPUMIP_OBS=ON >"$build_dir.configure.log" 2>&1 &&
+         cmake --build "$build_dir" -j "$JOBS" \
+           --target bench_e7_batching bench_e8_scaleout >"$build_dir.build.log" 2>&1; }; then
+    echo "==> [obs] BUILD FAILED (see $build_dir.*.log)"
+    FAILURES=$((FAILURES + 1))
+    return
+  fi
+  echo "==> [obs] bench smoke + glossary cross-check"
+  local b
+  for b in bench_e7_batching bench_e8_scaleout; do
+    if ! GPUMIP_METRICS_OUT="$build_dir/$b.metrics.json" \
+         "./$build_dir/bench/$b" --benchmark_filter='$^' \
+         >"$build_dir/$b.out.log" 2>&1; then
+      echo "==> [obs] BENCH FAILED: $b (see $build_dir/$b.out.log)"
+      FAILURES=$((FAILURES + 1))
+      return
+    fi
+  done
+  if ! python3 - "$build_dir/bench_e7_batching.metrics.json" \
+                 "$build_dir/bench_e8_scaleout.metrics.json" <<'PY'
+import json, re, sys
+
+glossary = open("docs/METRICS.md").read()
+bad = []
+for path in sys.argv[1:]:
+    doc = json.load(open(path))
+    if doc.get("schema") != "gpumip.metrics.v1" or not doc.get("enabled"):
+        sys.exit(f"{path}: bad schema or observability disabled")
+    names = list(doc["counters"]) + list(doc["gauges"]) + list(doc["histograms"])
+    if not names:
+        sys.exit(f"{path}: export contains no metrics")
+    for name in names:
+        documented = re.sub(r"rank\d+", "rank<r>", name)
+        if f"`{documented}`" not in glossary:
+            bad.append(f"{name} (from {path})")
+if bad:
+    sys.exit("metrics exported but not documented in docs/METRICS.md:\n  "
+             + "\n  ".join(sorted(set(bad))))
+print(f"    every exported metric name is documented")
+PY
+  then
+    echo "==> [obs] GLOSSARY CHECK FAILED"
+    FAILURES=$((FAILURES + 1))
+    return
+  fi
+  echo "==> [obs] configure+build ($off_dir, GPUMIP_OBS=OFF)"
+  if ! { cmake -B "$off_dir" -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+           -DGPUMIP_WERROR=ON -DGPUMIP_OBS=OFF >"$off_dir.configure.log" 2>&1 &&
+         cmake --build "$off_dir" -j "$JOBS" \
+           --target bench_e7_batching >"$off_dir.build.log" 2>&1; }; then
+    echo "==> [obs] OFF-BUILD FAILED (see $off_dir.*.log)"
+    FAILURES=$((FAILURES + 1))
+    return
+  fi
+  local name
+  for name in gpu.xfer.h2d.bytes lp.ops.refactor lp.batch.occupancy; do
+    if grep -qa "$name" "$off_dir/bench/bench_e7_batching"; then
+      echo "==> [obs] OFF build still contains metric string '$name'"
+      FAILURES=$((FAILURES + 1))
+      return
+    fi
+  done
+  echo "==> [obs] OK"
+}
+obs_gate
 
 echo
 if [ "$FAILURES" -ne 0 ]; then

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "linalg/device_blas.hpp"
+#include "obs/obs.hpp"
 
 namespace gpumip::lp {
 
@@ -36,6 +37,8 @@ BatchedLpReport solve_batched(const std::vector<const StandardForm*>& problems,
   check_arg(!problems.empty(), "solve_batched: empty batch");
   check_arg(streams >= 1, "solve_batched: need at least one stream");
   BatchedLpReport report;
+  GPUMIP_OBS_COUNT("lp.batch.solves");
+  GPUMIP_OBS_RECORD("lp.batch.size", static_cast<double>(problems.size()));
 
   // Device residency for the whole batch (capacity is checked for real).
   std::vector<gpu::DeviceBuffer> buffers;
@@ -93,6 +96,10 @@ BatchedLpReport solve_batched(const std::vector<const StandardForm*>& problems,
         m_avg /= active;
         n_avg /= active;
         ++report.waves;
+        GPUMIP_OBS_COUNT("lp.batch.waves");
+        // Paper C7: fraction of the batch still pivoting in this wave.
+        GPUMIP_OBS_RECORD("lp.batch.occupancy",
+                          static_cast<double>(active) / static_cast<double>(problems.size()));
         const double mm = 2.0 * m_avg * m_avg;
         // BTRAN + FTRAN + eta update (dense m x m each).
         device.launch(0, wave_cost(active, static_cast<int>(m_avg), static_cast<int>(n_avg),

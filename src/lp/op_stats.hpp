@@ -55,6 +55,10 @@ struct CpuCostModel {
 /// Seconds the recorded operations take on the host CPU.
 double cpu_seconds(const LpOpStats& stats, const CpuCostModel& cpu = {});
 
+/// Adds one finished solve's op recipe to the process-wide obs registry
+/// (lp.ops.* counters). No-op when the observability layer is compiled out.
+void publish_op_stats(const LpOpStats& stats);
+
 /// Replays the recorded operations as device kernel launches on `stream`
 /// (empty bodies; the numerics already ran). `sparse_pricing` selects
 /// whether pricing passes are charged at sparse or dense rates.

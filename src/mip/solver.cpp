@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "check/invariants.hpp"
+#include "obs/obs.hpp"
 #include "support/assert.hpp"
 #include "support/log.hpp"
 
@@ -54,14 +55,23 @@ void BnbSolver::root_cut_loop() {
     std::vector<Cut> covers = cover_cuts(model_, root.x, options_.cuts);
     cuts.insert(cuts.end(), covers.begin(), covers.end());
     int added = 0;
+    std::uint64_t cut_payload = 0;  // bytes a real GPU solver would upload
     for (const Cut& cut : cuts) {
       if (!pool.add(cut)) continue;
       model_.lp().add_row_range(cut.terms, cut.lb, cut.ub, "cut");
       ++added;
+      cut_payload += cut.terms.size() * (sizeof(int) + sizeof(double)) + 2 * sizeof(double);
     }
     if (added == 0) return;
     stats_.cuts_added += added;
     stats_.cut_rounds_used = round + 1;
+    // Paper C4: one separation round = download the relaxation solution,
+    // upload the surviving cut rows.
+    GPUMIP_OBS_COUNT("mip.cuts.roundtrips");
+    GPUMIP_OBS_ADD("mip.cuts.generated", static_cast<std::uint64_t>(added));
+    GPUMIP_OBS_ADD("mip.cuts.bytes_d2h",
+                   static_cast<std::uint64_t>(root.x.size() * sizeof(double)));
+    GPUMIP_OBS_ADD("mip.cuts.bytes_h2d", cut_payload);
   }
   // Rebuild once more so the form includes the last round's cuts.
   form_ = std::make_unique<lp::StandardForm>(lp::build_standard_form(model_.lp()));
@@ -87,6 +97,7 @@ ConsistentSnapshot BnbSolver::capture_snapshot() const {
 }
 
 MipResult BnbSolver::run(const ConsistentSnapshot* snapshot) {
+  GPUMIP_OBS_SPAN("mip.solve");
   MipResult result;
   trace_.clear();
   stats_ = MipStats{};
@@ -135,6 +146,7 @@ MipResult BnbSolver::run(const ConsistentSnapshot* snapshot) {
       incumbent_obj_ = obj;
       incumbent_x_.assign(x_struct.begin(), x_struct.end());
       pool_->prune_worse_than(incumbent_obj_ - 1e-9);
+      GPUMIP_OBS_COUNT("mip.incumbent.updates");
       return true;
     }
     return false;
@@ -191,10 +203,14 @@ MipResult BnbSolver::run(const ConsistentSnapshot* snapshot) {
     tr.lp_status = lp_result.status;
     tr.ops = lp_result.ops;
     trace_.push_back(tr);
-    if (tr.hot) ++stats_.hot_nodes;
+    if (tr.hot) {
+      ++stats_.hot_nodes;
+      GPUMIP_OBS_COUNT("mip.nodes.reuse_hits");
+    }
     stats_.total_ops.add(lp_result.ops);
     stats_.lp_iterations += lp_result.iterations;
     ++stats_.nodes_evaluated;
+    GPUMIP_OBS_COUNT("mip.nodes.evaluated");
     last_evaluated = id;
     node.lp_objective = lp_result.objective;
 
@@ -308,6 +324,16 @@ MipResult BnbSolver::run(const ConsistentSnapshot* snapshot) {
   // Assemble the result.
   GPUMIP_VALIDATE(check::check_tree(*pool_));
   stats_.anatomy = pool_->anatomy();
+#ifdef GPUMIP_OBS_ENABLED
+  // Paper C5: fraction of evaluated nodes whose parent matrix was still
+  // device-resident. Cumulative across all solves in this process.
+  {
+    const std::uint64_t hits = ::gpumip::obs::counter("mip.nodes.reuse_hits").value();
+    const std::uint64_t evals = ::gpumip::obs::counter("mip.nodes.evaluated").value();
+    GPUMIP_OBS_GAUGE_SET("mip.reuse.hit_rate",
+                         evals == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(evals));
+  }
+#endif
   result.stats = stats_;
   result.has_solution = !incumbent_x_.empty();
   if (hit_node_limit) {

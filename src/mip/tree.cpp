@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <sstream>
 
+#include "obs/obs.hpp"
 #include "support/assert.hpp"
 #include "support/error.hpp"
 
@@ -50,6 +51,9 @@ int NodePool::push(BnbNode node) {
   active_.push_back(id);
   ++active_count_;
   anatomy_.active_peak = std::max<long>(anatomy_.active_peak, static_cast<long>(active_count_));
+  GPUMIP_OBS_COUNT("mip.tree.pushed");
+  GPUMIP_OBS_GAUGE_MAX("mip.tree.depth_max", static_cast<double>(anatomy_.max_depth));
+  GPUMIP_OBS_GAUGE_MAX("mip.tree.frontier_peak", static_cast<double>(anatomy_.active_peak));
   return id;
 }
 
@@ -168,6 +172,7 @@ long NodePool::prune_worse_than(double cutoff) {
       return nodes_[static_cast<std::size_t>(id)].state != NodeState::Active;
     });
     active_count_ = active_.size();
+    GPUMIP_OBS_ADD("mip.tree.pruned", static_cast<std::uint64_t>(pruned));
   }
   return pruned;
 }

@@ -1,0 +1,149 @@
+// Observability primitives: counters, gauges, histograms, and the
+// process-wide registry that owns them (see DESIGN.md, "Observability").
+//
+// These are *measurement* instruments, not correctness validators (that is
+// check/): a counter records how often a hot path ran, a histogram records
+// a distribution (batch sizes, kernel occupancy, span durations), a gauge
+// records a last-written or running-maximum value. All mutation paths are
+// lock-free atomics so instruments can be bumped from any thread or simmpi
+// rank concurrently; registration (first lookup of a name) takes a lock.
+//
+// Call sites in the solver go through the macros in obs/obs.hpp, which
+// compile to nothing when the GPUMIP_OBS CMake option is OFF. The classes
+// here are always compiled so tests and exporters work in either build.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gpumip::obs {
+
+/// True when this translation unit was compiled with observability wiring
+/// (the GPUMIP_OBS CMake option; ON by default).
+#ifdef GPUMIP_OBS_ENABLED
+inline constexpr bool kObsEnabled = true;
+#else
+inline constexpr bool kObsEnabled = false;
+#endif
+
+/// Monotonically increasing event/volume count (messages sent, bytes
+/// transferred, refactorizations performed).
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept { value_.fetch_add(n, std::memory_order_relaxed); }
+  std::uint64_t value() const noexcept { return value_.load(std::memory_order_relaxed); }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written (or accumulated / running-maximum) double. Unlike a
+/// Counter it can move in any direction and carries fractional values
+/// (hit rates, idle seconds).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  /// Accumulates (CAS loop; gauges are low-frequency instruments).
+  void add(double v) noexcept;
+  /// Raises the gauge to `v` if `v` is larger (running maximum).
+  void set_max(double v) noexcept;
+  double value() const noexcept { return value_.load(std::memory_order_relaxed); }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-footprint log2-bucketed histogram over nonnegative values, with
+/// exact count/sum/min/max. Bucket b holds values in (2^(b-kZeroBucket-1),
+/// 2^(b-kZeroBucket)]; values <= 0 land in bucket 0. Quantiles are
+/// bucket-resolution estimates (within a factor of 2), which is enough to
+/// read occupancy, batch-size, and latency distributions.
+class Histogram {
+ public:
+  /// 2^-40 .. 2^47 — covers nanosecond spans through terabyte volumes.
+  static constexpr int kBuckets = 88;
+  static constexpr int kZeroBucket = 40;
+
+  void record(double v) noexcept;
+
+  std::uint64_t count() const noexcept { return count_.load(std::memory_order_relaxed); }
+  double sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+  /// Smallest / largest recorded value; 0 when empty.
+  double min() const noexcept;
+  double max() const noexcept;
+  double mean() const noexcept;
+  /// Upper edge of the bucket containing the q-quantile (0 <= q <= 1);
+  /// 0 when empty.
+  double quantile(double q) const noexcept;
+  std::uint64_t bucket_count(int bucket) const noexcept;
+  void reset() noexcept;
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets]{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<double> sum_{0.0};
+  // Seeded so the first record() wins both races; min()/max() report 0
+  // until something was recorded.
+  std::atomic<double> min_{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
+};
+
+/// Process-wide instrument registry. Instruments are created on first
+/// lookup of a name and live for the rest of the process, so call sites
+/// may cache the returned reference (the macros in obs/obs.hpp do).
+/// Names are dot-separated, lowercase, documented in docs/METRICS.md.
+class Registry {
+ public:
+  static Registry& instance();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
+
+  /// Sorted names of all registered instruments of each kind.
+  std::vector<std::string> counter_names() const;
+  std::vector<std::string> gauge_names() const;
+  std::vector<std::string> histogram_names() const;
+
+  /// Zeroes every instrument (registrations survive). Test isolation and
+  /// bench phase boundaries only; not thread-safe against concurrent
+  /// recording in the sense that racing increments may survive the sweep.
+  void reset();
+
+  /// The full registry as a JSON document (schema gpumip.metrics.v1; see
+  /// docs/METRICS.md for the layout).
+  std::string to_json() const;
+
+  /// Writes to_json() to `path` atomically enough for collection scripts
+  /// (write + flush + close). Throws Error(kIoError) on any failure.
+  void export_json(const std::string& path) const;
+
+ private:
+  Registry() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+// ---- convenience free functions over the singleton ----
+
+inline Counter& counter(std::string_view name) { return Registry::instance().counter(name); }
+inline Gauge& gauge(std::string_view name) { return Registry::instance().gauge(name); }
+inline Histogram& histogram(std::string_view name) {
+  return Registry::instance().histogram(name);
+}
+inline std::string to_json() { return Registry::instance().to_json(); }
+inline void export_json(const std::string& path) { Registry::instance().export_json(path); }
+inline void reset_all() { Registry::instance().reset(); }
+
+/// Exports to the path named by the GPUMIP_METRICS_OUT environment
+/// variable, if set. Returns the path written to ("" when the variable is
+/// unset). Used by bench mains and scripts/bench.sh.
+std::string export_if_requested();
+
+}  // namespace gpumip::obs

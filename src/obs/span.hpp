@@ -1,0 +1,48 @@
+// Scoped span timer: measures one lexical scope on the wall clock
+// (support/timer.hpp) and records the duration, in seconds, into the
+// histogram of the span's name. Spans nest: each thread tracks its active
+// span depth, so instrumented callees inside instrumented callers are
+// counted at depth 2, 3, ... — useful both for tests and for reading a
+// profile (`lp.simplex.solve` fired inside `mip.solve`).
+//
+// Hot paths use GPUMIP_OBS_SPAN from obs/obs.hpp, which compiles to
+// nothing when GPUMIP_OBS is OFF; the class itself is always available.
+#pragma once
+
+#include <string_view>
+
+#include "obs/metrics.hpp"
+#include "support/timer.hpp"
+
+namespace gpumip::obs {
+
+namespace detail {
+inline thread_local int active_span_depth = 0;
+}  // namespace detail
+
+class Span {
+ public:
+  explicit Span(std::string_view name)
+      : hist_(&histogram(name)), depth_(++detail::active_span_depth) {}
+
+  ~Span() {
+    --detail::active_span_depth;
+    hist_->record(timer_.elapsed());
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Nesting depth of this span on its thread (1 = outermost).
+  int depth() const noexcept { return depth_; }
+
+  /// Number of spans currently open on the calling thread.
+  static int active_depth() noexcept { return detail::active_span_depth; }
+
+ private:
+  Histogram* hist_;
+  WallTimer timer_;
+  int depth_;
+};
+
+}  // namespace gpumip::obs

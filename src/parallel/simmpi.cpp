@@ -4,8 +4,10 @@
 #include <thread>
 
 #include "check/schedule_check.hpp"
+#include "obs/obs.hpp"
 #include "support/assert.hpp"
 #include "support/log.hpp"
+#include "support/timer.hpp"
 
 namespace gpumip::parallel {
 
@@ -71,6 +73,15 @@ struct World {
 
 int Comm::size() const noexcept { return world_->size; }
 
+void Comm::obs_bind() {
+#ifdef GPUMIP_OBS_ENABLED
+  const std::string prefix = "simmpi.rank" + std::to_string(rank_);
+  obs_sent_msgs_ = &obs::counter(prefix + ".sent.msgs");
+  obs_sent_bytes_ = &obs::counter(prefix + ".sent.bytes");
+  obs_idle_seconds_ = &obs::gauge(prefix + ".recv.idle_seconds");
+#endif
+}
+
 void Comm::throw_aborted() const {
   if (world_->sched.deadlocked()) {
     throw detail::AbortError(world_->sched.deadlock_report());
@@ -94,6 +105,13 @@ void Comm::send(int dest, int tag, std::span<const std::byte> payload) {
     ++world_->stats.messages;
     world_->stats.bytes += payload.size();
   }
+  GPUMIP_OBS_COUNT("simmpi.msgs");
+  GPUMIP_OBS_ADD("simmpi.bytes", payload.size());
+#ifdef GPUMIP_OBS_ENABLED
+  if (obs_sent_msgs_ == nullptr) obs_bind();
+  obs_sent_msgs_->add(1);
+  obs_sent_bytes_->add(payload.size());
+#endif
   // Mirror header first: the deadlock detector must never observe a queued
   // message without its header (it could then conclude a receiver is
   // unsatisfiable while its wake-up is materializing).
@@ -181,11 +199,21 @@ Message Comm::recv(int source, int tag) {
       world.abort_world();
     }
     {
+#ifdef GPUMIP_OBS_ENABLED
+      const WallTimer blocked;
+#endif
       std::unique_lock<std::mutex> lock(box.mutex);
       box.cv.wait(lock, [&] {
         return world.aborted.load() ||
                find_match(box.queue, source, tag, expect) != box.queue.end();
       });
+      lock.unlock();
+#ifdef GPUMIP_OBS_ENABLED
+      const double idle = blocked.elapsed();
+      GPUMIP_OBS_RECORD("simmpi.recv.block_seconds", idle);
+      if (obs_idle_seconds_ == nullptr) obs_bind();
+      obs_idle_seconds_->add(idle);
+#endif
     }
     world.sched.on_unblock(rank_, clock_);
   }
@@ -336,6 +364,9 @@ RunReport run_ranks(int n, const std::function<void(Comm&)>& body, const RunOpti
   }
   report.failed_ranks = failed_ranks.load();
   report.deadlock_detected = world.sched.deadlocked();
+  GPUMIP_OBS_COUNT("simmpi.runs");
+  GPUMIP_OBS_ADD("simmpi.undelivered", report.network.undelivered);
+  GPUMIP_OBS_RECORD("simmpi.makespan_seconds", report.makespan);
   if (report.network.undelivered > 0 && first_error == nullptr) {
     GPUMIP_LOG(Debug) << "run_ranks: " << report.network.undelivered
                       << " message(s) never received before shutdown";

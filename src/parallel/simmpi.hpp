@@ -20,6 +20,11 @@
 #include "parallel/schedule.hpp"
 #include "support/error.hpp"
 
+namespace gpumip::obs {
+class Counter;
+class Gauge;
+}  // namespace gpumip::obs
+
 namespace gpumip::parallel {
 
 /// Interconnect cost model (InfiniBand-class defaults).
@@ -120,10 +125,18 @@ class Comm {
   friend RunReport run_ranks(int, const std::function<void(Comm&)>&, const RunOptions&);
   Comm(detail::World* world, int rank) : world_(world), rank_(rank) {}
   [[noreturn]] void throw_aborted() const;
+  /// Binds the cached per-rank metric handles (no-op without GPUMIP_OBS).
+  void obs_bind();
   detail::World* world_;
   int rank_;
   double clock_ = 0.0;
   std::vector<std::uint64_t> send_seq_;  ///< next per-destination sequence
+  // Cached per-rank metric handles: the names are dynamic
+  // ("simmpi.rank<r>.…"), so the static-cache form of the obs macros cannot
+  // be used; a registry lookup per send would dominate the send cost.
+  obs::Counter* obs_sent_msgs_ = nullptr;
+  obs::Counter* obs_sent_bytes_ = nullptr;
+  obs::Gauge* obs_idle_seconds_ = nullptr;
 };
 
 // --- serialization helpers for message payloads ---

@@ -1,0 +1,229 @@
+// Tests for the observability layer (src/obs): instrument arithmetic, the
+// process-wide registry, span nesting, thread/rank safety of concurrent
+// increments under the simmpi schedule fuzzer, JSON export round-trip, and
+// the clean-failure path of export_json.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "obs/obs.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
+#include "parallel/simmpi.hpp"
+#include "support/error.hpp"
+
+namespace gpumip {
+namespace {
+
+using obs::Counter;
+using obs::Gauge;
+using obs::Histogram;
+
+TEST(ObsCounter, AddAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ObsGauge, SetAddAndRunningMax) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+  g.set_max(0.5);  // lower: no change
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+  g.set_max(7.0);
+  EXPECT_DOUBLE_EQ(g.value(), 7.0);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(ObsHistogram, CountSumMinMaxMean) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.min(), 0.0);  // empty: reported as 0, not +inf
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+  h.record(4.0);
+  h.record(16.0);
+  h.record(1.0);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_DOUBLE_EQ(h.sum(), 21.0);
+  EXPECT_DOUBLE_EQ(h.min(), 1.0);
+  EXPECT_DOUBLE_EQ(h.max(), 16.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 7.0);
+}
+
+TEST(ObsHistogram, BucketResolutionQuantiles) {
+  Histogram h;
+  // 100 values in (0.5, 1], 10 in (512, 1024]: p50 resolves to the small
+  // bucket's upper edge, p99+ to the large one, both clamped into
+  // [min, max] of the recorded data.
+  for (int i = 0; i < 100; ++i) h.record(1.0);
+  for (int i = 0; i < 10; ++i) h.record(1000.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.0);
+  EXPECT_GE(h.quantile(0.995), 512.0);
+  EXPECT_LE(h.quantile(0.995), 1000.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 1.0);
+  EXPECT_LE(h.quantile(1.0), 1000.0);
+}
+
+TEST(ObsHistogram, NonpositiveValuesLandInZeroBucket) {
+  Histogram h;
+  h.record(0.0);
+  h.record(-5.0);
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(h.bucket_count(0), 2u);
+  EXPECT_DOUBLE_EQ(h.min(), -5.0);
+}
+
+TEST(ObsRegistry, SameNameSameInstrumentDistinctKinds) {
+  Counter& c1 = obs::counter("test.obs.registry.shared");
+  Counter& c2 = obs::counter("test.obs.registry.shared");
+  EXPECT_EQ(&c1, &c2);
+  // The same name may exist independently as each instrument kind.
+  Gauge& g = obs::gauge("test.obs.registry.shared");
+  Histogram& h = obs::histogram("test.obs.registry.shared");
+  c1.add(3);
+  g.set(1.25);
+  h.record(2.0);
+  EXPECT_EQ(c2.value(), 3u);
+  EXPECT_DOUBLE_EQ(g.value(), 1.25);
+  EXPECT_EQ(h.count(), 1u);
+
+  std::vector<std::string> names = obs::Registry::instance().counter_names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "test.obs.registry.shared"), names.end());
+}
+
+TEST(ObsRegistry, ReferencesSurviveFurtherRegistration) {
+  Counter& before = obs::counter("test.obs.stable.a");
+  before.add(7);
+  // Force rehash-like pressure: many new registrations must not move the
+  // earlier instrument (call sites cache references).
+  for (int i = 0; i < 200; ++i) {
+    obs::counter("test.obs.stable.filler." + std::to_string(i)).add(1);
+  }
+  EXPECT_EQ(obs::counter("test.obs.stable.a").value(), 7u);
+  EXPECT_EQ(&obs::counter("test.obs.stable.a"), &before);
+}
+
+TEST(ObsSpan, NestingDepthIsTracked) {
+  EXPECT_EQ(obs::Span::active_depth(), 0);
+  {
+    obs::Span outer("test.obs.span.outer");
+    EXPECT_EQ(outer.depth(), 1);
+    EXPECT_EQ(obs::Span::active_depth(), 1);
+    {
+      obs::Span inner("test.obs.span.inner");
+      EXPECT_EQ(inner.depth(), 2);
+      EXPECT_EQ(obs::Span::active_depth(), 2);
+    }
+    EXPECT_EQ(obs::Span::active_depth(), 1);
+  }
+  EXPECT_EQ(obs::Span::active_depth(), 0);
+  EXPECT_EQ(obs::histogram("test.obs.span.outer").count(), 1u);
+  EXPECT_EQ(obs::histogram("test.obs.span.inner").count(), 1u);
+  EXPECT_GE(obs::histogram("test.obs.span.outer").min(), 0.0);
+}
+
+TEST(ObsMacros, MatchCompileTimeSwitch) {
+  Counter& c = obs::counter("test.obs.macro.count");
+  const std::uint64_t before = c.value();
+  GPUMIP_OBS_COUNT("test.obs.macro.count");
+  GPUMIP_OBS_ADD("test.obs.macro.count", 9);
+  if (obs::kObsEnabled) {
+    EXPECT_EQ(c.value(), before + 10);
+  } else {
+    EXPECT_EQ(c.value(), before);  // macros are no-ops in OFF builds
+  }
+}
+
+// Concurrent increments from simmpi ranks under the schedule fuzzer: the
+// fuzzer injects yield points and perturbs delivery, so the rank threads
+// interleave differently per seed while the totals must stay exact.
+TEST(ObsConcurrency, RankSafeUnderScheduleFuzz) {
+  constexpr int kRanks = 4;
+  constexpr int kRounds = 200;
+  Counter& hits = obs::counter("test.obs.concurrent.hits");
+  Histogram& dist = obs::histogram("test.obs.concurrent.dist");
+  const std::uint64_t hits0 = hits.value();
+  const std::uint64_t dist0 = dist.count();
+
+  for (std::uint64_t seed : {1u, 42u, 7919u}) {
+    parallel::RunOptions options;
+    options.schedule.fuzz = true;
+    options.schedule.seed = seed;
+    parallel::run_ranks(kRanks, [&](parallel::Comm& comm) {
+      for (int i = 0; i < kRounds; ++i) {
+        hits.add(1);
+        dist.record(static_cast<double>(comm.rank() + 1));
+        if (comm.rank() > 0) {
+          std::vector<std::byte> payload(8);
+          comm.send(0, 1, payload);
+        }
+      }
+      if (comm.rank() == 0) {
+        for (int m = 0; m < (kRanks - 1) * kRounds; ++m) comm.recv();
+      }
+    }, options);
+  }
+
+  EXPECT_EQ(hits.value() - hits0, 3ull * kRanks * kRounds);
+  EXPECT_EQ(dist.count() - dist0, 3ull * kRanks * kRounds);
+  EXPECT_DOUBLE_EQ(dist.min(), 1.0);
+  EXPECT_DOUBLE_EQ(dist.max(), static_cast<double>(kRanks));
+}
+
+TEST(ObsJson, ExportRoundTrip) {
+  obs::counter("test.obs.json.counter").add(5);
+  obs::gauge("test.obs.json.gauge").set(0.75);
+  obs::histogram("test.obs.json.hist").record(8.0);
+
+  const std::string json = obs::to_json();
+  EXPECT_NE(json.find("\"schema\": \"gpumip.metrics.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.obs.json.counter\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"test.obs.json.gauge\": 0.75"), std::string::npos);
+  EXPECT_NE(json.find("\"test.obs.json.hist\""), std::string::npos);
+  EXPECT_NE(json.find("\"p50\""), std::string::npos);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "gpumip_test_obs_export.json").string();
+  obs::export_json(path);
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string contents;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) contents.append(buf, n);
+  std::fclose(f);
+  std::filesystem::remove(path);
+  EXPECT_EQ(contents, json);  // to_json() ends with a trailing newline
+}
+
+TEST(ObsJson, ExportFailsCleanlyOnUnwritablePath) {
+  try {
+    obs::export_json("/nonexistent-dir-gpumip/metrics.json");
+    FAIL() << "export_json should have thrown";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kIoError);
+    EXPECT_NE(std::string(e.what()).find("metrics"), std::string::npos);
+  }
+}
+
+TEST(ObsJson, DisabledFlagReflectsBuild) {
+  const std::string json = obs::to_json();
+  const std::string expect = obs::kObsEnabled ? "\"enabled\": true" : "\"enabled\": false";
+  EXPECT_NE(json.find(expect), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gpumip
