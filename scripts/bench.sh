@@ -23,11 +23,11 @@ JOBS="${2:-$(nproc)}"
 BUILD=build-bench
 
 # The suite: every paper claim the baseline must witness, with margin.
-#   e1  strategies        -> gpu.xfer.{h2d,d2h}.bytes on full solves
+#   e1  strategies        -> gpumip.gpu.xfer.{h2d,d2h}.bytes on full solves
 #   e3  basis updates     -> C3 transfer ledger (H2D volume per update rule)
 #   e4  cut round trip    -> C4 cut counts + payload bytes
-#   e5  node reuse        -> C5 lp.ops.refactor + mip.reuse.hit_rate
-#   e7  batching          -> C7 lp.batch.size / lp.batch.occupancy
+#   e5  node reuse        -> C5 gpumip.lp.ops.refactor + gpumip.mip.reuse.hit_rate
+#   e7  batching          -> C7 gpumip.lp.batch.size / gpumip.lp.batch.occupancy
 #   e8  scale-out         -> per-rank simmpi message counts/bytes + idle
 BENCHES="e1_strategies e3_basis_updates e4_cut_roundtrip e5_node_reuse e7_batching e8_scaleout"
 
@@ -82,12 +82,12 @@ def present(kind, pattern):
             if any(rx.fullmatch(k) for k in m[kind])]
 
 required = [
-    ("counters", r"gpu\.xfer\.h2d\.bytes"),
-    ("counters", r"gpu\.xfer\.d2h\.bytes"),
-    ("counters", r"lp\.ops\.refactor"),
-    ("gauges", r"mip\.reuse\.hit_rate"),
-    ("histograms", r"lp\.batch\.occupancy"),
-    ("counters", r"simmpi\.rank\d+\.sent\.bytes"),
+    ("counters", r"gpumip\.gpu\.xfer\.h2d\.bytes"),
+    ("counters", r"gpumip\.gpu\.xfer\.d2h\.bytes"),
+    ("counters", r"gpumip\.lp\.ops\.refactor"),
+    ("gauges", r"gpumip\.mip\.reuse\.hit_rate"),
+    ("histograms", r"gpumip\.lp\.batch\.occupancy"),
+    ("counters", r"gpumip\.simmpi\.rank\d+\.sent\.bytes"),
 ]
 missing = [pat for kind, pat in required if not present(kind, pat)]
 if missing:

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Full correctness sweep for the analysis toolchain (DESIGN.md, "Checked
-# builds & invariants" and "simmpi concurrency model"). Runs five
-# independent gates and exits nonzero if any of them finds a problem:
+# builds & invariants", "simmpi concurrency model", and "Static analysis").
+# Runs seven independent gates and exits nonzero if any of them finds a
+# problem:
 #
 #   1. sanitize   — ASan+UBSan build (-DGPUMIP_SANITIZE=ON) + full ctest.
 #   2. checked    — GPUMIP_CHECKED build (invariant validators live) + ctest.
@@ -26,6 +27,17 @@
 #                   with -DGPUMIP_OBS=OFF and asserts the hot-path metric
 #                   name literals are absent from the binary (the macros
 #                   compile to parsed-but-unevaluated no-ops).
+#   7. lint       — gpumip-lint (tools/gpumip-lint, docs/LINT.md): repo-
+#                   native rules clang-tidy cannot express. R1 confines raw
+#                   DeviceBuffer::as<T>() access to kernel/transfer files,
+#                   R2 bans byte copies that would bypass the H2D/D2H
+#                   ledger, R3 requires every throw to carry a gpumip
+#                   ErrorCode, R4 checks metric-name grammar + glossary
+#                   membership statically (subsumes gate 6's grep for names
+#                   that never execute), R5 compiles every src/ header as
+#                   its own translation unit. The gate first runs the
+#                   tool's seeded-violation self-test, so a rule that
+#                   silently stopped firing also fails the gate.
 #
 # Both build gates compile with -Werror (GPUMIP_WERROR=ON), so warnings
 # promoted in the top-level CMakeLists (-Wall -Wextra -Wpedantic -Wshadow)
@@ -192,7 +204,7 @@ PY
     return
   fi
   local name
-  for name in gpu.xfer.h2d.bytes lp.ops.refactor lp.batch.occupancy; do
+  for name in gpumip.gpu.xfer.h2d.bytes gpumip.lp.ops.refactor gpumip.lp.batch.occupancy; do
     if grep -qa "$name" "$off_dir/bench/bench_e7_batching"; then
       echo "==> [obs] OFF build still contains metric string '$name'"
       FAILURES=$((FAILURES + 1))
@@ -202,6 +214,44 @@ PY
   echo "==> [obs] OK"
 }
 obs_gate
+
+# Gate 7: gpumip-lint. A dedicated small Release tree builds just the tool
+# (it has no solver dependencies, so this is cheap even from scratch). The
+# self-test proves each rule R1-R4 still fires on its seeded-violation
+# fixture and that the suppression round trip holds; the sweep then
+# requires src/ to be clean modulo the justified entries in
+# tools/gpumip-lint/suppressions.txt, and R5 compiles every header under
+# src/ standalone with the toolchain compiler.
+lint_gate() {
+  local build_dir=build-lint
+  echo "==> [lint] configure+build ($build_dir, gpumip-lint)"
+  if ! { cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release \
+           >"$build_dir.configure.log" 2>&1 &&
+         cmake --build "$build_dir" -j "$JOBS" --target gpumip-lint \
+           >"$build_dir.build.log" 2>&1; }; then
+    echo "==> [lint] BUILD FAILED (see $build_dir.*.log)"
+    FAILURES=$((FAILURES + 1))
+    return
+  fi
+  local tool="./$build_dir/tools/gpumip-lint/gpumip-lint"
+  if ! "$tool" --self-test; then
+    echo "==> [lint] SELF-TEST FAILED (a rule no longer fires on its fixture)"
+    FAILURES=$((FAILURES + 1))
+    return
+  fi
+  echo "==> [lint] R1-R5 over src/ (suppressions: tools/gpumip-lint/suppressions.txt)"
+  mapfile -t lint_sources < <(find src -name '*.cpp' -o -name '*.hpp' | sort)
+  if ! "$tool" --metrics-doc docs/METRICS.md \
+       --suppressions tools/gpumip-lint/suppressions.txt \
+       --header-check --include-dir src --compiler "${CXX:-c++}" \
+       --scratch "$build_dir/lint-scratch" "${lint_sources[@]}"; then
+    echo "==> [lint] FINDINGS (annotate with justification or fix; see docs/LINT.md)"
+    FAILURES=$((FAILURES + 1))
+    return
+  fi
+  echo "==> [lint] OK"
+}
+lint_gate
 
 echo
 if [ "$FAILURES" -ne 0 ]; then

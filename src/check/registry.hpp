@@ -31,13 +31,13 @@ void count_check(Subsystem s) noexcept;
 void count_failure(Subsystem s) noexcept;
 
 /// How many times validators of `s` have run since start/reset.
-std::uint64_t checks_run(Subsystem s) noexcept;
+[[nodiscard]] std::uint64_t checks_run(Subsystem s) noexcept;
 
 /// How many validator invocations of `s` found a violation.
-std::uint64_t checks_failed(Subsystem s) noexcept;
+[[nodiscard]] std::uint64_t checks_failed(Subsystem s) noexcept;
 
 /// Total validator invocations across all subsystems.
-std::uint64_t checks_run_total() noexcept;
+[[nodiscard]] std::uint64_t checks_run_total() noexcept;
 
 /// Zeroes all counters (test isolation).
 void reset_counters() noexcept;

@@ -74,9 +74,9 @@ DeviceBuffer Device::alloc(std::size_t bytes, std::string label) {
   stats_.allocated_bytes += bytes;
   stats_.peak_allocated_bytes = std::max(stats_.peak_allocated_bytes, stats_.allocated_bytes);
   ++stats_.allocations;
-  GPUMIP_OBS_COUNT("gpu.alloc.calls");
-  GPUMIP_OBS_ADD("gpu.alloc.bytes", bytes);
-  GPUMIP_OBS_GAUGE_MAX("gpu.mem.peak_bytes", static_cast<double>(stats_.peak_allocated_bytes));
+  GPUMIP_OBS_COUNT("gpumip.gpu.alloc.calls");
+  GPUMIP_OBS_ADD("gpumip.gpu.alloc.bytes", bytes);
+  GPUMIP_OBS_GAUGE_MAX("gpumip.gpu.mem.peak_bytes", static_cast<double>(stats_.peak_allocated_bytes));
   const std::uint64_t alloc_id = next_alloc_id_++;
   ledger_.emplace(alloc_id, LedgerEntry{bytes, label});
   return DeviceBuffer(this, bytes, std::move(label), alloc_id);
@@ -113,8 +113,8 @@ void Device::copy_h2d(StreamId stream, DeviceBuffer& dst, const void* src, std::
   stats_.bytes_h2d += bytes;
   ++stats_.transfers_h2d;
   stats_.transfer_seconds += duration;
-  GPUMIP_OBS_COUNT("gpu.xfer.h2d.calls");
-  GPUMIP_OBS_ADD("gpu.xfer.h2d.bytes", bytes);
+  GPUMIP_OBS_COUNT("gpumip.gpu.xfer.h2d.calls");
+  GPUMIP_OBS_ADD("gpumip.gpu.xfer.h2d.bytes", bytes);
 }
 
 void Device::copy_d2h(StreamId stream, const DeviceBuffer& src, void* dst, std::size_t bytes,
@@ -131,8 +131,8 @@ void Device::copy_d2h(StreamId stream, const DeviceBuffer& src, void* dst, std::
   stats_.bytes_d2h += bytes;
   ++stats_.transfers_d2h;
   stats_.transfer_seconds += duration;
-  GPUMIP_OBS_COUNT("gpu.xfer.d2h.calls");
-  GPUMIP_OBS_ADD("gpu.xfer.d2h.bytes", bytes);
+  GPUMIP_OBS_COUNT("gpumip.gpu.xfer.d2h.calls");
+  GPUMIP_OBS_ADD("gpumip.gpu.xfer.d2h.bytes", bytes);
 }
 
 void Device::upload(StreamId stream, DeviceBuffer& dst, std::span<const double> src,
@@ -165,8 +165,8 @@ void Device::launch(StreamId stream, const KernelCost& cost, const std::function
   streams_[stream] = start + duration;
   ++stats_.kernels;
   stats_.kernel_seconds += duration;
-  GPUMIP_OBS_COUNT("gpu.kernel.launches");
-  GPUMIP_OBS_RECORD("gpu.kernel.occupancy", cost.occupancy);
+  GPUMIP_OBS_COUNT("gpumip.gpu.kernel.launches");
+  GPUMIP_OBS_RECORD("gpumip.gpu.kernel.occupancy", cost.occupancy);
 }
 
 Event Device::record(StreamId stream) {

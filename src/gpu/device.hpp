@@ -114,10 +114,10 @@ class Device {
   }
 
   /// Allocates device memory; throws DeviceOutOfMemory when over capacity.
-  DeviceBuffer alloc(std::size_t bytes, std::string label = "");
+  [[nodiscard]] DeviceBuffer alloc(std::size_t bytes, std::string label = "");
 
   /// Allocates a buffer of `count` doubles.
-  DeviceBuffer alloc_doubles(std::size_t count, std::string label = "");
+  [[nodiscard]] DeviceBuffer alloc_doubles(std::size_t count, std::string label = "");
 
   /// Creates an additional stream and returns its id.
   StreamId create_stream();

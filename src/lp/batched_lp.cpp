@@ -37,8 +37,8 @@ BatchedLpReport solve_batched(const std::vector<const StandardForm*>& problems,
   check_arg(!problems.empty(), "solve_batched: empty batch");
   check_arg(streams >= 1, "solve_batched: need at least one stream");
   BatchedLpReport report;
-  GPUMIP_OBS_COUNT("lp.batch.solves");
-  GPUMIP_OBS_RECORD("lp.batch.size", static_cast<double>(problems.size()));
+  GPUMIP_OBS_COUNT("gpumip.lp.batch.solves");
+  GPUMIP_OBS_RECORD("gpumip.lp.batch.size", static_cast<double>(problems.size()));
 
   // Device residency for the whole batch (capacity is checked for real).
   std::vector<gpu::DeviceBuffer> buffers;
@@ -96,9 +96,9 @@ BatchedLpReport solve_batched(const std::vector<const StandardForm*>& problems,
         m_avg /= active;
         n_avg /= active;
         ++report.waves;
-        GPUMIP_OBS_COUNT("lp.batch.waves");
+        GPUMIP_OBS_COUNT("gpumip.lp.batch.waves");
         // Paper C7: fraction of the batch still pivoting in this wave.
-        GPUMIP_OBS_RECORD("lp.batch.occupancy",
+        GPUMIP_OBS_RECORD("gpumip.lp.batch.occupancy",
                           static_cast<double>(active) / static_cast<double>(problems.size()));
         const double mm = 2.0 * m_avg * m_avg;
         // BTRAN + FTRAN + eta update (dense m x m each).

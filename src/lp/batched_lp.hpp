@@ -40,7 +40,7 @@ struct BatchedLpReport {
 /// Solves every standard form under its own bounds and replays the device
 /// cost in the chosen mode. All forms must be small enough to co-reside on
 /// the device (throws DeviceOutOfMemory otherwise).
-BatchedLpReport solve_batched(const std::vector<const StandardForm*>& problems,
+[[nodiscard]] BatchedLpReport solve_batched(const std::vector<const StandardForm*>& problems,
                               gpu::Device& device, BatchMode mode,
                               const SimplexOptions& options = {}, int streams = 16);
 

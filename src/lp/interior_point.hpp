@@ -29,8 +29,8 @@ class InteriorPointSolver {
   /// Solves under the given bounds (defaults to the form's own). Free
   /// variables are split, finite upper bounds become extra rows, so the
   /// core iteration works on min cᵀx, Ax = b, x ≥ 0.
-  LpResult solve(std::span<const double> lb, std::span<const double> ub);
-  LpResult solve_default() { return solve(form_->lb, form_->ub); }
+  [[nodiscard]] LpResult solve(std::span<const double> lb, std::span<const double> ub);
+  [[nodiscard]] LpResult solve_default() { return solve(form_->lb, form_->ub); }
 
  private:
   const StandardForm* form_;

@@ -25,15 +25,15 @@ double cpu_seconds(const LpOpStats& stats, const CpuCostModel& cpu) {
 
 void publish_op_stats(const LpOpStats& stats) {
   auto as_u64 = [](long v) { return static_cast<std::uint64_t>(v < 0 ? 0 : v); };
-  GPUMIP_OBS_ADD("lp.ops.ftran", as_u64(stats.ftran));
-  GPUMIP_OBS_ADD("lp.ops.btran", as_u64(stats.btran));
-  GPUMIP_OBS_ADD("lp.ops.price_full", as_u64(stats.price_full));
-  GPUMIP_OBS_ADD("lp.ops.eta_updates", as_u64(stats.eta_updates));
-  GPUMIP_OBS_ADD("lp.ops.refactor", as_u64(stats.refactor));
-  GPUMIP_OBS_ADD("lp.ops.iterations", as_u64(stats.iterations));
-  GPUMIP_OBS_ADD("lp.ops.bound_flips", as_u64(stats.bound_flips));
-  GPUMIP_OBS_ADD("lp.ops.cholesky", as_u64(stats.cholesky));
-  GPUMIP_OBS_ADD("lp.ops.matvec_n", as_u64(stats.matvec_n));
+  GPUMIP_OBS_ADD("gpumip.lp.ops.ftran", as_u64(stats.ftran));
+  GPUMIP_OBS_ADD("gpumip.lp.ops.btran", as_u64(stats.btran));
+  GPUMIP_OBS_ADD("gpumip.lp.ops.price_full", as_u64(stats.price_full));
+  GPUMIP_OBS_ADD("gpumip.lp.ops.eta_updates", as_u64(stats.eta_updates));
+  GPUMIP_OBS_ADD("gpumip.lp.ops.refactor", as_u64(stats.refactor));
+  GPUMIP_OBS_ADD("gpumip.lp.ops.iterations", as_u64(stats.iterations));
+  GPUMIP_OBS_ADD("gpumip.lp.ops.bound_flips", as_u64(stats.bound_flips));
+  GPUMIP_OBS_ADD("gpumip.lp.ops.cholesky", as_u64(stats.cholesky));
+  GPUMIP_OBS_ADD("gpumip.lp.ops.matvec_n", as_u64(stats.matvec_n));
 }
 
 void charge_to_device(gpu::Device& device, gpu::StreamId stream, const LpOpStats& stats,

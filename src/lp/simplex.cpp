@@ -178,7 +178,7 @@ linalg::Matrix SimplexSolver::basis_matrix(const Workspace& ws) const {
 
 void SimplexSolver::refactorize(Workspace& ws) const {
   // Paper C3: eta-file length at the moment the file is flushed.
-  GPUMIP_OBS_RECORD("lp.simplex.eta_length", static_cast<double>(ws.etas_since_refactor));
+  GPUMIP_OBS_RECORD("gpumip.lp.simplex.eta_length", static_cast<double>(ws.etas_since_refactor));
   // Rebuild B from the basic columns and invert via LU.
   const linalg::Matrix b = basis_matrix(ws);
   linalg::DenseLU lu(b);  // throws NumericalError when basis is singular
@@ -415,8 +415,8 @@ SimplexSolver::PhaseResult SimplexSolver::primal_loop(Workspace& ws,
 }
 
 LpResult SimplexSolver::finish(Workspace& ws, LpStatus status) const {
-  GPUMIP_OBS_COUNT("lp.simplex.solves");
-  GPUMIP_OBS_RECORD("lp.simplex.eta_length", static_cast<double>(ws.etas_since_refactor));
+  GPUMIP_OBS_COUNT("gpumip.lp.simplex.solves");
+  GPUMIP_OBS_RECORD("gpumip.lp.simplex.eta_length", static_cast<double>(ws.etas_since_refactor));
   publish_op_stats(ws.ops);
   LpResult result;
   result.status = status;
@@ -516,13 +516,13 @@ LpResult SimplexSolver::run_primal(std::span<const double> lb, std::span<const d
 
 LpResult SimplexSolver::solve(std::span<const double> lb, std::span<const double> ub,
                               const Basis* warm) {
-  GPUMIP_OBS_SPAN("lp.simplex.solve");
+  GPUMIP_OBS_SPAN("gpumip.lp.simplex.solve");
   return run_primal(lb, ub, warm);
 }
 
 LpResult SimplexSolver::resolve_dual(std::span<const double> lb, std::span<const double> ub,
                                      const Basis& basis) {
-  GPUMIP_OBS_SPAN("lp.simplex.solve");
+  GPUMIP_OBS_SPAN("gpumip.lp.simplex.solve");
   Workspace ws;
   init_workspace(ws, lb, ub);
   if (!try_warm_start(ws, basis)) {

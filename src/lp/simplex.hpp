@@ -40,16 +40,16 @@ class SimplexSolver {
   /// Primal solve under the given variable bounds (sizes = form.num_vars).
   /// A warm basis is used when it is primal feasible under the bounds;
   /// otherwise a cold phase-1 start runs.
-  LpResult solve(std::span<const double> lb, std::span<const double> ub,
+  [[nodiscard]] LpResult solve(std::span<const double> lb, std::span<const double> ub,
                  const Basis* warm = nullptr);
 
   /// Solve with the form's own bounds.
-  LpResult solve_default() { return solve(form_->lb, form_->ub, nullptr); }
+  [[nodiscard]] LpResult solve_default() { return solve(form_->lb, form_->ub, nullptr); }
 
   /// Dual-simplex re-solve from a basis that is dual feasible (typically a
   /// parent's optimal basis after branching tightened some bounds). Falls
   /// back to a primal cold start if the basis is not usable.
-  LpResult resolve_dual(std::span<const double> lb, std::span<const double> ub,
+  [[nodiscard]] LpResult resolve_dual(std::span<const double> lb, std::span<const double> ub,
                         const Basis& basis);
 
   const SimplexOptions& options() const noexcept { return options_; }

@@ -184,7 +184,7 @@ std::vector<Cut> gomory_cuts(const MipModel& model, const lp::StandardForm& form
     if (cut.violation(result.x) < options.min_violation) continue;
     cuts.push_back(std::move(cut));
   }
-  GPUMIP_OBS_ADD("mip.cuts.gomory", static_cast<std::uint64_t>(cuts.size()));
+  GPUMIP_OBS_ADD("gpumip.mip.cuts.gomory", static_cast<std::uint64_t>(cuts.size()));
   return cuts;
 }
 
@@ -229,7 +229,7 @@ std::vector<Cut> cover_cuts(const MipModel& model, std::span<const double> x,
     if (cut.violation(x) < options.min_violation) continue;
     cuts.push_back(std::move(cut));
   }
-  GPUMIP_OBS_ADD("mip.cuts.cover", static_cast<std::uint64_t>(cuts.size()));
+  GPUMIP_OBS_ADD("gpumip.mip.cuts.cover", static_cast<std::uint64_t>(cuts.size()));
   return cuts;
 }
 

@@ -32,11 +32,11 @@ struct ConsistentSnapshot {
   bool has_incumbent() const noexcept { return incumbent_objective < 1e299; }
 
   void serialize(std::ostream& out) const;
-  static ConsistentSnapshot deserialize(std::istream& in);
+  [[nodiscard]] static ConsistentSnapshot deserialize(std::istream& in);
 
   /// Round-trip convenience for tests.
-  std::string to_string() const;
-  static ConsistentSnapshot from_string(const std::string& text);
+  [[nodiscard]] std::string to_string() const;
+  [[nodiscard]] static ConsistentSnapshot from_string(const std::string& text);
 };
 
 }  // namespace gpumip::mip

@@ -67,11 +67,11 @@ void BnbSolver::root_cut_loop() {
     stats_.cut_rounds_used = round + 1;
     // Paper C4: one separation round = download the relaxation solution,
     // upload the surviving cut rows.
-    GPUMIP_OBS_COUNT("mip.cuts.roundtrips");
-    GPUMIP_OBS_ADD("mip.cuts.generated", static_cast<std::uint64_t>(added));
-    GPUMIP_OBS_ADD("mip.cuts.bytes_d2h",
+    GPUMIP_OBS_COUNT("gpumip.mip.cuts.roundtrips");
+    GPUMIP_OBS_ADD("gpumip.mip.cuts.generated", static_cast<std::uint64_t>(added));
+    GPUMIP_OBS_ADD("gpumip.mip.cuts.bytes_d2h",
                    static_cast<std::uint64_t>(root.x.size() * sizeof(double)));
-    GPUMIP_OBS_ADD("mip.cuts.bytes_h2d", cut_payload);
+    GPUMIP_OBS_ADD("gpumip.mip.cuts.bytes_h2d", cut_payload);
   }
   // Rebuild once more so the form includes the last round's cuts.
   form_ = std::make_unique<lp::StandardForm>(lp::build_standard_form(model_.lp()));
@@ -97,7 +97,7 @@ ConsistentSnapshot BnbSolver::capture_snapshot() const {
 }
 
 MipResult BnbSolver::run(const ConsistentSnapshot* snapshot) {
-  GPUMIP_OBS_SPAN("mip.solve");
+  GPUMIP_OBS_SPAN("gpumip.mip.solve");
   MipResult result;
   trace_.clear();
   stats_ = MipStats{};
@@ -146,7 +146,7 @@ MipResult BnbSolver::run(const ConsistentSnapshot* snapshot) {
       incumbent_obj_ = obj;
       incumbent_x_.assign(x_struct.begin(), x_struct.end());
       pool_->prune_worse_than(incumbent_obj_ - 1e-9);
-      GPUMIP_OBS_COUNT("mip.incumbent.updates");
+      GPUMIP_OBS_COUNT("gpumip.mip.incumbent.updates");
       return true;
     }
     return false;
@@ -205,12 +205,12 @@ MipResult BnbSolver::run(const ConsistentSnapshot* snapshot) {
     trace_.push_back(tr);
     if (tr.hot) {
       ++stats_.hot_nodes;
-      GPUMIP_OBS_COUNT("mip.nodes.reuse_hits");
+      GPUMIP_OBS_COUNT("gpumip.mip.nodes.reuse_hits");
     }
     stats_.total_ops.add(lp_result.ops);
     stats_.lp_iterations += lp_result.iterations;
     ++stats_.nodes_evaluated;
-    GPUMIP_OBS_COUNT("mip.nodes.evaluated");
+    GPUMIP_OBS_COUNT("gpumip.mip.nodes.evaluated");
     last_evaluated = id;
     node.lp_objective = lp_result.objective;
 
@@ -328,9 +328,9 @@ MipResult BnbSolver::run(const ConsistentSnapshot* snapshot) {
   // Paper C5: fraction of evaluated nodes whose parent matrix was still
   // device-resident. Cumulative across all solves in this process.
   {
-    const std::uint64_t hits = ::gpumip::obs::counter("mip.nodes.reuse_hits").value();
-    const std::uint64_t evals = ::gpumip::obs::counter("mip.nodes.evaluated").value();
-    GPUMIP_OBS_GAUGE_SET("mip.reuse.hit_rate",
+    const std::uint64_t hits = ::gpumip::obs::counter("gpumip.mip.nodes.reuse_hits").value();
+    const std::uint64_t evals = ::gpumip::obs::counter("gpumip.mip.nodes.evaluated").value();
+    GPUMIP_OBS_GAUGE_SET("gpumip.mip.reuse.hit_rate",
                          evals == 0 ? 0.0 : static_cast<double>(hits) / static_cast<double>(evals));
   }
 #endif

@@ -91,14 +91,14 @@ class BnbSolver {
   BnbSolver& operator=(const BnbSolver&) = delete;
 
   /// Full solve from the root.
-  MipResult solve();
+  [[nodiscard]] MipResult solve();
 
   /// Continue a search from a consistent snapshot (checkpoint restart).
-  MipResult solve_from(const ConsistentSnapshot& snapshot);
+  [[nodiscard]] MipResult solve_from(const ConsistentSnapshot& snapshot);
 
   /// A consistent snapshot of the current frontier (valid during/after
   /// solve; between node evaluations the active set is exactly consistent).
-  ConsistentSnapshot capture_snapshot() const;
+  [[nodiscard]] ConsistentSnapshot capture_snapshot() const;
 
   /// Tree inspection (Figure 1 reproduction).
   const NodePool& pool() const;
@@ -130,6 +130,6 @@ class BnbSolver {
 /// Solves a MIP by brute-force enumeration over integer assignments with an
 /// LP for the continuous part. Exponential; only for cross-checking the
 /// engine on tiny instances in tests.
-MipResult solve_by_enumeration(const MipModel& model, double int_tol = 1e-6);
+[[nodiscard]] MipResult solve_by_enumeration(const MipModel& model, double int_tol = 1e-6);
 
 }  // namespace gpumip::mip

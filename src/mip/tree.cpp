@@ -51,9 +51,9 @@ int NodePool::push(BnbNode node) {
   active_.push_back(id);
   ++active_count_;
   anatomy_.active_peak = std::max<long>(anatomy_.active_peak, static_cast<long>(active_count_));
-  GPUMIP_OBS_COUNT("mip.tree.pushed");
-  GPUMIP_OBS_GAUGE_MAX("mip.tree.depth_max", static_cast<double>(anatomy_.max_depth));
-  GPUMIP_OBS_GAUGE_MAX("mip.tree.frontier_peak", static_cast<double>(anatomy_.active_peak));
+  GPUMIP_OBS_COUNT("gpumip.mip.tree.pushed");
+  GPUMIP_OBS_GAUGE_MAX("gpumip.mip.tree.depth_max", static_cast<double>(anatomy_.max_depth));
+  GPUMIP_OBS_GAUGE_MAX("gpumip.mip.tree.frontier_peak", static_cast<double>(anatomy_.active_peak));
   return id;
 }
 
@@ -172,7 +172,7 @@ long NodePool::prune_worse_than(double cutoff) {
       return nodes_[static_cast<std::size_t>(id)].state != NodeState::Active;
     });
     active_count_ = active_.size();
-    GPUMIP_OBS_ADD("mip.tree.pruned", static_cast<std::uint64_t>(pruned));
+    GPUMIP_OBS_ADD("gpumip.mip.tree.pruned", static_cast<std::uint64_t>(pruned));
   }
   return pruned;
 }

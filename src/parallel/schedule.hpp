@@ -62,10 +62,10 @@ struct DeliveryTrace {
 
 /// Text round-trip (clocks serialized as hex-floats, so replay sees the
 /// exact bits). deserialize/load throw Error(kIoError) on malformed input.
-std::string serialize_trace(const DeliveryTrace& trace);
-DeliveryTrace deserialize_trace(const std::string& text);
+[[nodiscard]] std::string serialize_trace(const DeliveryTrace& trace);
+[[nodiscard]] DeliveryTrace deserialize_trace(const std::string& text);
 void save_trace(const DeliveryTrace& trace, const std::string& path);
-DeliveryTrace load_trace(const std::string& path);
+[[nodiscard]] DeliveryTrace load_trace(const std::string& path);
 
 /// Per-run schedule controls, passed to run_ranks.
 struct ScheduleConfig {

@@ -75,7 +75,7 @@ int Comm::size() const noexcept { return world_->size; }
 
 void Comm::obs_bind() {
 #ifdef GPUMIP_OBS_ENABLED
-  const std::string prefix = "simmpi.rank" + std::to_string(rank_);
+  const std::string prefix = "gpumip.simmpi.rank" + std::to_string(rank_);
   obs_sent_msgs_ = &obs::counter(prefix + ".sent.msgs");
   obs_sent_bytes_ = &obs::counter(prefix + ".sent.bytes");
   obs_idle_seconds_ = &obs::gauge(prefix + ".recv.idle_seconds");
@@ -105,8 +105,8 @@ void Comm::send(int dest, int tag, std::span<const std::byte> payload) {
     ++world_->stats.messages;
     world_->stats.bytes += payload.size();
   }
-  GPUMIP_OBS_COUNT("simmpi.msgs");
-  GPUMIP_OBS_ADD("simmpi.bytes", payload.size());
+  GPUMIP_OBS_COUNT("gpumip.simmpi.msgs");
+  GPUMIP_OBS_ADD("gpumip.simmpi.bytes", payload.size());
 #ifdef GPUMIP_OBS_ENABLED
   if (obs_sent_msgs_ == nullptr) obs_bind();
   obs_sent_msgs_->add(1);
@@ -210,7 +210,7 @@ Message Comm::recv(int source, int tag) {
       lock.unlock();
 #ifdef GPUMIP_OBS_ENABLED
       const double idle = blocked.elapsed();
-      GPUMIP_OBS_RECORD("simmpi.recv.block_seconds", idle);
+      GPUMIP_OBS_RECORD("gpumip.simmpi.recv.block_seconds", idle);
       if (obs_idle_seconds_ == nullptr) obs_bind();
       obs_idle_seconds_->add(idle);
 #endif
@@ -364,9 +364,9 @@ RunReport run_ranks(int n, const std::function<void(Comm&)>& body, const RunOpti
   }
   report.failed_ranks = failed_ranks.load();
   report.deadlock_detected = world.sched.deadlocked();
-  GPUMIP_OBS_COUNT("simmpi.runs");
-  GPUMIP_OBS_ADD("simmpi.undelivered", report.network.undelivered);
-  GPUMIP_OBS_RECORD("simmpi.makespan_seconds", report.makespan);
+  GPUMIP_OBS_COUNT("gpumip.simmpi.runs");
+  GPUMIP_OBS_ADD("gpumip.simmpi.undelivered", report.network.undelivered);
+  GPUMIP_OBS_RECORD("gpumip.simmpi.makespan_seconds", report.makespan);
   if (report.network.undelivered > 0 && first_error == nullptr) {
     GPUMIP_LOG(Debug) << "run_ranks: " << report.network.undelivered
                       << " message(s) never received before shutdown";

@@ -197,7 +197,7 @@ SupervisorResult run_supervised(const mip::MipModel& model,
         comm.send(worker, kTagWork, encode_subproblem(sub, incumbent_obj, track_id));
         ++outstanding;
         ++dispatched_total;
-        GPUMIP_OBS_COUNT("supervisor.dispatched");
+        GPUMIP_OBS_COUNT("gpumip.supervisor.dispatched");
       };
       auto emit_checkpoint = [&] {
         if (options.checkpoint_interval <= 0 || !options.on_checkpoint) return;
@@ -220,7 +220,7 @@ SupervisorResult run_supervised(const mip::MipModel& model,
         GPUMIP_VALIDATE(check::check_snapshot(snap, nullptr, outstanding));
         options.on_checkpoint(snap);
         ++checkpoints;
-        GPUMIP_OBS_COUNT("supervisor.checkpoints");
+        GPUMIP_OBS_COUNT("gpumip.supervisor.checkpoints");
       };
 
       while (stopped < options.workers) {
@@ -232,8 +232,8 @@ SupervisorResult run_supervised(const mip::MipModel& model,
           auditor.completed(report.track_id);
           out.worker_nodes[static_cast<std::size_t>(msg.source - 1)] += report.nodes;
           out.worker_busy[static_cast<std::size_t>(msg.source - 1)] += report.busy_seconds;
-          GPUMIP_OBS_COUNT("supervisor.completed");
-          GPUMIP_OBS_RECORD("supervisor.worker_busy_seconds", report.busy_seconds);
+          GPUMIP_OBS_COUNT("gpumip.supervisor.completed");
+          GPUMIP_OBS_RECORD("gpumip.supervisor.worker_busy_seconds", report.busy_seconds);
           if (report.improved && report.objective < incumbent_obj - 1e-12) {
             incumbent_obj = report.objective;
             incumbent_x = report.x;

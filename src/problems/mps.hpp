@@ -11,13 +11,13 @@
 namespace gpumip::problems {
 
 /// Parses free-format MPS. Throws Error(kIoError) on malformed input.
-mip::MipModel read_mps(std::istream& in);
-mip::MipModel read_mps_file(const std::string& path);
-mip::MipModel read_mps_string(const std::string& text);
+[[nodiscard]] mip::MipModel read_mps(std::istream& in);
+[[nodiscard]] mip::MipModel read_mps_file(const std::string& path);
+[[nodiscard]] mip::MipModel read_mps_string(const std::string& text);
 
 /// Writes free-format MPS.
 void write_mps(const mip::MipModel& model, std::ostream& out,
                const std::string& name = "GPUMIP");
-std::string write_mps_string(const mip::MipModel& model, const std::string& name = "GPUMIP");
+[[nodiscard]] std::string write_mps_string(const mip::MipModel& model, const std::string& name = "GPUMIP");
 
 }  // namespace gpumip::problems

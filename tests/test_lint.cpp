@@ -1,0 +1,282 @@
+// gpumip-lint engine tests (tools/gpumip-lint/): one seeded-violation
+// fixture per rule R1-R5 proving the rule fires, the matching clean fixture
+// proving it stays quiet, and the suppression-file round trip. These are
+// the same contracts scripts/check.sh gate 7 enforces over src/.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "lint.hpp"
+
+namespace lint = gpumip::lint;
+
+namespace {
+
+lint::Options doc_options() {
+  lint::Options options;
+  options.metrics_doc =
+      "| `gpumip.test.documented.total` | — | — | fixture |\n"
+      "| `gpumip.test.documented.seconds` | s | — | fixture |\n";
+  options.have_metrics_doc = true;
+  return options;
+}
+
+std::vector<lint::Finding> lint_one(const std::string& path, const std::string& content,
+                                    const lint::Options& options) {
+  std::vector<lint::Suppression> none;
+  return lint::run_lint({{path, content}}, options, none);
+}
+
+bool has_rule(const std::vector<lint::Finding>& findings, const std::string& rule) {
+  return std::any_of(findings.begin(), findings.end(),
+                     [&](const lint::Finding& f) { return f.rule == rule; });
+}
+
+}  // namespace
+
+// ---- R1: memory-space confinement -----------------------------------------
+
+TEST(LintR1, RawDeviceAccessOutsideDeviceContextFires) {
+  const auto findings = lint_one("src/mip/fixture.cpp",
+                                 "void f(B& b) { auto s = b.as<double>(); }\n", doc_options());
+  ASSERT_TRUE(has_rule(findings, "R1"));
+  EXPECT_EQ(findings[0].line, 1);
+}
+
+TEST(LintR1, DeviceContextFilesAreExempt) {
+  const std::string code = "void f(B& b) { auto s = b.as<double>(); }\n";
+  for (const char* path : {"src/linalg/batched.cpp", "src/linalg/device_blas.hpp",
+                           "src/sparse/device_sparse.cpp", "src/gpu/device.cpp"}) {
+    EXPECT_FALSE(has_rule(lint_one(path, code, doc_options()), "R1")) << path;
+  }
+  // Stem matching is exact: a lookalike file is NOT exempt.
+  EXPECT_TRUE(has_rule(lint_one("src/gpu/device_other.cpp", code, doc_options()), "R1"));
+}
+
+TEST(LintR1, AnnotationWithReasonWaives) {
+  const auto findings =
+      lint_one("src/mip/fixture.cpp",
+               "// gpumip-lint: device-context(inspects staged kernel input)\n"
+               "void f(B& b) { auto s = b.as<double>(); }\n",
+               doc_options());
+  EXPECT_FALSE(has_rule(findings, "R1"));
+}
+
+TEST(LintR1, MalformedAnnotationIsItselfAFinding) {
+  const auto findings = lint_one("src/mip/fixture.cpp",
+                                 "// gpumip-lint: device-context()\n"
+                                 "void f() {}\n",
+                                 doc_options());
+  EXPECT_TRUE(has_rule(findings, "SUP"));
+}
+
+// ---- R2: transfer accounting ----------------------------------------------
+
+TEST(LintR2, RawByteCopyOutsideTransferEngineFires) {
+  for (const char* prim : {"std::memcpy(d, s, n)", "memmove(d, s, n)", "std::memset(d, 0, n)"}) {
+    const std::string code = std::string("void f() { ") + prim + "; }\n";
+    EXPECT_TRUE(has_rule(lint_one("src/lp/fixture.cpp", code, doc_options()), "R2")) << prim;
+  }
+}
+
+TEST(LintR2, TransferEngineIsExempt) {
+  const auto findings =
+      lint_one("src/gpu/device.cpp", "void f() { std::memcpy(d, s, n); }\n", doc_options());
+  EXPECT_FALSE(has_rule(findings, "R2"));
+}
+
+TEST(LintR2, TypedCopyIntoDeviceSpanFires) {
+  const auto findings = lint_one(
+      "src/lp/fixture.cpp",
+      "void f(B& b) { std::copy(v.begin(), v.end(), b.as<double>().data()); }\n", doc_options());
+  EXPECT_TRUE(has_rule(findings, "R2"));
+}
+
+TEST(LintR2, HostToHostCopyIsQuiet) {
+  const auto findings = lint_one(
+      "src/lp/fixture.cpp", "void f() { std::copy(v.begin(), v.end(), w.begin()); }\n",
+      doc_options());
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintR2, CommentAndStringMentionsAreIgnored) {
+  const auto findings = lint_one("src/lp/fixture.cpp",
+                                 "// memcpy would be wrong here\n"
+                                 "const char* kDoc = \"std::memcpy\";\n",
+                                 doc_options());
+  EXPECT_TRUE(findings.empty());
+}
+
+// ---- R3: error contract ----------------------------------------------------
+
+TEST(LintR3, RawStdExceptionFires) {
+  EXPECT_TRUE(has_rule(lint_one("src/lp/fixture.cpp",
+                                "void f() { throw std::runtime_error(\"boom\"); }\n",
+                                doc_options()),
+                       "R3"));
+  EXPECT_TRUE(has_rule(
+      lint_one("src/lp/fixture.cpp", "void f() { throw \"bare\"; }\n", doc_options()), "R3"));
+}
+
+TEST(LintR3, DeclaredErrorSubclassIsQuiet) {
+  const auto findings = lint_one("src/lp/fixture.cpp",
+                                 "struct FixtureError : Error {};\n"
+                                 "void f() { throw FixtureError(); }\n",
+                                 doc_options());
+  EXPECT_FALSE(has_rule(findings, "R3"));
+}
+
+TEST(LintR3, SubclassHierarchyIsTransitiveAcrossFiles) {
+  // Base declared in one file, derived thrown in another: the collection
+  // pass is global, like the real Error hierarchy in support/error.hpp.
+  std::vector<lint::Suppression> none;
+  const auto findings = lint::run_lint(
+      {{"src/support/fixture.hpp", "class MidError : public Error {};\n"},
+       {"src/lp/fixture.cpp",
+        "struct LeafError : public MidError {};\n"
+        "void f() { throw detail::LeafError(\"x\"); }\n"}},
+      doc_options(), none);
+  EXPECT_FALSE(has_rule(findings, "R3"));
+}
+
+TEST(LintR3, RethrowIsQuiet) {
+  const auto findings = lint_one(
+      "src/lp/fixture.cpp", "void f() { try { g(); } catch (...) { throw; } }\n", doc_options());
+  EXPECT_TRUE(findings.empty());
+}
+
+// ---- R4: metric-name grammar ----------------------------------------------
+
+TEST(LintR4, NameOutsideGpumipNamespaceFires) {
+  EXPECT_TRUE(has_rule(lint_one("src/lp/fixture.cpp",
+                                "void f() { GPUMIP_OBS_COUNT(\"lp.fixture.calls\"); }\n",
+                                doc_options()),
+                       "R4"));
+  // Too few components and illegal characters also break the grammar.
+  EXPECT_TRUE(has_rule(
+      lint_one("src/lp/fixture.cpp", "void f() { GPUMIP_OBS_COUNT(\"gpumip.only\"); }\n",
+               doc_options()),
+      "R4"));
+  EXPECT_TRUE(has_rule(lint_one("src/lp/fixture.cpp",
+                                "void f() { GPUMIP_OBS_COUNT(\"gpumip.Fixture.Calls\"); }\n",
+                                doc_options()),
+                       "R4"));
+}
+
+TEST(LintR4, UndocumentedNameFires) {
+  EXPECT_TRUE(has_rule(lint_one("src/lp/fixture.cpp",
+                                "void f() { GPUMIP_OBS_COUNT(\"gpumip.fixture.undocumented\"); }\n",
+                                doc_options()),
+                       "R4"));
+}
+
+TEST(LintR4, DocumentedConformingNameIsQuiet) {
+  const auto findings = lint_one(
+      "src/lp/fixture.cpp",
+      "void f() { GPUMIP_OBS_COUNT(\"gpumip.test.documented.total\"); }\n"
+      "void g() { GPUMIP_OBS_RECORD(\"gpumip.test.documented.seconds\", 0.5); }\n",
+      doc_options());
+  EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintR4, RegistryLookupsAreCheckedToo) {
+  EXPECT_TRUE(has_rule(lint_one("src/lp/fixture.cpp",
+                                "void f() { obs::counter(\"lp.fixture.calls\").add(1); }\n",
+                                doc_options()),
+                       "R4"));
+}
+
+TEST(LintR4, DynamicNamesAreSkipped) {
+  // Rank-indexed names are assembled at runtime; only literals are
+  // statically checkable (the runtime export check in gate 6 covers these).
+  const auto findings = lint_one(
+      "src/lp/fixture.cpp", "void f() { obs::counter(prefix + \".sent.msgs\").add(1); }\n",
+      doc_options());
+  EXPECT_TRUE(findings.empty());
+}
+
+// ---- Suppressions ----------------------------------------------------------
+
+TEST(LintSuppress, JustifiedEntrySilencesAndIsMarkedUsed) {
+  std::vector<lint::Finding> parse_findings;
+  auto sups = lint::parse_suppressions(
+      "# comment line\n"
+      "R2 lp/fixture.cpp std::memcpy -- host-only fixture serialization\n",
+      "(suppressions)", parse_findings);
+  ASSERT_TRUE(parse_findings.empty());
+  ASSERT_EQ(sups.size(), 1u);
+  const auto findings = lint::run_lint(
+      {{"src/lp/fixture.cpp", "void f() { std::memcpy(d, s, n); }\n"}}, doc_options(), sups);
+  EXPECT_TRUE(findings.empty());
+  EXPECT_TRUE(sups[0].used);
+}
+
+TEST(LintSuppress, StaleEntryIsAFinding) {
+  std::vector<lint::Finding> parse_findings;
+  auto sups = lint::parse_suppressions("R2 lp/fixture.cpp std::memcpy -- excuse with no offender\n",
+                                       "(suppressions)", parse_findings);
+  const auto findings =
+      lint::run_lint({{"src/lp/clean.cpp", "void f() {}\n"}}, doc_options(), sups);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "SUP");
+  EXPECT_NE(findings[0].message.find("stale"), std::string::npos);
+}
+
+TEST(LintSuppress, MissingJustificationIsRejected) {
+  std::vector<lint::Finding> parse_findings;
+  auto sups =
+      lint::parse_suppressions("R2 lp/fixture.cpp std::memcpy\n", "(suppressions)", parse_findings);
+  EXPECT_TRUE(sups.empty());
+  ASSERT_EQ(parse_findings.size(), 1u);
+  EXPECT_EQ(parse_findings[0].rule, "SUP");
+}
+
+TEST(LintSuppress, WrongRuleOrFileDoesNotMatch) {
+  std::vector<lint::Finding> parse_findings;
+  auto sups = lint::parse_suppressions(
+      "R1 lp/fixture.cpp std::memcpy -- wrong rule\n"
+      "R2 mip/other.cpp std::memcpy -- wrong file\n",
+      "(suppressions)", parse_findings);
+  const auto findings = lint::run_lint(
+      {{"src/lp/fixture.cpp", "void f() { std::memcpy(d, s, n); }\n"}}, doc_options(), sups);
+  // The R2 finding survives and both entries are reported stale.
+  EXPECT_TRUE(has_rule(findings, "R2"));
+  EXPECT_EQ(std::count_if(findings.begin(), findings.end(),
+                          [](const lint::Finding& f) { return f.rule == "SUP"; }),
+            2);
+}
+
+// ---- R5: standalone headers -------------------------------------------------
+
+#ifndef GPUMIP_TEST_CXX
+#define GPUMIP_TEST_CXX "c++"
+#endif
+
+TEST(LintR5, MissingIncludeFiresAndSelfContainedHeaderIsQuiet) {
+  namespace fs = std::filesystem;
+  const fs::path root = fs::temp_directory_path() / "gpumip_lint_r5";
+  fs::create_directories(root / "sub");
+  {
+    std::ofstream bad(root / "sub" / "bad.hpp");
+    bad << "void f(std::string s);\n";  // needs <string> but does not include it
+    std::ofstream good(root / "sub" / "good.hpp");
+    good << "#include <string>\nvoid g(std::string s);\n";
+  }
+  const auto findings = lint::check_headers_standalone(
+      {"sub/bad.hpp", "sub/good.hpp"}, root.string(), GPUMIP_TEST_CXX,
+      (root / "scratch").string());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "R5");
+  EXPECT_NE(findings[0].file.find("bad.hpp"), std::string::npos);
+  fs::remove_all(root);
+}
+
+// ---- The shipped gate inputs ----------------------------------------------
+
+TEST(LintGate, SelfTestFixturesAllBehave) {
+  std::ostringstream report;
+  EXPECT_TRUE(lint::run_self_test(report)) << report.str();
+}

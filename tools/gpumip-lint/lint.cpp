@@ -1,0 +1,757 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <ostream>
+#include <set>
+#include <sstream>
+#include <unordered_map>
+
+namespace gpumip::lint {
+namespace {
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_space(char c) { return std::isspace(static_cast<unsigned char>(c)) != 0; }
+
+std::size_t skip_ws(const std::string& s, std::size_t pos) {
+  while (pos < s.size() && is_space(s[pos])) ++pos;
+  return pos;
+}
+
+/// An inline waiver: `// gpumip-lint: <tag>(<reason>)`. Covers the
+/// annotation's own line and the line below it.
+struct Annotation {
+  std::string tag;
+  std::string reason;
+};
+
+/// One source file after the comment/string-aware scan. `clean` has the
+/// same length and line structure as the input, with comment text and
+/// literal bodies blanked, so token searches cannot match inside either.
+struct Scanned {
+  const SourceFile* src = nullptr;
+  std::string clean;
+  std::vector<std::size_t> line_start;                    // 0-based offsets
+  std::unordered_map<std::size_t, std::string> literals;  // opening-quote pos -> value
+  std::map<int, std::vector<Annotation>> annotations;     // 1-based line
+  std::vector<std::string> lines;                         // original text, 1-based via index+1
+};
+
+int line_of(const Scanned& f, std::size_t pos) {
+  auto it = std::upper_bound(f.line_start.begin(), f.line_start.end(), pos);
+  return static_cast<int>(it - f.line_start.begin());
+}
+
+void parse_annotation(const std::string& comment, int line, Scanned& out,
+                      std::vector<Finding>& findings) {
+  const std::string marker = "gpumip-lint:";
+  std::size_t at = comment.find(marker);
+  if (at == std::string::npos) return;
+  std::size_t pos = skip_ws(comment, at + marker.size());
+  std::string tag;
+  while (pos < comment.size() &&
+         (std::isalpha(static_cast<unsigned char>(comment[pos])) != 0 || comment[pos] == '-')) {
+    tag += comment[pos++];
+  }
+  pos = skip_ws(comment, pos);
+  std::string reason;
+  bool closed = false;
+  if (pos < comment.size() && comment[pos] == '(') {
+    std::size_t close = comment.find(')', pos);
+    if (close != std::string::npos) {
+      reason = comment.substr(pos + 1, close - pos - 1);
+      closed = true;
+    }
+  }
+  // Trim the reason.
+  while (!reason.empty() && is_space(reason.front())) reason.erase(reason.begin());
+  while (!reason.empty() && is_space(reason.back())) reason.pop_back();
+  if (tag.empty() || !closed || reason.empty()) {
+    findings.push_back({out.src->path, line, "SUP",
+                        "malformed gpumip-lint annotation: expected "
+                        "'gpumip-lint: <tag>(<non-empty reason>)'"});
+    return;
+  }
+  out.annotations[line].push_back({tag, reason});
+}
+
+/// Comment/string-aware scan. Blanks comments and literal bodies in
+/// `clean`, records string literal values by position, and parses
+/// `// gpumip-lint: tag(reason)` annotations out of comments.
+Scanned scan(const SourceFile& file, std::vector<Finding>& findings) {
+  Scanned out;
+  out.src = &file;
+  const std::string& text = file.content;
+  out.clean.assign(text.size(), ' ');
+  out.line_start.push_back(0);
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\n') out.line_start.push_back(i + 1);
+  }
+  {
+    std::istringstream ls(text);
+    std::string line;
+    while (std::getline(ls, line)) out.lines.push_back(line);
+  }
+
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+  State state = State::kCode;
+  std::string comment, literal, raw_delim;
+  std::size_t token_start = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '\n') out.clean[i] = '\n';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && i + 1 < text.size() && text[i + 1] == '/') {
+          state = State::kLineComment;
+          comment.clear();
+          token_start = i;
+          ++i;
+        } else if (c == '/' && i + 1 < text.size() && text[i + 1] == '*') {
+          state = State::kBlockComment;
+          comment.clear();
+          token_start = i;
+          ++i;
+        } else if (c == '"' && i >= 1 && text[i - 1] == 'R') {
+          // Raw string literal R"delim(...)delim".
+          state = State::kRawString;
+          token_start = i;
+          literal.clear();
+          raw_delim.clear();
+          std::size_t j = i + 1;
+          while (j < text.size() && text[j] != '(') raw_delim += text[j++];
+          raw_delim = ")" + raw_delim + "\"";
+          out.clean[i] = '"';
+          i = j;  // position of '('
+        } else if (c == '"') {
+          state = State::kString;
+          token_start = i;
+          literal.clear();
+          out.clean[i] = '"';
+        } else if (c == '\'') {
+          state = State::kChar;
+          out.clean[i] = '\'';
+        } else {
+          out.clean[i] = c;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          parse_annotation(comment, line_of(out, token_start), out, findings);
+          state = State::kCode;
+        } else {
+          comment += c;
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && i + 1 < text.size() && text[i + 1] == '/') {
+          parse_annotation(comment, line_of(out, token_start), out, findings);
+          state = State::kCode;
+          ++i;
+        } else {
+          comment += c;
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && i + 1 < text.size()) {
+          literal += text[i + 1];
+          ++i;
+        } else if (c == '"') {
+          out.clean[i] = '"';
+          out.literals[token_start] = literal;
+          state = State::kCode;
+        } else {
+          literal += c;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && i + 1 < text.size()) {
+          ++i;
+        } else if (c == '\'') {
+          out.clean[i] = '\'';
+          state = State::kCode;
+        }
+        break;
+      case State::kRawString:
+        if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
+          out.literals[token_start] = literal;
+          i += raw_delim.size() - 1;
+          out.clean[i] = '"';
+          state = State::kCode;
+        } else {
+          literal += c;
+        }
+        break;
+    }
+  }
+  if (state == State::kLineComment) {
+    parse_annotation(comment, line_of(out, token_start), out, findings);
+  }
+  return out;
+}
+
+bool has_annotation(const Scanned& f, int line, const std::string& tag) {
+  for (int l : {line, line - 1}) {
+    auto it = f.annotations.find(l);
+    if (it == f.annotations.end()) continue;
+    for (const Annotation& a : it->second) {
+      if (a.tag == tag) return true;
+    }
+  }
+  return false;
+}
+
+/// True when `path` names a file of the confinement stem `stem`, i.e. the
+/// path contains "<stem>." — "gpu/device" matches gpu/device.cpp and
+/// gpu/device.hpp but not gpu/device_other.cpp.
+bool matches_stem(const std::string& path, const std::string& stem) {
+  std::size_t at = path.find(stem + ".");
+  if (at == std::string::npos) return false;
+  return at == 0 || path[at - 1] == '/';
+}
+
+bool in_device_context(const std::string& path, const Options& options) {
+  return std::any_of(options.device_context.begin(), options.device_context.end(),
+                     [&](const std::string& stem) { return matches_stem(path, stem); });
+}
+
+/// Finds the next whole-word occurrence of `word` in `s` at or after
+/// `from`; npos when absent.
+std::size_t find_word(const std::string& s, const std::string& word, std::size_t from) {
+  for (std::size_t at = s.find(word, from); at != std::string::npos;
+       at = s.find(word, at + 1)) {
+    const bool left_ok = at == 0 || !is_ident_char(s[at - 1]);
+    const std::size_t end = at + word.size();
+    const bool right_ok = end >= s.size() || !is_ident_char(s[end]);
+    if (left_ok && right_ok) return at;
+  }
+  return std::string::npos;
+}
+
+/// The statement around `pos`: text between the previous and next
+/// `;`/`{`/`}` in the blanked source. Good enough to ask "does this copy
+/// touch a device span".
+std::string statement_around(const std::string& clean, std::size_t pos) {
+  const std::string stops = ";{}";
+  std::size_t begin = clean.find_last_of(stops, pos);
+  begin = (begin == std::string::npos) ? 0 : begin + 1;
+  std::size_t end = clean.find_first_of(stops, pos);
+  if (end == std::string::npos) end = clean.size();
+  return clean.substr(begin, end - begin);
+}
+
+bool mentions_device_span(const std::string& text) {
+  return text.find(".as<") != std::string::npos || text.find("->as<") != std::string::npos;
+}
+
+// ---- R1: memory-space confinement -----------------------------------------
+
+void check_r1(const Scanned& f, const Options& options, std::vector<Finding>& findings) {
+  if (in_device_context(f.src->path, options)) return;
+  for (const char* pattern : {".as<", "->as<"}) {
+    const std::string needle(pattern);
+    for (std::size_t at = f.clean.find(needle); at != std::string::npos;
+         at = f.clean.find(needle, at + 1)) {
+      const int line = line_of(f, at);
+      if (has_annotation(f, line, "device-context")) continue;
+      findings.push_back(
+          {f.src->path, line, "R1",
+           "raw device-side access DeviceBuffer::as<T>() outside the device context "
+           "(kernel/transfer-engine files); route through the typed wrappers or annotate "
+           "'// gpumip-lint: device-context(reason)'"});
+    }
+  }
+}
+
+// ---- R2: transfer accounting ----------------------------------------------
+
+void check_r2(const Scanned& f, const Options& options, std::vector<Finding>& findings) {
+  const std::string& path = f.src->path;
+  if (path.size() >= options.transfer_engine.size() &&
+      path.compare(path.size() - options.transfer_engine.size(), options.transfer_engine.size(),
+                   options.transfer_engine) == 0) {
+    return;  // the transfer engine itself: the one audited home of raw copies
+  }
+  // (a) Untyped byte copies are invisible to the H2D/D2H ledger, so they
+  // are banned everywhere outside the transfer engine.
+  for (const char* prim : {"memcpy", "memmove", "memset"}) {
+    for (std::size_t at = find_word(f.clean, prim, 0); at != std::string::npos;
+         at = find_word(f.clean, prim, at + 1)) {
+      const int line = line_of(f, at);
+      if (has_annotation(f, line, "host-only")) continue;
+      findings.push_back(
+          {path, line, "R2",
+           std::string("raw byte copy '") + prim +
+               "' outside the Device transfer engine bypasses the H2D/D2H ledger; use "
+               "Device::copy_h2d/copy_d2h (or typed std algorithms for host-only data and "
+               "annotate '// gpumip-lint: host-only(reason)')"});
+    }
+  }
+  // (b) Typed copy algorithms whose statement touches a raw device span
+  // move bytes across the host/device boundary without charging the copy
+  // engine. Device-context files are exempt: their kernel bodies shuffle
+  // device-resident data by design.
+  if (in_device_context(path, options)) return;
+  for (const char* algo : {"copy", "copy_n", "fill", "fill_n"}) {
+    for (std::size_t at = find_word(f.clean, algo, 0); at != std::string::npos;
+         at = find_word(f.clean, algo, at + 1)) {
+      if (at < 2 || f.clean.compare(at - 2, 2, "::") != 0) continue;  // only std:: algorithms
+      const std::string stmt = statement_around(f.clean, at);
+      if (!mentions_device_span(stmt)) continue;
+      const int line = line_of(f, at);
+      if (has_annotation(f, line, "host-only")) continue;
+      findings.push_back(
+          {path, line, "R2",
+           std::string("'std::") + algo +
+               "' over a device span bypasses transfer accounting; stage through a host "
+               "buffer and Device::copy_h2d/copy_d2h"});
+    }
+  }
+}
+
+// ---- R3: error contract ----------------------------------------------------
+
+/// Scans every file for `class/struct X : ... Base` declarations and
+/// returns the transitive set of gpumip::Error subclasses (seeded with
+/// Error itself). Lightweight semantic matching: qualified bases compare
+/// by their last component.
+std::set<std::string> collect_error_classes(const std::vector<Scanned>& files) {
+  struct Decl {
+    std::string name;
+    std::vector<std::string> bases;
+  };
+  std::vector<Decl> decls;
+  for (const Scanned& f : files) {
+    for (const char* kw : {"class", "struct"}) {
+      for (std::size_t at = find_word(f.clean, kw, 0); at != std::string::npos;
+           at = find_word(f.clean, kw, at + 1)) {
+        std::size_t pos = skip_ws(f.clean, at + std::string(kw).size());
+        std::string name;
+        while (pos < f.clean.size() && is_ident_char(f.clean[pos])) name += f.clean[pos++];
+        if (name.empty()) continue;
+        pos = skip_ws(f.clean, pos);
+        if (f.clean.compare(pos, 5, "final") == 0) pos = skip_ws(f.clean, pos + 5);
+        if (pos >= f.clean.size() || f.clean[pos] != ':' ||
+            (pos + 1 < f.clean.size() && f.clean[pos + 1] == ':')) {
+          continue;  // no base clause (fwd decl, template param, etc.)
+        }
+        std::size_t brace = f.clean.find('{', pos);
+        std::size_t semi = f.clean.find(';', pos);
+        if (brace == std::string::npos || semi < brace) continue;
+        Decl d;
+        d.name = name;
+        std::string base_clause = f.clean.substr(pos + 1, brace - pos - 1);
+        std::istringstream bs(base_clause);
+        std::string piece;
+        while (std::getline(bs, piece, ',')) {
+          // Last identifier component of the base name, sans qualifiers.
+          std::string last;
+          for (std::size_t i = 0; i < piece.size(); ++i) {
+            if (is_ident_char(piece[i])) {
+              last += piece[i];
+            } else if (piece[i] == '<') {
+              break;  // ignore template arguments
+            } else if (!last.empty() && piece[i] == ':') {
+              last.clear();  // qualifier: keep only the final component
+            } else if (!last.empty() && is_space(piece[i])) {
+              // A later word replaces an access specifier (public/virtual).
+              if (last == "public" || last == "private" || last == "protected" ||
+                  last == "virtual") {
+                last.clear();
+              }
+            }
+          }
+          if (last == "public" || last == "private" || last == "protected" || last == "virtual") {
+            last.clear();
+          }
+          if (!last.empty()) d.bases.push_back(last);
+        }
+        decls.push_back(std::move(d));
+      }
+    }
+  }
+  std::set<std::string> errors = {"Error"};
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Decl& d : decls) {
+      if (errors.count(d.name) != 0) continue;
+      for (const std::string& b : d.bases) {
+        if (errors.count(b) != 0) {
+          errors.insert(d.name);
+          changed = true;
+          break;
+        }
+      }
+    }
+  }
+  return errors;
+}
+
+void check_r3(const Scanned& f, const std::set<std::string>& error_classes,
+              std::vector<Finding>& findings) {
+  for (std::size_t at = find_word(f.clean, "throw", 0); at != std::string::npos;
+       at = find_word(f.clean, "throw", at + 1)) {
+    std::size_t pos = skip_ws(f.clean, at + 5);
+    if (pos >= f.clean.size()) break;
+    const int line = line_of(f, at);
+    if (f.clean[pos] == ';') continue;  // rethrow of the in-flight exception
+    if (has_annotation(f, line, "error-contract")) continue;
+    // Parse the thrown expression's leading qualified name.
+    std::string last;
+    bool any_component = false;
+    while (pos < f.clean.size()) {
+      if (is_ident_char(f.clean[pos])) {
+        last += f.clean[pos++];
+      } else if (f.clean.compare(pos, 2, "::") == 0) {
+        last.clear();
+        any_component = true;
+        pos += 2;
+      } else {
+        break;
+      }
+    }
+    (void)any_component;
+    if (!last.empty() && error_classes.count(last) != 0) continue;
+    std::string what = last.empty() ? "a non-class expression" : "'" + last + "'";
+    findings.push_back(
+        {f.src->path, line, "R3",
+         "throw of " + what +
+             " violates the error contract: every failure must be a gpumip::Error "
+             "subclass carrying an ErrorCode (support/error.hpp) so callers can "
+             "dispatch on code() without string matching"});
+  }
+}
+
+// ---- R4: metric-name grammar ----------------------------------------------
+
+/// gpumip metric grammar: `gpumip.` then >= 2 further dot-separated
+/// components of [a-z0-9_]+, each starting with a letter or digit.
+bool valid_metric_name(const std::string& name) {
+  std::vector<std::string> parts;
+  std::string cur;
+  for (char c : name) {
+    if (c == '.') {
+      parts.push_back(cur);
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  parts.push_back(cur);
+  if (parts.size() < 3 || parts[0] != "gpumip") return false;
+  for (std::size_t i = 1; i < parts.size(); ++i) {
+    if (parts[i].empty()) return false;
+    for (char c : parts[i]) {
+      if ((std::islower(static_cast<unsigned char>(c)) == 0 &&
+           std::isdigit(static_cast<unsigned char>(c)) == 0 && c != '_')) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void check_r4(const Scanned& f, const Options& options, std::vector<Finding>& findings) {
+  static const std::vector<std::string> kSites = {
+      "GPUMIP_OBS_COUNT", "GPUMIP_OBS_ADD",    "GPUMIP_OBS_GAUGE_SET",
+      "GPUMIP_OBS_GAUGE_MAX", "GPUMIP_OBS_RECORD", "GPUMIP_OBS_SPAN",
+      "counter", "gauge", "histogram",
+  };
+  for (const std::string& site : kSites) {
+    const bool is_registry_call = site == "counter" || site == "gauge" || site == "histogram";
+    for (std::size_t at = find_word(f.clean, site, 0); at != std::string::npos;
+         at = find_word(f.clean, site, at + 1)) {
+      if (is_registry_call) {
+        // Only the obs registry lookups, not arbitrary identifiers.
+        if (at < 5 || f.clean.compare(at - 5, 5, "obs::") != 0) continue;
+      }
+      std::size_t pos = skip_ws(f.clean, at + site.size());
+      if (pos >= f.clean.size() || f.clean[pos] != '(') continue;
+      pos = skip_ws(f.clean, pos + 1);
+      if (pos >= f.clean.size() || f.clean[pos] != '"') continue;  // dynamic name: not checkable
+      auto lit = f.literals.find(pos);
+      if (lit == f.literals.end()) continue;
+      const std::string& name = lit->second;
+      const int line = line_of(f, at);
+      if (has_annotation(f, line, "metric-name")) continue;
+      if (!valid_metric_name(name)) {
+        findings.push_back(
+            {f.src->path, line, "R4",
+             "metric name '" + name +
+                 "' violates the grammar gpumip.[a-z_]+(.[a-z_0-9]+)+ — every exported "
+                 "name is namespaced under gpumip. (docs/METRICS.md)"});
+        continue;
+      }
+      if (options.have_metrics_doc &&
+          options.metrics_doc.find("`" + name + "`") == std::string::npos) {
+        findings.push_back(
+            {f.src->path, line, "R4",
+             "metric name '" + name +
+                 "' is not documented in docs/METRICS.md; every name a hot path can "
+                 "export must appear (backticked) in the glossary"});
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Suppression> parse_suppressions(const std::string& text, const std::string& path,
+                                            std::vector<Finding>& findings) {
+  std::vector<Suppression> out;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::size_t first = line.find_first_not_of(" \t");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::size_t sep = line.find(" -- ");
+    if (sep == std::string::npos) {
+      findings.push_back({path, lineno, "SUP",
+                          "suppression entry is missing ' -- <justification>'"});
+      continue;
+    }
+    std::string head = line.substr(0, sep);
+    std::string justification = line.substr(sep + 4);
+    while (!justification.empty() && is_space(justification.back())) justification.pop_back();
+    std::istringstream hs(head);
+    Suppression s;
+    hs >> s.rule >> s.path_suffix;
+    std::getline(hs, s.needle);
+    std::size_t ns = s.needle.find_first_not_of(" \t");
+    s.needle = (ns == std::string::npos) ? "" : s.needle.substr(ns);
+    s.justification = justification;
+    s.line = lineno;
+    if (s.rule.empty() || s.path_suffix.empty() || s.needle.empty()) {
+      findings.push_back({path, lineno, "SUP",
+                          "suppression entry needs '<rule> <path-suffix> <line-substring> -- "
+                          "<justification>'"});
+      continue;
+    }
+    if (s.justification.empty()) {
+      findings.push_back({path, lineno, "SUP", "suppression justification must be non-empty"});
+      continue;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::vector<Finding> run_lint(const std::vector<SourceFile>& files, const Options& options,
+                              std::vector<Suppression>& suppressions) {
+  std::vector<Finding> findings;
+  std::vector<Scanned> scanned;
+  scanned.reserve(files.size());
+  for (const SourceFile& file : files) scanned.push_back(scan(file, findings));
+
+  const std::set<std::string> error_classes = collect_error_classes(scanned);
+  for (const Scanned& f : scanned) {
+    check_r1(f, options, findings);
+    check_r2(f, options, findings);
+    check_r3(f, error_classes, findings);
+    check_r4(f, options, findings);
+  }
+
+  // Apply the suppression file: a finding survives unless an entry matches
+  // its rule, file suffix, and offending source line.
+  auto source_line = [&](const Finding& fi) -> std::string {
+    for (const Scanned& f : scanned) {
+      if (f.src->path == fi.file && fi.line >= 1 &&
+          static_cast<std::size_t>(fi.line) <= f.lines.size()) {
+        return f.lines[static_cast<std::size_t>(fi.line - 1)];
+      }
+    }
+    return "";
+  };
+  std::vector<Finding> kept;
+  for (Finding& fi : findings) {
+    bool suppressed = false;
+    if (fi.rule != "SUP") {
+      for (Suppression& s : suppressions) {
+        if (s.rule == fi.rule && fi.file.size() >= s.path_suffix.size() &&
+            fi.file.compare(fi.file.size() - s.path_suffix.size(), s.path_suffix.size(),
+                            s.path_suffix) == 0 &&
+            source_line(fi).find(s.needle) != std::string::npos) {
+          s.used = true;
+          suppressed = true;
+          break;
+        }
+      }
+    }
+    if (!suppressed) kept.push_back(std::move(fi));
+  }
+  // Stale entries are findings too: a suppression must not outlive the
+  // code it excuses.
+  for (const Suppression& s : suppressions) {
+    if (!s.used) {
+      kept.push_back({"(suppressions)", s.line, "SUP",
+                      "stale suppression (matched no finding): " + s.rule + " " + s.path_suffix +
+                          " '" + s.needle + "'"});
+    }
+  }
+  std::sort(kept.begin(), kept.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.file, a.line, a.rule, a.message) <
+           std::tie(b.file, b.line, b.rule, b.message);
+  });
+  return kept;
+}
+
+std::vector<Finding> check_headers_standalone(const std::vector<std::string>& headers,
+                                              const std::string& include_dir,
+                                              const std::string& compiler,
+                                              const std::string& scratch_dir) {
+  namespace fs = std::filesystem;
+  std::vector<Finding> findings;
+  fs::create_directories(scratch_dir);
+  for (const std::string& header : headers) {
+    std::string mangled = header;
+    std::replace(mangled.begin(), mangled.end(), '/', '_');
+    const fs::path tu = fs::path(scratch_dir) / (mangled + ".standalone.cpp");
+    const fs::path log = fs::path(scratch_dir) / (mangled + ".log");
+    {
+      std::ofstream out(tu);
+      out << "// generated by gpumip-lint R5: the header must compile alone\n"
+          << "#include \"" << header << "\"\n";
+    }
+    const std::string cmd = compiler + " -std=c++20 -fsyntax-only -I \"" + include_dir +
+                            "\" \"" + tu.string() + "\" > \"" + log.string() + "\" 2>&1";
+    const int rc = std::system(cmd.c_str());  // NOLINT: deliberate tool invocation
+    if (rc == 0) continue;
+    std::string detail;
+    {
+      std::ifstream in(log);
+      std::string line;
+      int kept_lines = 0;
+      while (std::getline(in, line) && kept_lines < 6) {
+        detail += "\n    " + line;
+        ++kept_lines;
+      }
+    }
+    findings.push_back({include_dir + "/" + header, 1, "R5",
+                        "header is not self-contained (fails to compile as its own "
+                        "translation unit):" + detail});
+  }
+  return findings;
+}
+
+namespace {
+
+/// Runs the engine over one fixture and reports whether `rule` fired.
+bool fires(const std::string& path, const std::string& content, const std::string& rule,
+           const Options& options) {
+  std::vector<Suppression> none;
+  std::vector<Finding> findings = run_lint({{path, content}}, options, none);
+  return std::any_of(findings.begin(), findings.end(),
+                     [&](const Finding& f) { return f.rule == rule; });
+}
+
+}  // namespace
+
+bool run_self_test(std::ostream& out) {
+  Options options;
+  options.metrics_doc = "| `gpumip.test.documented.total` | — | — | fixture |\n";
+  options.have_metrics_doc = true;
+  int failed = 0;
+  auto expect = [&](bool ok, const std::string& what) {
+    out << "    [" << (ok ? "ok" : "FAIL") << "] " << what << "\n";
+    if (!ok) ++failed;
+  };
+
+  // R1: raw device access fires outside the device context, is quiet
+  // inside it, and the inline annotation waives it.
+  const std::string r1 = "void f(B& b) { auto s = b.as<double>(); }\n";
+  expect(fires("src/mip/fixture.cpp", r1, "R1", options), "R1 fires outside device context");
+  expect(!fires("src/linalg/device_blas.cpp", r1, "R1", options),
+         "R1 quiet in a device-context file");
+  expect(!fires("src/mip/fixture.cpp",
+                "// gpumip-lint: device-context(fixture kernel body)\n" + r1, "R1", options),
+         "R1 waived by device-context annotation");
+
+  // R2a: raw byte copies fire outside the transfer engine only.
+  const std::string r2 = "void f() { std::memcpy(d, s, n); }\n";
+  expect(fires("src/lp/fixture.cpp", r2, "R2", options), "R2 fires on memcpy outside engine");
+  expect(!fires("src/gpu/device.cpp", r2, "R2", options), "R2 quiet in the transfer engine");
+  expect(!fires("src/lp/fixture.cpp",
+                "// gpumip-lint: host-only(fixture serializer)\n" + r2, "R2", options),
+         "R2 waived by host-only annotation");
+  // R2b: typed algorithms over a device span.
+  expect(fires("src/lp/fixture.cpp",
+               "void f(B& b) { std::copy(v.begin(), v.end(), b.as<double>().data()); }\n", "R2",
+               options),
+         "R2 fires on std::copy into a device span");
+  expect(!fires("src/lp/fixture.cpp", "void f() { std::copy(v.begin(), v.end(), w.begin()); }\n",
+                "R2", options),
+         "R2 quiet on host-to-host std::copy");
+
+  // R3: raw std exceptions fire; locally declared Error subclasses do not.
+  expect(fires("src/lp/fixture.cpp", "void f() { throw std::runtime_error(\"x\"); }\n", "R3",
+               options),
+         "R3 fires on std::runtime_error");
+  expect(fires("src/lp/fixture.cpp", "void f() { throw \"bare literal\"; }\n", "R3", options),
+         "R3 fires on a literal throw");
+  expect(!fires("src/lp/fixture.cpp",
+                "struct FixtureError : Error {};\n"
+                "void f() { throw FixtureError(); }\n",
+                "R3", options),
+         "R3 quiet on a declared Error subclass");
+  expect(!fires("src/lp/fixture.cpp", "void f() { try { g(); } catch (...) { throw; } }\n", "R3",
+                options),
+         "R3 quiet on rethrow");
+
+  // R4: grammar violations and undocumented names fire; documented
+  // conforming names do not.
+  expect(fires("src/lp/fixture.cpp", "void f() { GPUMIP_OBS_COUNT(\"lp.fixture.calls\"); }\n",
+               "R4", options),
+         "R4 fires on a name outside the gpumip. namespace");
+  expect(fires("src/lp/fixture.cpp",
+               "void f() { GPUMIP_OBS_COUNT(\"gpumip.fixture.undocumented\"); }\n", "R4", options),
+         "R4 fires on an undocumented name");
+  expect(!fires("src/lp/fixture.cpp",
+                "void f() { GPUMIP_OBS_COUNT(\"gpumip.test.documented.total\"); }\n", "R4",
+                options),
+         "R4 quiet on a documented conforming name");
+
+  // Suppression round trip: a matching entry silences the finding and is
+  // marked used; an unmatched entry is reported stale.
+  {
+    std::vector<Finding> parse_findings;
+    std::vector<Suppression> sups = parse_suppressions(
+        "R2 lp/fixture.cpp std::memcpy -- fixture: host-only serialization\n", "(suppressions)",
+        parse_findings);
+    std::vector<Finding> findings = run_lint({{"src/lp/fixture.cpp", r2}}, options, sups);
+    expect(parse_findings.empty() && findings.empty() && sups.size() == 1 && sups[0].used,
+           "suppression with justification silences the finding");
+  }
+  {
+    std::vector<Finding> parse_findings;
+    std::vector<Suppression> sups = parse_suppressions(
+        "R2 lp/fixture.cpp std::memcpy -- excuse without offender\n", "(suppressions)",
+        parse_findings);
+    std::vector<Finding> findings =
+        run_lint({{"src/lp/clean.cpp", "void f() {}\n"}}, options, sups);
+    expect(findings.size() == 1 && findings[0].rule == "SUP",
+           "stale suppression is itself a finding");
+  }
+  {
+    std::vector<Finding> parse_findings;
+    parse_suppressions("R2 lp/fixture.cpp std::memcpy\n", "(suppressions)", parse_findings);
+    expect(parse_findings.size() == 1 && parse_findings[0].rule == "SUP",
+           "suppression without justification is rejected");
+  }
+
+  out << (failed == 0 ? "    self-test: all fixtures behaved\n"
+                      : "    self-test: FIXTURE FAILURES\n");
+  return failed == 0;
+}
+
+}  // namespace gpumip::lint

@@ -1,0 +1,112 @@
+// gpumip-lint — repo-native static analysis for the gpumip codebase.
+//
+// Enforces contracts that neither the compiler nor clang-tidy can express
+// (DESIGN.md, "Static analysis"): where raw device-side data may appear
+// (R1), that every host<->device byte movement goes through the Device
+// transfer API so the C3-C5 transfer ledger stays truthful (R2), that every
+// throw site carries a gpumip::ErrorCode (R3), that observability metric
+// name literals follow the gpumip.* grammar and are documented in
+// docs/METRICS.md (R4), and that every public header is self-contained
+// (R5). Implemented as a lexer plus lightweight semantic matching over the
+// token stream — deliberately no libclang dependency, so the tool builds
+// everywhere the library builds and runs in milliseconds over all of src/.
+//
+// The engine is a library so the test suite (tests/test_lint.cpp) can feed
+// it fixture sources in memory; tools/gpumip-lint/main.cpp is the CLI that
+// scripts/check.sh gate 7 drives.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace gpumip::lint {
+
+/// One diagnostic. `rule` is "R1".."R5" or "SUP" (suppression-file
+/// problems: syntax errors, missing justification, stale entries).
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// A source file to analyze. `path` is the repo-relative path (used for
+/// the R1 confinement allowlist and suppression matching); `content` is
+/// the full text.
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+/// One entry of the checked-in suppression file. Grammar (one per line):
+///
+///   <rule> <path-suffix> <line-substring> -- <justification>
+///
+/// e.g.
+///   R2 parallel/simmpi.cpp std::memcpy -- host-only message serialization
+///
+/// A finding is suppressed when its rule matches, its file path ends with
+/// <path-suffix>, and the offending source line contains <line-substring>.
+/// The justification after "--" is mandatory; entries that never match any
+/// finding are reported as stale (rule SUP) so suppressions cannot outlive
+/// the code they excuse. '#' starts a comment line.
+struct Suppression {
+  std::string rule;
+  std::string path_suffix;
+  std::string needle;
+  std::string justification;
+  int line = 0;     ///< line in the suppression file (for stale reports)
+  bool used = false;
+};
+
+struct Options {
+  /// Full text of docs/METRICS.md. When `have_metrics_doc` is set, R4
+  /// additionally requires every metric name literal to appear backticked
+  /// in this text.
+  std::string metrics_doc;
+  bool have_metrics_doc = false;
+
+  /// Path stems (matched against "<stem>.") whose files form the device
+  /// context: raw DeviceBuffer::as<T>() access is legal there (R1), and
+  /// their copy primitives are still subject to R2's device-span test.
+  std::vector<std::string> device_context = {
+      "linalg/batched",
+      "linalg/device_blas",
+      "sparse/device_sparse",
+      "gpu/device",
+  };
+
+  /// The one file allowed to move raw bytes (memcpy & friends): the
+  /// Device transfer engine, which is what the H2D/D2H ledger instruments.
+  std::string transfer_engine = "gpu/device.cpp";
+};
+
+/// Parses the suppression file text. Syntax problems (missing fields,
+/// empty justification) are reported as SUP findings against `path`.
+std::vector<Suppression> parse_suppressions(const std::string& text, const std::string& path,
+                                            std::vector<Finding>& findings);
+
+/// Runs rules R1-R4 over `files`, consuming `suppressions` (marking used
+/// entries) and appending stale-suppression findings. Returns all
+/// unsuppressed findings, ordered by file then line.
+std::vector<Finding> run_lint(const std::vector<SourceFile>& files, const Options& options,
+                              std::vector<Suppression>& suppressions);
+
+/// R5: compiles one translation unit `#include "<header>"` per header with
+/// `compiler -std=c++20 -fsyntax-only -I include_dir`, using `scratch_dir`
+/// for the generated TUs and captured compiler output. `headers` are paths
+/// relative to `include_dir`. Returns one finding per header that fails.
+std::vector<Finding> check_headers_standalone(const std::vector<std::string>& headers,
+                                              const std::string& include_dir,
+                                              const std::string& compiler,
+                                              const std::string& scratch_dir);
+
+/// Built-in seeded-violation fixtures: one per rule R1-R4 proving the rule
+/// fires, one clean fixture per rule proving it stays quiet, plus the
+/// suppression and annotation round trips. Prints a report to `out`;
+/// returns true when every expectation holds. (R5 is exercised by
+/// tests/test_lint.cpp and the gate itself, since it needs a compiler.)
+bool run_self_test(std::ostream& out);
+
+}  // namespace gpumip::lint

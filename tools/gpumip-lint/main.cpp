@@ -1,0 +1,164 @@
+// gpumip-lint CLI — scripts/check.sh gate 7 entry point.
+//
+//   gpumip-lint --self-test
+//   gpumip-lint [--metrics-doc docs/METRICS.md]
+//               [--suppressions tools/gpumip-lint/suppressions.txt]
+//               [--header-check --include-dir src --compiler c++ --scratch DIR]
+//               file.cpp file.hpp ...
+//
+// Exit status: 0 clean, 1 unsuppressed findings (or failed self-test),
+// 2 usage/environment error. Findings print as `file:line: [Rn] message`,
+// one per line, so editors and CI logs can jump straight to the site.
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+void print_findings(const std::vector<gpumip::lint::Finding>& findings) {
+  for (const gpumip::lint::Finding& f : findings) {
+    std::cerr << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message << "\n";
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gpumip::lint;
+
+  std::string metrics_doc_path;
+  std::string suppressions_path;
+  std::string include_dir;
+  std::string compiler = "c++";
+  std::string scratch = "build-lint-scratch";
+  bool header_check = false;
+  bool self_test = false;
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&](const char* flag) -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "gpumip-lint: " << flag << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--self-test") {
+      self_test = true;
+    } else if (arg == "--metrics-doc") {
+      metrics_doc_path = value("--metrics-doc");
+    } else if (arg == "--suppressions") {
+      suppressions_path = value("--suppressions");
+    } else if (arg == "--header-check") {
+      header_check = true;
+    } else if (arg == "--include-dir") {
+      include_dir = value("--include-dir");
+    } else if (arg == "--compiler") {
+      compiler = value("--compiler");
+    } else if (arg == "--scratch") {
+      scratch = value("--scratch");
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: gpumip-lint [--self-test] [--metrics-doc FILE] "
+                   "[--suppressions FILE]\n"
+                   "                   [--header-check --include-dir DIR [--compiler CXX] "
+                   "[--scratch DIR]]\n"
+                   "                   files...\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "gpumip-lint: unknown option " << arg << "\n";
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  if (self_test) {
+    std::cout << "==> gpumip-lint self-test (seeded-violation fixtures)\n";
+    return run_self_test(std::cout) ? 0 : 1;
+  }
+
+  Options options;
+  if (!metrics_doc_path.empty()) {
+    if (!read_file(metrics_doc_path, options.metrics_doc)) {
+      std::cerr << "gpumip-lint: cannot read metrics doc " << metrics_doc_path << "\n";
+      return 2;
+    }
+    options.have_metrics_doc = true;
+  }
+
+  std::vector<Finding> findings;
+  std::vector<Suppression> suppressions;
+  if (!suppressions_path.empty()) {
+    std::string text;
+    if (!read_file(suppressions_path, text)) {
+      std::cerr << "gpumip-lint: cannot read suppression file " << suppressions_path << "\n";
+      return 2;
+    }
+    suppressions = parse_suppressions(text, suppressions_path, findings);
+  }
+
+  std::vector<SourceFile> files;
+  std::vector<std::string> headers;  // include_dir-relative, for --header-check
+  for (const std::string& path : paths) {
+    SourceFile file;
+    file.path = path;
+    if (!read_file(path, file.content)) {
+      std::cerr << "gpumip-lint: cannot read " << path << "\n";
+      return 2;
+    }
+    if (header_check && path.size() > 4 && path.compare(path.size() - 4, 4, ".hpp") == 0) {
+      std::string rel = path;
+      const std::string prefix = include_dir + "/";
+      if (rel.compare(0, prefix.size(), prefix) == 0) rel = rel.substr(prefix.size());
+      headers.push_back(rel);
+    }
+    files.push_back(std::move(file));
+  }
+  if (files.empty()) {
+    std::cerr << "gpumip-lint: no input files (see --help)\n";
+    return 2;
+  }
+
+  std::vector<Finding> lint_findings = run_lint(files, options, suppressions);
+  findings.insert(findings.end(), lint_findings.begin(), lint_findings.end());
+
+  if (header_check) {
+    if (include_dir.empty()) {
+      std::cerr << "gpumip-lint: --header-check needs --include-dir\n";
+      return 2;
+    }
+    std::vector<Finding> header_findings =
+        check_headers_standalone(headers, include_dir, compiler, scratch);
+    findings.insert(findings.end(), header_findings.begin(), header_findings.end());
+  }
+
+  print_findings(findings);
+  if (findings.empty()) {
+    std::cout << "gpumip-lint: " << files.size() << " files clean"
+              << (suppressions.empty()
+                      ? std::string()
+                      : " (" + std::to_string(suppressions.size()) + " justified suppressions)")
+              << (header_check ? ", " + std::to_string(headers.size()) + " headers standalone"
+                               : std::string())
+              << "\n";
+    return 0;
+  }
+  std::cerr << "gpumip-lint: " << findings.size() << " finding(s)\n";
+  return 1;
+}
