@@ -91,7 +91,7 @@ void BM_capture_snapshot(benchmark::State& state) {
   opts.enable_heuristics = false;
   opts.max_nodes = state.range(0);
   mip::BnbSolver solver(model, opts);
-  solver.solve();
+  static_cast<void>(solver.solve());
   for (auto _ : state) {
     mip::ConsistentSnapshot snap = solver.capture_snapshot();
     benchmark::DoNotOptimize(snap.frontier.size());
@@ -106,7 +106,7 @@ void BM_serialize_snapshot(benchmark::State& state) {
   opts.enable_cuts = false;
   opts.max_nodes = state.range(0);
   mip::BnbSolver solver(model, opts);
-  solver.solve();
+  static_cast<void>(solver.solve());
   const mip::ConsistentSnapshot snap = solver.capture_snapshot();
   for (auto _ : state) {
     const std::string s = snap.to_string();

@@ -51,7 +51,7 @@ void print_experiment() {
   m.lp().add_row_le({{x, 2.0}, {y, 1.0}}, 5.0);
   m.lp().add_row_le({{x, 1.0}, {y, 3.0}}, 7.0);
   mip::BnbSolver solver(m, plain_options());
-  solver.solve();
+  static_cast<void>(solver.solve());
   bench::note("rendered tree (max x+y st 2x+y<=5, x+3y<=7):");
   std::printf("%s", solver.pool().render_ascii().c_str());
 }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace gpumip::bench {
 
@@ -34,7 +35,8 @@ inline void note(const std::string& text) { std::printf("  %s\n", text.c_str());
 /// Prints the table then hands over to google-benchmark. On exit, dumps the
 /// process-wide metrics registry to $GPUMIP_METRICS_OUT if set (this is how
 /// scripts/bench.sh harvests the observability counters; the simulated
-/// tables above are deterministic, so the export is too).
+/// tables above are deterministic, so the export is too) and the event
+/// trace to $GPUMIP_TRACE_OUT if set (obs/trace.hpp).
 inline int run_benchmarks(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
@@ -42,6 +44,8 @@ inline int run_benchmarks(int argc, char** argv) {
   benchmark::Shutdown();
   const std::string exported = obs::export_if_requested();
   if (!exported.empty()) std::printf("metrics written to %s\n", exported.c_str());
+  const std::string traced = obs::trace::export_if_requested();
+  if (!traced.empty()) std::printf("trace written to %s\n", traced.c_str());
   return 0;
 }
 

@@ -9,6 +9,7 @@
 #include <fstream>
 
 #include "core/gpumip.hpp"
+#include "obs/trace.hpp"
 #include "support/strings.hpp"
 
 int main(int argc, char** argv) {
@@ -66,5 +67,9 @@ int main(int argc, char** argv) {
                 resumed.result.has_solution ? resumed.result.objective : 0.0,
                 run.result.objective);
   }
+  // GPUMIP_TRACE_OUT=trace.json dumps the per-rank timeline of everything
+  // above (open in ui.perfetto.dev; analyze with tools/gpumip-trace).
+  const std::string traced = obs::trace::export_if_requested();
+  if (!traced.empty()) std::printf("\ntrace written to %s\n", traced.c_str());
   return 0;
 }

@@ -13,14 +13,30 @@
 # idle time) are a recorded snapshot of the machine that produced the file.
 #
 # Usage: scripts/bench.sh [out.json] [jobs]
+#        scripts/bench.sh --compare [baseline.json] [jobs]
 #   out.json  merged baseline path        (default: BENCH_baseline.json)
 #   jobs      parallel build jobs         (default: nproc)
+#
+# --compare reruns the suite into build-bench/current.json and diffs it
+# against the committed baseline with scripts/bench_compare.py (tight
+# tolerances on the deterministic device/LP/MIP ledgers, loose on protocol
+# traffic, histograms skipped). Nonzero exit = regression; scripts/check.sh
+# gate 8 runs this mode.
 set -eu -o pipefail
 
 cd "$(dirname "$0")/.."
-OUT="${1:-BENCH_baseline.json}"
-JOBS="${2:-$(nproc)}"
 BUILD=build-bench
+MODE=baseline
+BASELINE=
+if [ "${1:-}" = "--compare" ]; then
+  MODE=compare
+  BASELINE="${2:-BENCH_baseline.json}"
+  JOBS="${3:-$(nproc)}"
+  OUT="$BUILD/current.json"
+else
+  OUT="${1:-BENCH_baseline.json}"
+  JOBS="${2:-$(nproc)}"
+fi
 
 # The suite: every paper claim the baseline must witness, with margin.
 #   e1  strategies        -> gpumip.gpu.xfer.{h2d,d2h}.bytes on full solves
@@ -101,5 +117,10 @@ with open(out_path, "w") as f:
 print(f"    {len(merged['benches'])} benches, "
       f"{sum(len(m['counters']) + len(m['gauges']) + len(m['histograms']) for m in merged['benches'].values())} metrics")
 PY
+
+if [ "$MODE" = compare ]; then
+  echo "==> [bench] compare against $BASELINE"
+  python3 scripts/bench_compare.py "$BASELINE" "$OUT"
+fi
 
 echo "==> [bench] OK ($OUT)"

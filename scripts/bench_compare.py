@@ -1,0 +1,118 @@
+#!/usr/bin/env python3
+"""Compare a fresh bench run against the committed baseline.
+
+Usage: bench_compare.py BASELINE.json CURRENT.json
+
+Both files are gpumip.bench-baseline.v1 documents (scripts/bench.sh).
+Counters and gauges are driven by the simulated device/network clocks and
+are deterministic run-to-run, so they are compared with tight relative
+tolerances; histograms record host wall time (a snapshot of the machine
+that produced the baseline) and are not compared at all.
+
+Tolerance classes, first match wins:
+  * skipped — values that are host-timing noise, not solver work:
+      gpumip.obs.*                    trace-ring drop counts depend on how
+                                      much tracing ran
+      gpumip.simmpi.rank<r>.*         per-rank traffic split depends on
+                                      which worker won each dispatch race
+                                      (the world-total counters are compared)
+      *.idle_seconds                  wall-clock blocking time
+      gpumip.supervisor.checkpoints   quiesced-point hits depend on timing
+  * gpumip.gpu.* / gpumip.lp.* /      2% — the paper-claim ledgers (transfer
+    gpumip.mip.*                      bytes, refactor counts, node counts)
+                                      must not drift in the deterministic
+                                      single-process benches
+  * everything else                   25% — world-total protocol traffic
+                                      varies with benign timing
+
+In parallel-supervisor benches (e8_scaleout) ALL non-skipped metrics use
+the loose tolerance: incumbent discovery order changes pruning, so even
+the MIP ledgers legitimately wobble by a few percent there.
+
+A metric or bench present in the baseline but missing from the current run
+fails the compare; a NEW metric in the current run is only a warning (the
+fix is to regenerate the baseline with scripts/bench.sh).
+
+Exit status: 0 = within tolerance, 1 = regression (or malformed input).
+"""
+
+import json
+import re
+import sys
+
+SKIP = re.compile(r"gpumip\.obs\."
+                  r"|gpumip\.simmpi\.rank\d+\."
+                  r"|.*\.idle_seconds$"
+                  r"|gpumip\.supervisor\.checkpoints$")
+TIGHT = re.compile(r"gpumip\.(gpu|lp|mip)\.")
+TIGHT_REL = 0.02
+LOOSE_REL = 0.25
+ABS_FLOOR = 1e-9  # slack for values at or near zero
+# Benches whose solves run under the thread-per-rank supervisor: outcomes
+# are schedule-independent (the determinism sweep proves that) but event
+# counts are not, so nothing there gets the tight tolerance.
+PARALLEL_BENCHES = {"e8_scaleout"}
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != "gpumip.bench-baseline.v1":
+        sys.exit(f"{path}: unexpected schema {doc.get('schema')!r}")
+    return doc
+
+
+def tolerance(bench, name):
+    if SKIP.match(name):
+        return None
+    if bench in PARALLEL_BENCHES:
+        return LOOSE_REL
+    return TIGHT_REL if TIGHT.match(name) else LOOSE_REL
+
+
+def main():
+    if len(sys.argv) != 3:
+        sys.exit(__doc__.strip().splitlines()[2].strip())
+    baseline, current = load(sys.argv[1]), load(sys.argv[2])
+
+    failures, warnings, compared = [], [], 0
+    for bench, base in sorted(baseline["benches"].items()):
+        cur = current["benches"].get(bench)
+        if cur is None:
+            failures.append(f"{bench}: bench missing from current run")
+            continue
+        for kind in ("counters", "gauges"):
+            for name, base_value in sorted(base[kind].items()):
+                rel = tolerance(bench, name)
+                if rel is None:
+                    continue
+                if name not in cur[kind]:
+                    failures.append(f"{bench}: {kind[:-1]} {name} missing from current run")
+                    continue
+                cur_value = cur[kind][name]
+                compared += 1
+                limit = max(rel * abs(base_value), ABS_FLOOR)
+                if abs(cur_value - base_value) > limit:
+                    failures.append(
+                        f"{bench}: {name} = {cur_value:g} vs baseline {base_value:g} "
+                        f"(|delta| {abs(cur_value - base_value):g} > {limit:g}, "
+                        f"tolerance {rel:.0%})")
+            for name in sorted(cur[kind]):
+                if name not in base[kind] and tolerance(bench, name) is not None:
+                    warnings.append(f"{bench}: new {kind[:-1]} {name} "
+                                    "(regenerate the baseline to start tracking it)")
+
+    for line in warnings:
+        print(f"    warning: {line}")
+    if failures:
+        print(f"bench compare: {len(failures)} regression(s) "
+              f"({compared} metrics compared):", file=sys.stderr)
+        for line in failures:
+            print(f"  {line}", file=sys.stderr)
+        sys.exit(1)
+    print(f"    bench compare: {compared} metrics within tolerance "
+          f"({len(warnings)} warning(s))")
+
+
+if __name__ == "__main__":
+    main()

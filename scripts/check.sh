@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Full correctness sweep for the analysis toolchain (DESIGN.md, "Checked
-# builds & invariants", "simmpi concurrency model", and "Static analysis").
-# Runs seven independent gates and exits nonzero if any of them finds a
-# problem:
+# builds & invariants", "simmpi concurrency model", "Static analysis", and
+# "Tracing"). Runs nine independent gates and exits nonzero if any of them
+# finds a problem:
 #
 #   1. sanitize   — ASan+UBSan build (-DGPUMIP_SANITIZE=ON) + full ctest.
 #   2. checked    — GPUMIP_CHECKED build (invariant validators live) + ctest.
@@ -25,8 +25,8 @@
 #                   the JSON against the docs/METRICS.md glossary (every
 #                   exported name must be documented), then builds one bench
 #                   with -DGPUMIP_OBS=OFF and asserts the hot-path metric
-#                   name literals are absent from the binary (the macros
-#                   compile to parsed-but-unevaluated no-ops).
+#                   AND trace-event name literals are absent from the binary
+#                   (the macros compile to parsed-but-unevaluated no-ops).
 #   7. lint       — gpumip-lint (tools/gpumip-lint, docs/LINT.md): repo-
 #                   native rules clang-tidy cannot express. R1 confines raw
 #                   DeviceBuffer::as<T>() access to kernel/transfer files,
@@ -34,10 +34,22 @@
 #                   ledger, R3 requires every throw to carry a gpumip
 #                   ErrorCode, R4 checks metric-name grammar + glossary
 #                   membership statically (subsumes gate 6's grep for names
-#                   that never execute), R5 compiles every src/ header as
-#                   its own translation unit. The gate first runs the
-#                   tool's seeded-violation self-test, so a rule that
-#                   silently stopped firing also fails the gate.
+#                   that never execute) and holds trace-event names to the
+#                   docs/TRACING.md catalog the same way, R5 compiles every
+#                   src/ header as its own translation unit. The gate first
+#                   runs the tool's seeded-violation self-test, so a rule
+#                   that silently stopped firing also fails the gate.
+#   8. bench      — recorded-baseline regression compare: reruns the bench
+#                   suite (scripts/bench.sh --compare) and diffs the
+#                   deterministic counters/gauges against the committed
+#                   BENCH_baseline.json within per-family tolerances, then
+#                   proves the comparator has teeth by seeding a regression
+#                   (doubled H2D transfer volume) and requiring it to fail.
+#   9. trace      — event-trace analyzer: gpumip-trace --self-check runs the
+#                   analyzer's embedded-fixture expectations, then analyzes
+#                   the committed supervised-solve trace and requires it to
+#                   be non-trivial (>= 2 ranks, every cross-rank flow
+#                   matched, a multi-hop critical path, positive makespan).
 #
 # Both build gates compile with -Werror (GPUMIP_WERROR=ON), so warnings
 # promoted in the top-level CMakeLists (-Wall -Wextra -Wpedantic -Wshadow)
@@ -204,9 +216,10 @@ PY
     return
   fi
   local name
-  for name in gpumip.gpu.xfer.h2d.bytes gpumip.lp.ops.refactor gpumip.lp.batch.occupancy; do
+  for name in gpumip.gpu.xfer.h2d.bytes gpumip.lp.ops.refactor gpumip.lp.batch.occupancy \
+              gpumip.lp.batch.wave gpumip.mip.cuts.round gpumip.simmpi.recv.wait; do
     if grep -qa "$name" "$off_dir/bench/bench_e7_batching"; then
-      echo "==> [obs] OFF build still contains metric string '$name'"
+      echo "==> [obs] OFF build still contains metric/trace string '$name'"
       FAILURES=$((FAILURES + 1))
       return
     fi
@@ -241,7 +254,7 @@ lint_gate() {
   fi
   echo "==> [lint] R1-R5 over src/ (suppressions: tools/gpumip-lint/suppressions.txt)"
   mapfile -t lint_sources < <(find src -name '*.cpp' -o -name '*.hpp' | sort)
-  if ! "$tool" --metrics-doc docs/METRICS.md \
+  if ! "$tool" --metrics-doc docs/METRICS.md --tracing-doc docs/TRACING.md \
        --suppressions tools/gpumip-lint/suppressions.txt \
        --header-check --include-dir src --compiler "${CXX:-c++}" \
        --scratch "$build_dir/lint-scratch" "${lint_sources[@]}"; then
@@ -252,6 +265,77 @@ lint_gate() {
   echo "==> [lint] OK"
 }
 lint_gate
+
+# Gate 8: bench-regression compare. scripts/bench.sh --compare reruns the
+# recorded-baseline suite and diffs the deterministic counters/gauges
+# against BENCH_baseline.json (see scripts/bench_compare.py for the
+# tolerance families). The gate then seeds a known regression — doubling
+# every gpumip.gpu.xfer.h2d.bytes counter of the fresh run — and requires
+# the comparator to reject it, so a comparator that silently stopped
+# comparing also fails the gate.
+bench_gate() {
+  local baseline=BENCH_baseline.json current=build-bench/current.json
+  if [ ! -f "$baseline" ]; then
+    echo "==> [bench] FAILED: no committed $baseline (record one with scripts/bench.sh)"
+    FAILURES=$((FAILURES + 1))
+    return
+  fi
+  echo "==> [bench] rerun suite + compare against $baseline"
+  if ! scripts/bench.sh --compare "$baseline" "$JOBS" >build-bench.compare.log 2>&1; then
+    echo "==> [bench] REGRESSION (see build-bench.compare.log)"
+    tail -n 20 build-bench.compare.log
+    FAILURES=$((FAILURES + 1))
+    return
+  fi
+  echo "==> [bench] seeded-regression drill (doubled H2D volume must be caught)"
+  python3 - "$current" build-bench/tampered.json <<'PY'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+seeded = 0
+for m in doc["benches"].values():
+    for name in m["counters"]:
+        if name == "gpumip.gpu.xfer.h2d.bytes":
+            m["counters"][name] *= 2
+            seeded += 1
+if seeded == 0:
+    sys.exit("no gpumip.gpu.xfer.h2d.bytes counter to tamper with")
+json.dump(doc, open(sys.argv[2], "w"))
+PY
+  if python3 scripts/bench_compare.py "$baseline" build-bench/tampered.json \
+       >build-bench.tamper.log 2>&1; then
+    echo "==> [bench] COMPARATOR HAS NO TEETH: doubled H2D volume passed the compare"
+    FAILURES=$((FAILURES + 1))
+    return
+  fi
+  echo "==> [bench] OK (compare clean; seeded regression caught)"
+}
+bench_gate
+
+# Gate 9: event-trace analyzer. Reuses the gate-7 Release tree (the tool is
+# solver-independent and cheap to build). --self-check first proves the
+# analyzer's embedded-fixture expectations (parse, flow matching, critical
+# path, rank breakdowns, malformed-input rejection) still hold, then the
+# committed trace of a real supervised solve must analyze as non-trivial.
+trace_gate() {
+  local build_dir=build-lint
+  local fixture=tools/gpumip-trace/testdata/fixture_trace.json
+  echo "==> [trace] build ($build_dir, gpumip-trace)"
+  if ! { cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release \
+           >"$build_dir.trace-configure.log" 2>&1 &&
+         cmake --build "$build_dir" -j "$JOBS" --target gpumip-trace \
+           >"$build_dir.trace-build.log" 2>&1; }; then
+    echo "==> [trace] BUILD FAILED (see $build_dir.trace-*.log)"
+    FAILURES=$((FAILURES + 1))
+    return
+  fi
+  if ! "./$build_dir/tools/gpumip-trace/gpumip-trace" --self-check "$fixture"; then
+    echo "==> [trace] ANALYZER CHECK FAILED (self-check or committed fixture trivial)"
+    FAILURES=$((FAILURES + 1))
+    return
+  fi
+  echo "==> [trace] OK"
+}
+trace_gate
 
 echo
 if [ "$FAILURES" -ne 0 ]; then

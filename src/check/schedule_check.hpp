@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "check/registry.hpp"
+#include "obs/trace.hpp"
 #include "parallel/schedule.hpp"
 #include "support/error.hpp"
 
@@ -130,6 +131,72 @@ inline void check_delivery_trace(const parallel::DeliveryTrace& trace, int world
              " after seq " + std::to_string(seq_it->second) + at);
       }
       seq_it->second = record.seq;
+    }
+  }
+}
+
+/// Replay-equality of two event traces (obs/trace.hpp): a run recorded
+/// under the schedule fuzzer and its GPUMIP_SCHEDULE_REPLAY re-execution
+/// must produce bit-identical per-rank simulated timelines. Rank-bound
+/// events are stamped from the Lamport clock, so with the same delivery
+/// order every (kind, name, ts, dur, arg) tuple must match exactly.
+///
+/// Excluded by design:
+///  * `gpumip.simmpi.recv.wait` spans — whether a recv BLOCKS (as opposed
+///    to which message it returns) depends on host thread timing, not on
+///    the recorded schedule;
+///  * wall-clock and unbound-thread events — not part of the simulated
+///    timeline contract.
+///
+/// Callers pass trace::snapshot() of each run and must trace::reset()
+/// between the runs so ring reuse cannot interleave the two timelines.
+inline void check_trace_replay_equality(std::span<const obs::trace::TraceEvent> recorded,
+                                        std::span<const obs::trace::TraceEvent> replayed) {
+  count_check(Subsystem::kSchedule);
+  auto fail = [](const std::string& message) {
+    count_failure(Subsystem::kSchedule);
+    throw Error(ErrorCode::kInternal, "trace replay equality: " + message);
+  };
+
+  auto per_rank = [](std::span<const obs::trace::TraceEvent> events) {
+    std::map<int, std::vector<const obs::trace::TraceEvent*>> out;
+    for (const obs::trace::TraceEvent& ev : events) {
+      if (!ev.sim_time || ev.rank < 0) continue;
+      if (ev.name_view() == "gpumip.simmpi.recv.wait") continue;
+      out[ev.rank].push_back(&ev);
+    }
+    return out;
+  };
+  const auto a = per_rank(recorded);
+  const auto b = per_rank(replayed);
+  if (a.size() != b.size()) {
+    fail("recorded run has " + std::to_string(a.size()) + " ranks, replay has " +
+         std::to_string(b.size()));
+  }
+  for (const auto& [rank, events] : a) {
+    const auto it = b.find(rank);
+    if (it == b.end()) fail("rank " + std::to_string(rank) + " missing from replay");
+    const auto& other = it->second;
+    const std::size_t n = std::min(events.size(), other.size());
+    for (std::size_t i = 0; i < n; ++i) {
+      const obs::trace::TraceEvent& x = *events[i];
+      const obs::trace::TraceEvent& y = *other[i];
+      // flow ids are namespaced by a process-global run counter and differ
+      // between the two runs by construction; everything else must match.
+      if (x.kind != y.kind || x.name_view() != y.name_view() || x.ts != y.ts ||
+          x.dur != y.dur || x.arg != y.arg || x.lane != y.lane) {
+        std::ostringstream what;
+        what.precision(17);
+        what << "rank " << rank << " diverges at event " << i << ": recorded ("
+             << x.name_view() << ", kind " << static_cast<int>(x.kind) << ", ts " << x.ts
+             << ", arg " << x.arg << ") vs replay (" << y.name_view() << ", kind "
+             << static_cast<int>(y.kind) << ", ts " << y.ts << ", arg " << y.arg << ")";
+        fail(what.str());
+      }
+    }
+    if (events.size() != other.size()) {
+      fail("rank " + std::to_string(rank) + " recorded " + std::to_string(events.size()) +
+           " events but replayed " + std::to_string(other.size()));
     }
   }
 }

@@ -5,6 +5,7 @@
 
 #include "check/registry.hpp"
 #include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "support/log.hpp"
 #include "support/strings.hpp"
 
@@ -115,6 +116,7 @@ void Device::copy_h2d(StreamId stream, DeviceBuffer& dst, const void* src, std::
   stats_.transfer_seconds += duration;
   GPUMIP_OBS_COUNT("gpumip.gpu.xfer.h2d.calls");
   GPUMIP_OBS_ADD("gpumip.gpu.xfer.h2d.bytes", bytes);
+  GPUMIP_TRACE_COMPLETE("gpumip.gpu.h2d", obs::trace::Lane::kH2D, start, duration, bytes);
 }
 
 void Device::copy_d2h(StreamId stream, const DeviceBuffer& src, void* dst, std::size_t bytes,
@@ -133,6 +135,7 @@ void Device::copy_d2h(StreamId stream, const DeviceBuffer& src, void* dst, std::
   stats_.transfer_seconds += duration;
   GPUMIP_OBS_COUNT("gpumip.gpu.xfer.d2h.calls");
   GPUMIP_OBS_ADD("gpumip.gpu.xfer.d2h.bytes", bytes);
+  GPUMIP_TRACE_COMPLETE("gpumip.gpu.d2h", obs::trace::Lane::kD2H, start, duration, bytes);
 }
 
 void Device::upload(StreamId stream, DeviceBuffer& dst, std::span<const double> src,
@@ -167,6 +170,8 @@ void Device::launch(StreamId stream, const KernelCost& cost, const std::function
   stats_.kernel_seconds += duration;
   GPUMIP_OBS_COUNT("gpumip.gpu.kernel.launches");
   GPUMIP_OBS_RECORD("gpumip.gpu.kernel.occupancy", cost.occupancy);
+  GPUMIP_TRACE_COMPLETE("gpumip.gpu.kernel", obs::trace::Lane::kKernel, start, duration,
+                        static_cast<std::uint64_t>(stream));
 }
 
 Event Device::record(StreamId stream) {

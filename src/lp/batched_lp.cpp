@@ -4,6 +4,7 @@
 
 #include "linalg/device_blas.hpp"
 #include "obs/obs.hpp"
+#include "obs/trace.hpp"
 
 namespace gpumip::lp {
 
@@ -97,6 +98,7 @@ BatchedLpReport solve_batched(const std::vector<const StandardForm*>& problems,
         n_avg /= active;
         ++report.waves;
         GPUMIP_OBS_COUNT("gpumip.lp.batch.waves");
+        GPUMIP_TRACE_BEGIN("gpumip.lp.batch.wave", active);
         // Paper C7: fraction of the batch still pivoting in this wave.
         GPUMIP_OBS_RECORD("gpumip.lp.batch.occupancy",
                           static_cast<double>(active) / static_cast<double>(problems.size()));
@@ -117,6 +119,7 @@ BatchedLpReport solve_batched(const std::vector<const StandardForm*>& problems,
                                      (2.0 / 3.0 + 1.0) * m_avg * m_avg * m_avg, m_avg * m_avg),
                         {});
         }
+        GPUMIP_TRACE_END("gpumip.lp.batch.wave");
       }
       break;
     }

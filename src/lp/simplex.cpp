@@ -8,6 +8,7 @@
 #include "linalg/lu.hpp"
 #include "check/invariants.hpp"
 #include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "sparse/ops.hpp"
 #include "support/assert.hpp"
 #include "support/log.hpp"
@@ -179,6 +180,7 @@ linalg::Matrix SimplexSolver::basis_matrix(const Workspace& ws) const {
 void SimplexSolver::refactorize(Workspace& ws) const {
   // Paper C3: eta-file length at the moment the file is flushed.
   GPUMIP_OBS_RECORD("gpumip.lp.simplex.eta_length", static_cast<double>(ws.etas_since_refactor));
+  GPUMIP_TRACE_INSTANT("gpumip.lp.simplex.refactor", ws.etas_since_refactor);
   // Rebuild B from the basic columns and invert via LU.
   const linalg::Matrix b = basis_matrix(ws);
   linalg::DenseLU lu(b);  // throws NumericalError when basis is singular

@@ -4,6 +4,7 @@
 
 #include "check/invariants.hpp"
 #include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "support/assert.hpp"
 #include "support/log.hpp"
 
@@ -43,13 +44,19 @@ void BnbSolver::root_cut_loop() {
   // in experiment E4).
   CutPool pool;
   for (int round = 0; round < options_.cut_rounds; ++round) {
+    // Each round is a traced span: its duration IS the device→host→device
+    // round-trip latency the paper's C4 tension is about (gpumip-trace
+    // aggregates these into the cut-latency report).
+    GPUMIP_TRACE_BEGIN("gpumip.mip.cuts.round", round);
     form_ = std::make_unique<lp::StandardForm>(lp::build_standard_form(model_.lp()));
     lp_solver_ = std::make_unique<lp::SimplexSolver>(*form_, options_.lp);
     lp::LpResult root = lp_solver_->solve_default();
     stats_.total_ops.add(root.ops);
     stats_.lp_iterations += root.iterations;
-    if (root.status != lp::LpStatus::Optimal) return;
-    if (model_.is_integral(root.x, options_.int_tol)) return;
+    if (root.status != lp::LpStatus::Optimal || model_.is_integral(root.x, options_.int_tol)) {
+      GPUMIP_TRACE_END("gpumip.mip.cuts.round");
+      return;
+    }
 
     std::vector<Cut> cuts = gomory_cuts(model_, *form_, root, options_.cuts);
     std::vector<Cut> covers = cover_cuts(model_, root.x, options_.cuts);
@@ -62,7 +69,10 @@ void BnbSolver::root_cut_loop() {
       ++added;
       cut_payload += cut.terms.size() * (sizeof(int) + sizeof(double)) + 2 * sizeof(double);
     }
-    if (added == 0) return;
+    if (added == 0) {
+      GPUMIP_TRACE_END("gpumip.mip.cuts.round");
+      return;
+    }
     stats_.cuts_added += added;
     stats_.cut_rounds_used = round + 1;
     // Paper C4: one separation round = download the relaxation solution,
@@ -72,6 +82,7 @@ void BnbSolver::root_cut_loop() {
     GPUMIP_OBS_ADD("gpumip.mip.cuts.bytes_d2h",
                    static_cast<std::uint64_t>(root.x.size() * sizeof(double)));
     GPUMIP_OBS_ADD("gpumip.mip.cuts.bytes_h2d", cut_payload);
+    GPUMIP_TRACE_END("gpumip.mip.cuts.round");
   }
   // Rebuild once more so the form includes the last round's cuts.
   form_ = std::make_unique<lp::StandardForm>(lp::build_standard_form(model_.lp()));
@@ -187,6 +198,7 @@ MipResult BnbSolver::run(const ConsistentSnapshot* snapshot) {
     // Bound-based prune without an LP solve.
     if (node.bound >= incumbent_obj_ - 1e-9) {
       pool_->set_state(id, NodeState::PrunedLeaf);
+      GPUMIP_TRACE_INSTANT("gpumip.mip.node.pruned", id);
       continue;
     }
 
@@ -211,6 +223,7 @@ MipResult BnbSolver::run(const ConsistentSnapshot* snapshot) {
     stats_.lp_iterations += lp_result.iterations;
     ++stats_.nodes_evaluated;
     GPUMIP_OBS_COUNT("gpumip.mip.nodes.evaluated");
+    GPUMIP_TRACE_INSTANT("gpumip.mip.node.evaluated", id);
     last_evaluated = id;
     node.lp_objective = lp_result.objective;
 
@@ -243,6 +256,7 @@ MipResult BnbSolver::run(const ConsistentSnapshot* snapshot) {
 
     if (lp_result.objective >= incumbent_obj_ - 1e-9) {
       pool_->set_state(id, NodeState::PrunedLeaf);
+      GPUMIP_TRACE_INSTANT("gpumip.mip.node.pruned", id);
       continue;
     }
 
@@ -313,6 +327,7 @@ MipResult BnbSolver::run(const ConsistentSnapshot* snapshot) {
     up.lb[static_cast<std::size_t>(var)] = std::ceil(value);
 
     pool_->set_state(id, NodeState::Branched);
+    GPUMIP_TRACE_INSTANT("gpumip.mip.node.branched", id);
     if (down.lb[static_cast<std::size_t>(var)] <= down.ub[static_cast<std::size_t>(var)] + 1e-9) {
       pool_->push(std::move(down));
     }

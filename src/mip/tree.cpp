@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "support/assert.hpp"
 #include "support/error.hpp"
 
@@ -52,6 +53,7 @@ int NodePool::push(BnbNode node) {
   ++active_count_;
   anatomy_.active_peak = std::max<long>(anatomy_.active_peak, static_cast<long>(active_count_));
   GPUMIP_OBS_COUNT("gpumip.mip.tree.pushed");
+  GPUMIP_TRACE_INSTANT("gpumip.mip.node.pushed", id);
   GPUMIP_OBS_GAUGE_MAX("gpumip.mip.tree.depth_max", static_cast<double>(anatomy_.max_depth));
   GPUMIP_OBS_GAUGE_MAX("gpumip.mip.tree.frontier_peak", static_cast<double>(anatomy_.active_peak));
   return id;
@@ -164,6 +166,7 @@ long NodePool::prune_worse_than(double cutoff) {
     BnbNode& n = nodes_[static_cast<std::size_t>(id)];
     if (n.state == NodeState::Active && n.bound >= cutoff) {
       set_state(id, NodeState::PrunedLeaf);
+      GPUMIP_TRACE_INSTANT("gpumip.mip.node.pruned", id);
       ++pruned;
     }
   }

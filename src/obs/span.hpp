@@ -5,6 +5,10 @@
 // counted at depth 2, 3, ... — useful both for tests and for reading a
 // profile (`lp.simplex.solve` fired inside `mip.solve`).
 //
+// Every span also opens/closes a trace event (obs/trace.hpp), so each
+// GPUMIP_OBS_SPAN site appears in the exported timeline for free, under
+// the span's histogram name.
+//
 // Hot paths use GPUMIP_OBS_SPAN from obs/obs.hpp, which compiles to
 // nothing when GPUMIP_OBS is OFF; the class itself is always available.
 #pragma once
@@ -12,6 +16,7 @@
 #include <string_view>
 
 #include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "support/timer.hpp"
 
 namespace gpumip::obs {
@@ -23,10 +28,13 @@ inline thread_local int active_span_depth = 0;
 class Span {
  public:
   explicit Span(std::string_view name)
-      : hist_(&histogram(name)), depth_(++detail::active_span_depth) {}
+      : hist_(&histogram(name)), depth_(++detail::active_span_depth) {
+    trace::begin(name);
+  }
 
   ~Span() {
     --detail::active_span_depth;
+    trace::end();
     hist_->record(timer_.elapsed());
   }
 

@@ -1,0 +1,202 @@
+// Event tracing: ordered, timestamped records of WHAT happened WHEN, per
+// thread and per simmpi rank (see DESIGN.md, "Tracing", and docs/TRACING.md).
+//
+// The metrics layer (obs/metrics.hpp) aggregates — it can say a solve did
+// 14 cut round trips, but not whether the device sat idle while they ran.
+// This layer records the timeline itself: begin/end spans, instants,
+// complete events with explicit simulated start/duration (device transfers
+// and kernels), and *flow* events that stitch a simmpi message's send and
+// recv into one cross-rank arrow using the per-(source,dest) sequence
+// stamps from parallel/schedule.hpp.
+//
+// Recording model: each thread owns a fixed-capacity ring buffer acquired
+// from a process-wide pool on first use and returned at thread exit (rings
+// are reused, so the hundreds of short-lived rank threads a test run
+// spawns do not grow memory without bound). Writes are plain stores by the
+// owning thread — no locks, no atomics on the hot path. When a ring is
+// full the oldest event is overwritten and the loss is counted, exported
+// as the `gpumip.obs.trace.dropped` counter.
+//
+// Timestamps: a thread bound to a simmpi rank (trace::RankBinding,
+// installed by run_ranks) stamps events with the rank's *simulated* Lamport
+// clock, so a fuzzed schedule replayed via GPUMIP_SCHEDULE_REPLAY yields a
+// bit-identical event sequence per rank (check/schedule_check.hpp asserts
+// this). Unbound threads stamp wall-clock seconds from a process epoch.
+// The two clocks are unrelated timelines and are exported as separate
+// Chrome trace-event "processes".
+//
+// Reading/exporting a trace is only meaningful at quiescence (after
+// run_ranks joined, or at process exit): snapshot()/export_json() walk
+// rings that their owner threads may otherwise still be writing.
+//
+// Hot paths use the GPUMIP_TRACE_* macros below, which follow the
+// GPUMIP_OBS on/off contract of obs/obs.hpp: with -DGPUMIP_OBS=OFF they
+// compile to parsed-but-unevaluated no-ops and the event-name literals are
+// absent from the binary. Every name used at a macro site is catalogued in
+// docs/TRACING.md (gpumip-lint R4 enforces this statically).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace gpumip::obs::trace {
+
+enum class EventKind : std::uint8_t {
+  kBegin,      ///< span opened (Chrome ph "B")
+  kEnd,        ///< span closed (Chrome ph "E")
+  kInstant,    ///< point event (Chrome ph "i")
+  kComplete,   ///< explicit start+duration on the sim clock (Chrome ph "X")
+  kFlowStart,  ///< producer side of a cross-thread arrow (Chrome ph "s")
+  kFlowEnd,    ///< consumer side of the same arrow (Chrome ph "f")
+};
+
+/// Timeline lane for kComplete events: the simulated device serializes
+/// transfers per direction engine and kernels per slot, so each engine is
+/// its own row in the exported timeline.
+enum class Lane : std::uint8_t { kCpu = 0, kH2D = 1, kD2H = 2, kKernel = 3 };
+
+/// One recorded event. Fixed-size (the name is truncated into an inline
+/// buffer) so a ring is a flat array and recording is a bounded copy.
+struct TraceEvent {
+  static constexpr std::size_t kNameCapacity = 47;
+  char name[kNameCapacity + 1] = {};
+  EventKind kind = EventKind::kInstant;
+  Lane lane = Lane::kCpu;
+  /// Timestamp source: simulated clock (simmpi rank clock or device stream
+  /// clock) vs. wall clock. The exporter never mixes the two timelines.
+  bool sim_time = false;
+  std::int16_t rank = -1;    ///< bound simmpi rank; -1 for plain host threads
+  std::uint32_t tid = 0;     ///< process-unique recording-thread id
+  double ts = 0.0;           ///< seconds (sim or wall, per sim_time)
+  double dur = 0.0;          ///< kComplete only
+  std::uint64_t flow = 0;    ///< kFlowStart/kFlowEnd correlation id
+  std::uint64_t arg = 0;     ///< one numeric payload (bytes, node id, ...)
+
+  std::string_view name_view() const noexcept { return {name}; }
+};
+
+/// Events retained per thread ring before overwrite-oldest kicks in.
+inline constexpr std::size_t kRingCapacity = 8192;
+
+// ---- recording -------------------------------------------------------------
+
+/// Opens a span on the calling thread (LIFO-nested; close with end()).
+void begin(std::string_view name, std::uint64_t arg = 0);
+/// Closes the innermost open span (name recalled from the span stack).
+void end();
+/// Closes the innermost open span, stamping `name` on the end event.
+void end(std::string_view name);
+void instant(std::string_view name, std::uint64_t arg = 0);
+/// Records an interval with explicit *simulated* start/duration, e.g. a
+/// device transfer whose engine-serialized window the sim already computed.
+void complete(std::string_view name, Lane lane, double sim_start, double duration,
+              std::uint64_t arg = 0);
+/// Producer / consumer halves of a cross-thread arrow; both sides must
+/// derive the same `id` (see flow_key).
+void flow_begin(std::string_view name, std::uint64_t id);
+void flow_end(std::string_view name, std::uint64_t id);
+
+/// Mixes (run, source, dest, seq) into a flow correlation id. `run`
+/// namespaces concurrent/successive run_ranks worlds within one process so
+/// their per-(source,dest) sequence counters cannot collide.
+std::uint64_t flow_key(std::uint64_t run, int source, int dest, std::uint64_t seq) noexcept;
+
+/// Next value of the process-global world counter (used by run_ranks as
+/// the `run` argument of flow_key).
+std::uint64_t next_run_id() noexcept;
+
+// ---- thread binding --------------------------------------------------------
+
+/// Scoped binding of the calling thread to a simmpi rank and its simulated
+/// clock. While bound, events carry `rank` and are stamped from
+/// `*sim_clock` (which the owning thread alone mutates). Nests safely —
+/// the previous binding is restored on destruction.
+class RankBinding {
+ public:
+  RankBinding(int rank, const double* sim_clock) noexcept;
+  ~RankBinding();
+  RankBinding(const RankBinding&) = delete;
+  RankBinding& operator=(const RankBinding&) = delete;
+
+ private:
+  int prev_rank_;
+  const double* prev_clock_;
+};
+
+/// Rank the calling thread is bound to (-1 when unbound).
+int bound_rank() noexcept;
+
+// ---- inspection & export (quiescence only) ---------------------------------
+
+/// All retained events, in per-ring recording order (rings in creation
+/// order). Callers wanting a global timeline sort by (sim_time, ts).
+std::vector<TraceEvent> snapshot();
+
+/// Events lost to ring overwrite since process start (or last reset()).
+std::uint64_t dropped() noexcept;
+
+/// Clears every ring and the drop count. Test isolation only; callers must
+/// guarantee no thread is concurrently recording.
+void reset();
+
+/// The retained trace as a Chrome trace-event / Perfetto JSON document
+/// (schema gpumip.trace.v1; load via chrome://tracing or ui.perfetto.dev).
+std::string to_json();
+
+/// Writes to_json() to `path`; throws Error(kIoError) on failure.
+void export_json(const std::string& path);
+
+/// Exports to the path named by GPUMIP_TRACE_OUT, if set. Returns the path
+/// written to ("" when unset). Called by bench mains at exit.
+std::string export_if_requested();
+
+}  // namespace gpumip::obs::trace
+
+// ---- hot-path macros (the obs/obs.hpp on/off contract) ---------------------
+
+#ifdef GPUMIP_OBS_ENABLED
+
+#define GPUMIP_TRACE_BEGIN(name, arg) \
+  ::gpumip::obs::trace::begin(name, static_cast<std::uint64_t>(arg))
+#define GPUMIP_TRACE_END(name) ::gpumip::obs::trace::end(name)
+#define GPUMIP_TRACE_INSTANT(name, arg) \
+  ::gpumip::obs::trace::instant(name, static_cast<std::uint64_t>(arg))
+#define GPUMIP_TRACE_COMPLETE(name, lane, sim_start, duration, arg)            \
+  ::gpumip::obs::trace::complete(name, lane, sim_start, duration,              \
+                                 static_cast<std::uint64_t>(arg))
+#define GPUMIP_TRACE_FLOW_BEGIN(name, id) ::gpumip::obs::trace::flow_begin(name, id)
+#define GPUMIP_TRACE_FLOW_END(name, id) ::gpumip::obs::trace::flow_end(name, id)
+
+#else  // !GPUMIP_OBS_ENABLED
+
+// Parsed but never evaluated (the obs.hpp idiom): expressions stay
+// semantically checked, the name literal never reaches the binary.
+#define GPUMIP_TRACE_BEGIN(name, arg)                   \
+  do {                                                  \
+    if (false) {                                        \
+      static_cast<void>(name);                          \
+      static_cast<void>(arg);                           \
+    }                                                   \
+  } while (false)
+#define GPUMIP_TRACE_END(name)                          \
+  do {                                                  \
+    if (false) static_cast<void>(name);                 \
+  } while (false)
+#define GPUMIP_TRACE_INSTANT(name, arg) GPUMIP_TRACE_BEGIN(name, arg)
+#define GPUMIP_TRACE_COMPLETE(name, lane, sim_start, duration, arg) \
+  do {                                                  \
+    if (false) {                                        \
+      static_cast<void>(name);                          \
+      static_cast<void>(lane);                          \
+      static_cast<void>(sim_start);                     \
+      static_cast<void>(duration);                      \
+      static_cast<void>(arg);                           \
+    }                                                   \
+  } while (false)
+#define GPUMIP_TRACE_FLOW_BEGIN(name, id) GPUMIP_TRACE_BEGIN(name, id)
+#define GPUMIP_TRACE_FLOW_END(name, id) GPUMIP_TRACE_BEGIN(name, id)
+
+#endif  // GPUMIP_OBS_ENABLED

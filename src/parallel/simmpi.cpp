@@ -5,6 +5,7 @@
 
 #include "check/schedule_check.hpp"
 #include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "support/assert.hpp"
 #include "support/log.hpp"
 #include "support/timer.hpp"
@@ -43,6 +44,11 @@ struct World {
   /// Schedule controller: delivery fuzzing, wait-for graph, trace
   /// record/replay (parallel/schedule.hpp).
   Scheduler sched;
+
+  /// Namespaces this world's flow-event correlation ids (obs/trace.hpp):
+  /// per-(source,dest) seq counters restart at 1 for every world, so the
+  /// run id keeps arrows from successive run_ranks calls distinct.
+  std::uint64_t trace_run = 0;
 
   // Barrier state.
   std::mutex barrier_mutex;
@@ -112,6 +118,9 @@ void Comm::send(int dest, int tag, std::span<const std::byte> payload) {
   obs_sent_msgs_->add(1);
   obs_sent_bytes_->add(payload.size());
 #endif
+  GPUMIP_TRACE_INSTANT("gpumip.simmpi.send", payload.size());
+  GPUMIP_TRACE_FLOW_BEGIN("gpumip.simmpi.msg",
+                          obs::trace::flow_key(world_->trace_run, rank_, dest, msg.seq));
   // Mirror header first: the deadlock detector must never observe a queued
   // message without its header (it could then conclude a receiver is
   // unsatisfiable while its wake-up is materializing).
@@ -168,6 +177,7 @@ Message Comm::recv(int source, int tag) {
   detail::World& world = *world_;
   world.sched.perturb(rank_);
   detail::Mailbox& box = *world.mailboxes[static_cast<std::size_t>(rank_)];
+  bool waited = false;
   for (;;) {
     const DeliveryRecord* expect = world.sched.replay_next(rank_);
     bool got = false;
@@ -190,6 +200,14 @@ Message Comm::recv(int source, int tag) {
       GPUMIP_ASSERT(msg.send_time >= 0.0, "recv: negative arrival time");
       clock_ = std::max(clock_, msg.send_time);
       world.sched.on_delivered(rank_, msg, clock_);
+      GPUMIP_TRACE_FLOW_END("gpumip.simmpi.msg",
+                            obs::trace::flow_key(world.trace_run, msg.source, rank_, msg.seq));
+      GPUMIP_TRACE_INSTANT("gpumip.simmpi.recv", msg.payload.size());
+      // The wait span closes after the Lamport merge, so its simulated
+      // duration is exactly the clock jump the blocking delivery caused.
+      // Whether a recv blocks at all is schedule-dependent, which is why
+      // replay-equality checks skip this one event name.
+      if (waited) GPUMIP_TRACE_END("gpumip.simmpi.recv.wait");
       return msg;
     }
     if (world.aborted.load()) throw_aborted();
@@ -197,6 +215,10 @@ Message Comm::recv(int source, int tag) {
     // deadlock, in which case the whole world aborts with the dump.
     if (world.sched.on_block_recv(rank_, source, tag, expect, clock_)) {
       world.abort_world();
+    }
+    if (!waited) {
+      waited = true;
+      GPUMIP_TRACE_BEGIN("gpumip.simmpi.recv.wait", 0);
     }
     {
 #ifdef GPUMIP_OBS_ENABLED
@@ -240,6 +262,9 @@ bool Comm::try_recv(Message& out, int source, int tag) {
   }
   clock_ = std::max(clock_, out.send_time);
   world.sched.on_delivered(rank_, out, clock_);
+  GPUMIP_TRACE_FLOW_END("gpumip.simmpi.msg",
+                        obs::trace::flow_key(world.trace_run, out.source, rank_, out.seq));
+  GPUMIP_TRACE_INSTANT("gpumip.simmpi.recv", out.payload.size());
   return true;
 }
 
@@ -307,6 +332,7 @@ RunReport run_ranks(int n, const std::function<void(Comm&)>& body, const RunOpti
     schedule.seed = *env.seed;
   }
   world.sched.init(n, schedule);
+  world.trace_run = obs::trace::next_run_id();
   const bool dump_on_failure = !env.trace_path.empty();
   if (dump_on_failure) world.sched.force_recording();
 
@@ -320,6 +346,9 @@ RunReport run_ranks(int n, const std::function<void(Comm&)>& body, const RunOpti
   for (int r = 0; r < n; ++r) {
     threads.emplace_back([&, r] {
       Comm comm(&world, r);
+      // Stamp this thread's trace events from the rank's simulated Lamport
+      // clock (only this thread mutates it), keyed by rank for the export.
+      const obs::trace::RankBinding trace_bind(r, &comm.clock_);
       bool failed = false;
       bool abort_unwind = false;
       try {

@@ -146,8 +146,12 @@ class ByteWriter {
   template <typename T>
     requires std::is_trivially_copyable_v<T>
   void write(const T& value) {
-    const auto* p = reinterpret_cast<const std::byte*>(&value);
-    buffer_.insert(buffer_.end(), p, p + sizeof(T));
+    // resize+memcpy rather than insert(end, p, p+n): GCC 12's -O2
+    // -Wstringop-overflow false-positives on the insert reallocation path
+    // once surrounding code is inlined differently.
+    const std::size_t at = buffer_.size();
+    buffer_.resize(at + sizeof(T));
+    std::memcpy(buffer_.data() + at, &value, sizeof(T));
   }
   void write_doubles(std::span<const double> values);
   void write_ints(std::span<const int> values);

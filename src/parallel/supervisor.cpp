@@ -6,6 +6,7 @@
 #include "check/invariants.hpp"
 #include "check/message_audit.hpp"
 #include "obs/obs.hpp"
+#include "obs/trace.hpp"
 #include "support/assert.hpp"
 #include "support/log.hpp"
 
@@ -198,6 +199,7 @@ SupervisorResult run_supervised(const mip::MipModel& model,
         ++outstanding;
         ++dispatched_total;
         GPUMIP_OBS_COUNT("gpumip.supervisor.dispatched");
+        GPUMIP_TRACE_INSTANT("gpumip.supervisor.dispatch", static_cast<std::uint64_t>(worker));
       };
       auto emit_checkpoint = [&] {
         if (options.checkpoint_interval <= 0 || !options.on_checkpoint) return;
@@ -221,6 +223,7 @@ SupervisorResult run_supervised(const mip::MipModel& model,
         options.on_checkpoint(snap);
         ++checkpoints;
         GPUMIP_OBS_COUNT("gpumip.supervisor.checkpoints");
+        GPUMIP_TRACE_INSTANT("gpumip.supervisor.checkpoint", static_cast<std::uint64_t>(completed));
       };
 
       while (stopped < options.workers) {
@@ -233,6 +236,7 @@ SupervisorResult run_supervised(const mip::MipModel& model,
           out.worker_nodes[static_cast<std::size_t>(msg.source - 1)] += report.nodes;
           out.worker_busy[static_cast<std::size_t>(msg.source - 1)] += report.busy_seconds;
           GPUMIP_OBS_COUNT("gpumip.supervisor.completed");
+          GPUMIP_TRACE_INSTANT("gpumip.supervisor.result", static_cast<std::uint64_t>(msg.source));
           GPUMIP_OBS_RECORD("gpumip.supervisor.worker_busy_seconds", report.busy_seconds);
           if (report.improved && report.objective < incumbent_obj - 1e-12) {
             incumbent_obj = report.objective;
@@ -290,6 +294,10 @@ SupervisorResult run_supervised(const mip::MipModel& model,
         wopts.enable_cuts = false;  // the model is already strengthened
         wopts.max_nodes = options.worker_node_budget;
         wopts.initial_cutoff = item.cutoff;
+        // Span closes after the advance() below, so its simulated duration
+        // is the subproblem's compute time — the per-rank "busy" segments
+        // gpumip-trace aggregates.
+        GPUMIP_TRACE_BEGIN("gpumip.worker.subproblem", item.track_id);
         mip::BnbSolver solver(working_model, wopts);
         mip::MipResult r = solver.solve_from(task);
 
@@ -298,6 +306,7 @@ SupervisorResult run_supervised(const mip::MipModel& model,
         report.nodes = r.stats.nodes_evaluated;
         report.busy_seconds = lp::cpu_seconds(r.stats.total_ops) * options.rate_scale;
         comm.advance(report.busy_seconds);
+        GPUMIP_TRACE_END("gpumip.worker.subproblem");
         if (r.has_solution) {
           // r.objective is user-sense; convert back to min form via the
           // model sense for supervisor-side comparison.

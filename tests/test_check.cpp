@@ -361,7 +361,7 @@ TEST(MessageAudit, SupervisedSolveShipsEveryNodeExactlyOnce) {
 
 void expect_io_error(const std::string& text, const std::string& fragment) {
   try {
-    mip::ConsistentSnapshot::from_string(text);
+    static_cast<void>(mip::ConsistentSnapshot::from_string(text));
     FAIL() << "expected Error(kIoError) for: " << text;
   } catch (const Error& e) {
     EXPECT_EQ(e.code(), ErrorCode::kIoError) << e.what();

@@ -241,7 +241,7 @@ TEST(Anatomy, RenderAsciiShowsStates) {
   opts.enable_cuts = false;
   opts.enable_heuristics = false;
   BnbSolver solver(m, opts);
-  solver.solve();
+  static_cast<void>(solver.solve());
   const std::string art = solver.pool().render_ascii();
   EXPECT_NE(art.find("#0"), std::string::npos);
   EXPECT_NE(art.find("branched"), std::string::npos);

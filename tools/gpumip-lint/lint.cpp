@@ -460,17 +460,19 @@ bool valid_metric_name(const std::string& name) {
   return true;
 }
 
-void check_r4(const Scanned& f, const Options& options, std::vector<Finding>& findings) {
-  static const std::vector<std::string> kSites = {
-      "GPUMIP_OBS_COUNT", "GPUMIP_OBS_ADD",    "GPUMIP_OBS_GAUGE_SET",
-      "GPUMIP_OBS_GAUGE_MAX", "GPUMIP_OBS_RECORD", "GPUMIP_OBS_SPAN",
-      "counter", "gauge", "histogram",
-  };
-  for (const std::string& site : kSites) {
+/// Shared engine for both R4 name families: metric names (GPUMIP_OBS_* /
+/// obs registry calls, documented in docs/METRICS.md) and trace event names
+/// (GPUMIP_TRACE_* sites, documented in docs/TRACING.md). Same grammar,
+/// separate catalogs.
+void check_r4_names(const Scanned& f, const std::vector<std::string>& sites,
+                    bool registry_needs_obs_prefix, const std::string& kind,
+                    const std::string& doc_name, bool have_doc, const std::string& doc,
+                    std::vector<Finding>& findings) {
+  for (const std::string& site : sites) {
     const bool is_registry_call = site == "counter" || site == "gauge" || site == "histogram";
     for (std::size_t at = find_word(f.clean, site, 0); at != std::string::npos;
          at = find_word(f.clean, site, at + 1)) {
-      if (is_registry_call) {
+      if (is_registry_call && registry_needs_obs_prefix) {
         // Only the obs registry lookups, not arbitrary identifiers.
         if (at < 5 || f.clean.compare(at - 5, 5, "obs::") != 0) continue;
       }
@@ -486,21 +488,36 @@ void check_r4(const Scanned& f, const Options& options, std::vector<Finding>& fi
       if (!valid_metric_name(name)) {
         findings.push_back(
             {f.src->path, line, "R4",
-             "metric name '" + name +
+             kind + " name '" + name +
                  "' violates the grammar gpumip.[a-z_]+(.[a-z_0-9]+)+ — every exported "
-                 "name is namespaced under gpumip. (docs/METRICS.md)"});
+                 "name is namespaced under gpumip. (" + doc_name + ")"});
         continue;
       }
-      if (options.have_metrics_doc &&
-          options.metrics_doc.find("`" + name + "`") == std::string::npos) {
+      if (have_doc && doc.find("`" + name + "`") == std::string::npos) {
         findings.push_back(
             {f.src->path, line, "R4",
-             "metric name '" + name +
-                 "' is not documented in docs/METRICS.md; every name a hot path can "
-                 "export must appear (backticked) in the glossary"});
+             kind + " name '" + name + "' is not documented in " + doc_name +
+                 "; every name a hot path can export must appear (backticked) in the "
+                 "catalog"});
       }
     }
   }
+}
+
+void check_r4(const Scanned& f, const Options& options, std::vector<Finding>& findings) {
+  static const std::vector<std::string> kMetricSites = {
+      "GPUMIP_OBS_COUNT", "GPUMIP_OBS_ADD",    "GPUMIP_OBS_GAUGE_SET",
+      "GPUMIP_OBS_GAUGE_MAX", "GPUMIP_OBS_RECORD", "GPUMIP_OBS_SPAN",
+      "counter", "gauge", "histogram",
+  };
+  static const std::vector<std::string> kTraceSites = {
+      "GPUMIP_TRACE_BEGIN",      "GPUMIP_TRACE_END",      "GPUMIP_TRACE_INSTANT",
+      "GPUMIP_TRACE_COMPLETE",   "GPUMIP_TRACE_FLOW_BEGIN", "GPUMIP_TRACE_FLOW_END",
+  };
+  check_r4_names(f, kMetricSites, /*registry_needs_obs_prefix=*/true, "metric",
+                 "docs/METRICS.md", options.have_metrics_doc, options.metrics_doc, findings);
+  check_r4_names(f, kTraceSites, /*registry_needs_obs_prefix=*/true, "trace event",
+                 "docs/TRACING.md", options.have_tracing_doc, options.tracing_doc, findings);
 }
 
 }  // namespace
@@ -661,6 +678,8 @@ bool run_self_test(std::ostream& out) {
   Options options;
   options.metrics_doc = "| `gpumip.test.documented.total` | — | — | fixture |\n";
   options.have_metrics_doc = true;
+  options.tracing_doc = "| `gpumip.test.documented.event` | i | — | fixture |\n";
+  options.have_tracing_doc = true;
   int failed = 0;
   auto expect = [&](bool ok, const std::string& what) {
     out << "    [" << (ok ? "ok" : "FAIL") << "] " << what << "\n";
@@ -720,6 +739,29 @@ bool run_self_test(std::ostream& out) {
                 "void f() { GPUMIP_OBS_COUNT(\"gpumip.test.documented.total\"); }\n", "R4",
                 options),
          "R4 quiet on a documented conforming name");
+
+  // R4 trace-event surface: GPUMIP_TRACE_* sites check the same grammar
+  // against the docs/TRACING.md catalog instead of docs/METRICS.md.
+  expect(fires("src/lp/fixture.cpp", "void f() { GPUMIP_TRACE_INSTANT(\"lp.fixture.event\", 0); }\n",
+               "R4", options),
+         "R4 fires on a trace name outside the gpumip. namespace");
+  expect(fires("src/lp/fixture.cpp",
+               "void f() { GPUMIP_TRACE_BEGIN(\"gpumip.fixture.undocumented\", 0); }\n", "R4",
+               options),
+         "R4 fires on an undocumented trace name");
+  expect(fires("src/lp/fixture.cpp",
+               "void f() { GPUMIP_TRACE_INSTANT(\"gpumip.test.documented.total\", 0); }\n", "R4",
+               options),
+         "R4 keeps the trace and metric catalogs separate");
+  expect(!fires("src/lp/fixture.cpp",
+                "void f() { GPUMIP_TRACE_INSTANT(\"gpumip.test.documented.event\", 0); }\n", "R4",
+                options),
+         "R4 quiet on a documented trace name");
+  expect(!fires("src/lp/fixture.cpp",
+                "// gpumip-lint: metric-name(fixture dynamic event)\n"
+                "void f() { GPUMIP_TRACE_INSTANT(\"gpumip.fixture.undocumented\", 0); }\n",
+                "R4", options),
+         "R4 trace finding waived by metric-name annotation");
 
   // Suppression round trip: a matching entry silences the finding and is
   // marked used; an unmatched entry is reported stale.

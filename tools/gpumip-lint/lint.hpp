@@ -5,8 +5,9 @@
 // (R1), that every host<->device byte movement goes through the Device
 // transfer API so the C3-C5 transfer ledger stays truthful (R2), that every
 // throw site carries a gpumip::ErrorCode (R3), that observability metric
-// name literals follow the gpumip.* grammar and are documented in
-// docs/METRICS.md (R4), and that every public header is self-contained
+// and trace-event name literals follow the gpumip.* grammar and are
+// documented in docs/METRICS.md resp. docs/TRACING.md (R4), and that every
+// public header is self-contained
 // (R5). Implemented as a lexer plus lightweight semantic matching over the
 // token stream — deliberately no libclang dependency, so the tool builds
 // everywhere the library builds and runs in milliseconds over all of src/.
@@ -66,6 +67,13 @@ struct Options {
   /// in this text.
   std::string metrics_doc;
   bool have_metrics_doc = false;
+
+  /// Full text of docs/TRACING.md. When `have_tracing_doc` is set, R4
+  /// additionally requires every trace event-name literal (GPUMIP_TRACE_*
+  /// sites) to appear backticked in this text. Trace names share the
+  /// metric-name grammar but live in their own catalog.
+  std::string tracing_doc;
+  bool have_tracing_doc = false;
 
   /// Path stems (matched against "<stem>.") whose files form the device
   /// context: raw DeviceBuffer::as<T>() access is legal there (R1), and

@@ -2,6 +2,7 @@
 //
 //   gpumip-lint --self-test
 //   gpumip-lint [--metrics-doc docs/METRICS.md]
+//               [--tracing-doc docs/TRACING.md]
 //               [--suppressions tools/gpumip-lint/suppressions.txt]
 //               [--header-check --include-dir src --compiler c++ --scratch DIR]
 //               file.cpp file.hpp ...
@@ -42,6 +43,7 @@ int main(int argc, char** argv) {
   using namespace gpumip::lint;
 
   std::string metrics_doc_path;
+  std::string tracing_doc_path;
   std::string suppressions_path;
   std::string include_dir;
   std::string compiler = "c++";
@@ -63,6 +65,8 @@ int main(int argc, char** argv) {
       self_test = true;
     } else if (arg == "--metrics-doc") {
       metrics_doc_path = value("--metrics-doc");
+    } else if (arg == "--tracing-doc") {
+      tracing_doc_path = value("--tracing-doc");
     } else if (arg == "--suppressions") {
       suppressions_path = value("--suppressions");
     } else if (arg == "--header-check") {
@@ -75,7 +79,7 @@ int main(int argc, char** argv) {
       scratch = value("--scratch");
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: gpumip-lint [--self-test] [--metrics-doc FILE] "
-                   "[--suppressions FILE]\n"
+                   "[--tracing-doc FILE] [--suppressions FILE]\n"
                    "                   [--header-check --include-dir DIR [--compiler CXX] "
                    "[--scratch DIR]]\n"
                    "                   files...\n";
@@ -100,6 +104,13 @@ int main(int argc, char** argv) {
       return 2;
     }
     options.have_metrics_doc = true;
+  }
+  if (!tracing_doc_path.empty()) {
+    if (!read_file(tracing_doc_path, options.tracing_doc)) {
+      std::cerr << "gpumip-lint: cannot read tracing doc " << tracing_doc_path << "\n";
+      return 2;
+    }
+    options.have_tracing_doc = true;
   }
 
   std::vector<Finding> findings;

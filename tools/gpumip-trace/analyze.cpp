@@ -1,0 +1,687 @@
+#include "analyze.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <cmath>
+#include <cstddef>
+#include <map>
+#include <ostream>
+#include <sstream>
+#include <utility>
+
+namespace gpumip::tracetool {
+
+namespace {
+
+// ---- minimal JSON reader ---------------------------------------------------
+// The trace files are machine-written and bounded; a small recursive-descent
+// DOM keeps the tool dependency-free (same stance as gpumip-lint's lexer).
+
+struct JsonValue {
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+  Type type = Type::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+  std::vector<JsonValue> array;
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  const JsonValue* find(const std::string& key) const {
+    if (type != Type::kObject) return nullptr;
+    for (const auto& [k, v] : object) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+};
+
+class JsonReader {
+ public:
+  explicit JsonReader(const std::string& text) : text_(text) {}
+
+  bool parse(JsonValue& out, std::string& error) {
+    pos_ = 0;
+    error_.clear();
+    if (!value(out)) {
+      error = "offset " + std::to_string(pos_) + ": " + error_;
+      return false;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      error = "offset " + std::to_string(pos_) + ": trailing characters after document";
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c != ' ' && c != '\t' && c != '\n' && c != '\r') break;
+      ++pos_;
+    }
+  }
+
+  bool fail(const std::string& what) {
+    if (error_.empty()) error_ = what;
+    return false;
+  }
+
+  bool expect(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) {
+      return fail(std::string("expected '") + c + "'");
+    }
+    ++pos_;
+    return true;
+  }
+
+  bool literal(const char* word, std::size_t len) {
+    if (text_.compare(pos_, len, word) != 0) return fail("bad literal");
+    pos_ += len;
+    return true;
+  }
+
+  bool string(std::string& out) {
+    if (!expect('"')) return false;
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) return fail("truncated escape");
+        const char e = text_[pos_++];
+        switch (e) {
+          case '"': out.push_back('"'); break;
+          case '\\': out.push_back('\\'); break;
+          case '/': out.push_back('/'); break;
+          case 'b': out.push_back('\b'); break;
+          case 'f': out.push_back('\f'); break;
+          case 'n': out.push_back('\n'); break;
+          case 'r': out.push_back('\r'); break;
+          case 't': out.push_back('\t'); break;
+          case 'u': {
+            if (pos_ + 4 > text_.size()) return fail("truncated \\u escape");
+            // The exporter never emits non-ASCII; decode the code unit and
+            // keep the low byte (enough to round-trip what we write).
+            unsigned code = 0;
+            for (int i = 0; i < 4; ++i) {
+              const char h = text_[pos_++];
+              code <<= 4U;
+              if (h >= '0' && h <= '9') {
+                code += static_cast<unsigned>(h - '0');
+              } else if (h >= 'a' && h <= 'f') {
+                code += static_cast<unsigned>(h - 'a') + 10U;
+              } else if (h >= 'A' && h <= 'F') {
+                code += static_cast<unsigned>(h - 'A') + 10U;
+              } else {
+                return fail("bad \\u escape");
+              }
+            }
+            out.push_back(static_cast<char>(code & 0x7FU));
+            break;
+          }
+          default: return fail("unknown escape");
+        }
+      } else {
+        out.push_back(c);
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool value(JsonValue& out) {  // NOLINT(misc-no-recursion)
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    if (c == '{') {
+      ++pos_;
+      out.type = JsonValue::Type::kObject;
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      for (;;) {
+        std::string key;
+        if (!string(key)) return false;
+        if (!expect(':')) return false;
+        JsonValue member;
+        if (!value(member)) return false;
+        out.object.emplace_back(std::move(key), std::move(member));
+        skip_ws();
+        if (pos_ < text_.size() && text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        return expect('}');
+      }
+    }
+    if (c == '[') {
+      ++pos_;
+      out.type = JsonValue::Type::kArray;
+      skip_ws();
+      if (pos_ < text_.size() && text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      for (;;) {
+        JsonValue element;
+        if (!value(element)) return false;
+        out.array.push_back(std::move(element));
+        skip_ws();
+        if (pos_ < text_.size() && text_[pos_] == ',') {
+          ++pos_;
+          continue;
+        }
+        return expect(']');
+      }
+    }
+    if (c == '"') {
+      out.type = JsonValue::Type::kString;
+      return string(out.str);
+    }
+    if (c == 't') {
+      out.type = JsonValue::Type::kBool;
+      out.boolean = true;
+      return literal("true", 4);
+    }
+    if (c == 'f') {
+      out.type = JsonValue::Type::kBool;
+      out.boolean = false;
+      return literal("false", 5);
+    }
+    if (c == 'n') {
+      out.type = JsonValue::Type::kNull;
+      return literal("null", 4);
+    }
+    // number
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 || text_[pos_] == '.' ||
+            text_[pos_] == 'e' || text_[pos_] == 'E' || text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return fail("unexpected character");
+    out.type = JsonValue::Type::kNumber;
+    try {
+      out.number = std::stod(text_.substr(start, pos_ - start));
+    } catch (...) {
+      return fail("bad number");
+    }
+    return true;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  std::string error_;
+};
+
+double number_or(const JsonValue* v, double fallback) {
+  return (v != nullptr && v->type == JsonValue::Type::kNumber) ? v->number : fallback;
+}
+
+std::string string_or(const JsonValue* v, const std::string& fallback) {
+  return (v != nullptr && v->type == JsonValue::Type::kString) ? v->str : fallback;
+}
+
+// ---- interval arithmetic ---------------------------------------------------
+
+using Interval = std::pair<double, double>;  // [begin, end) in microseconds
+
+/// Total length covered by the union of `intervals` (merges overlaps).
+double union_length(std::vector<Interval> intervals) {
+  std::sort(intervals.begin(), intervals.end());
+  double total = 0.0;
+  double cur_begin = 0.0;
+  double cur_end = -1.0;
+  bool open = false;
+  for (const Interval& iv : intervals) {
+    if (iv.second <= iv.first) continue;
+    if (!open || iv.first > cur_end) {
+      if (open) total += cur_end - cur_begin;
+      cur_begin = iv.first;
+      cur_end = iv.second;
+      open = true;
+    } else {
+      cur_end = std::max(cur_end, iv.second);
+    }
+  }
+  if (open) total += cur_end - cur_begin;
+  return total;
+}
+
+/// Length of union(a) ∩ union(b): sweep both merged edge lists.
+double intersection_length(const std::vector<Interval>& a, const std::vector<Interval>& b) {
+  // Merge each side first so intra-side overlaps do not double-count.
+  struct Edge {
+    double at;
+    int side;
+    int delta;
+  };
+  std::vector<Edge> edges;
+  auto add_side = [&edges](std::vector<Interval> ivs, int side) {
+    std::sort(ivs.begin(), ivs.end());
+    double cur_begin = 0.0;
+    double cur_end = -1.0;
+    bool open = false;
+    auto flush = [&] {
+      if (open) {
+        edges.push_back({cur_begin, side, +1});
+        edges.push_back({cur_end, side, -1});
+      }
+    };
+    for (const Interval& iv : ivs) {
+      if (iv.second <= iv.first) continue;
+      if (!open || iv.first > cur_end) {
+        flush();
+        cur_begin = iv.first;
+        cur_end = iv.second;
+        open = true;
+      } else {
+        cur_end = std::max(cur_end, iv.second);
+      }
+    }
+    flush();
+  };
+  add_side(a, 0);
+  add_side(b, 1);
+  std::sort(edges.begin(), edges.end(), [](const Edge& x, const Edge& y) {
+    if (x.at != y.at) return x.at < y.at;
+    return x.delta < y.delta;  // close before open at the same instant
+  });
+  int depth[2] = {0, 0};
+  double overlap = 0.0;
+  double last = 0.0;
+  for (const Edge& e : edges) {
+    if (depth[0] > 0 && depth[1] > 0) overlap += e.at - last;
+    depth[e.side] += e.delta;
+    last = e.at;
+  }
+  return overlap;
+}
+
+/// B/E pairing per (pid, tid): returns [begin, end) intervals for events
+/// whose name satisfies `pick` (nested pairs pair LIFO, like the recorder).
+std::vector<Interval> span_intervals(const std::vector<AnalyzerEvent>& events,
+                                     int pid, long long tid, bool wait_spans) {
+  auto is_wait = [](const AnalyzerEvent& ev) { return ev.name == "gpumip.simmpi.recv.wait"; };
+  std::vector<Interval> out;
+  std::vector<const AnalyzerEvent*> stack;
+  for (const AnalyzerEvent& ev : events) {
+    if (ev.pid != pid || ev.tid != tid) continue;
+    if (ev.ph == 'B') {
+      stack.push_back(&ev);
+    } else if (ev.ph == 'E' && !stack.empty()) {
+      const AnalyzerEvent* begin = stack.back();
+      stack.pop_back();
+      if (is_wait(*begin) == wait_spans) out.emplace_back(begin->ts, ev.ts);
+    } else if (ev.ph == 'X' && !wait_spans) {
+      out.emplace_back(ev.ts, ev.ts + ev.dur);
+    }
+  }
+  return out;
+}
+
+constexpr double kMicro = 1e-6;  // exported ts/dur are microseconds
+
+}  // namespace
+
+bool parse_trace(const std::string& json, Trace& out, std::string& error) {
+  JsonValue root;
+  JsonReader reader(json);
+  if (!reader.parse(root, error)) return false;
+
+  const JsonValue* events = nullptr;
+  if (root.type == JsonValue::Type::kArray) {
+    events = &root;  // bare-array form of the trace-event format
+  } else if (root.type == JsonValue::Type::kObject) {
+    events = root.find("traceEvents");
+    if (const JsonValue* other = root.find("otherData"); other != nullptr) {
+      out.dropped = static_cast<std::uint64_t>(number_or(other->find("dropped"), 0.0));
+    }
+  }
+  if (events == nullptr || events->type != JsonValue::Type::kArray) {
+    error = "document has no traceEvents array";
+    return false;
+  }
+
+  out.events.clear();
+  for (const JsonValue& e : events->array) {
+    if (e.type != JsonValue::Type::kObject) {
+      error = "traceEvents entry is not an object";
+      return false;
+    }
+    AnalyzerEvent ev;
+    ev.name = string_or(e.find("name"), "");
+    const std::string ph = string_or(e.find("ph"), "?");
+    ev.ph = ph.empty() ? '?' : ph[0];
+    ev.pid = static_cast<int>(number_or(e.find("pid"), 0.0));
+    ev.tid = static_cast<long long>(number_or(e.find("tid"), 0.0));
+    ev.ts = number_or(e.find("ts"), 0.0);
+    ev.dur = number_or(e.find("dur"), 0.0);
+    ev.flow_id = string_or(e.find("id"), "");
+    if (const JsonValue* args = e.find("args"); args != nullptr) {
+      ev.rank = static_cast<int>(number_or(args->find("rank"), -1.0));
+      ev.lane = string_or(args->find("lane"), "");
+      ev.arg = number_or(args->find("arg"), 0.0);
+      // Metadata events label the processes; remember which pid carries the
+      // simulated timeline (the exporter's default is pid 1).
+      if (ev.ph == 'M' && ev.name == "process_name" &&
+          string_or(args->find("name"), "") == "simulated time") {
+        out.sim_pid = ev.pid;
+      }
+    }
+    out.events.push_back(std::move(ev));
+  }
+  return true;
+}
+
+Report analyze(const Trace& trace) {
+  Report report;
+  report.dropped = trace.dropped;
+
+  // Stable per-(pid,tid) time order; the exporter sorts, but analysis
+  // should not depend on it (hand-written fixtures, other producers).
+  std::vector<AnalyzerEvent> events = trace.events;
+  std::stable_sort(events.begin(), events.end(), [](const AnalyzerEvent& a, const AnalyzerEvent& b) {
+    if (a.pid != b.pid) return a.pid < b.pid;
+    if (a.tid != b.tid) return a.tid < b.tid;
+    return a.ts < b.ts;
+  });
+
+  for (const AnalyzerEvent& ev : events) {
+    if (ev.ph != 'M') ++report.events;
+  }
+
+  // ---- per-rank breakdown (simulated pid, cpu lane) ------------------------
+  std::map<int, std::vector<const AnalyzerEvent*>> by_rank;
+  for (const AnalyzerEvent& ev : events) {
+    if (ev.pid != trace.sim_pid || ev.ph == 'M') continue;
+    report.makespan_seconds = std::max(report.makespan_seconds, (ev.ts + ev.dur) * kMicro);
+    if (ev.rank >= 0 && ev.lane == "cpu") by_rank[ev.rank].push_back(&ev);
+  }
+  for (const auto& [rank, evs] : by_rank) {
+    RankBreakdown rb;
+    rb.rank = rank;
+    rb.events = static_cast<long>(evs.size());
+    double first = evs.front()->ts;
+    double last = evs.front()->ts;
+    long long tid = evs.front()->tid;
+    for (const AnalyzerEvent* ev : evs) {
+      first = std::min(first, ev->ts);
+      last = std::max(last, ev->ts);
+    }
+    std::vector<Interval> busy = span_intervals(events, trace.sim_pid, tid, /*wait_spans=*/false);
+    std::vector<Interval> blocked = span_intervals(events, trace.sim_pid, tid, /*wait_spans=*/true);
+    rb.span_seconds = (last - first) * kMicro;
+    rb.blocked_seconds = union_length(blocked) * kMicro;
+    // Busy excludes blocked (a wait nested under a span is not compute);
+    // idle is whatever the union of both leaves uncovered.
+    const double busy_len = union_length(busy);
+    rb.busy_seconds = (busy_len - intersection_length(busy, blocked)) * kMicro;
+    std::vector<Interval> either = busy;
+    either.insert(either.end(), blocked.begin(), blocked.end());
+    rb.idle_seconds = rb.span_seconds - union_length(either) * kMicro;
+    report.ranks.push_back(rb);
+  }
+
+  // ---- flow matching and the critical path ---------------------------------
+  struct FlowPair {
+    const AnalyzerEvent* start = nullptr;
+    const AnalyzerEvent* finish = nullptr;
+  };
+  std::map<std::string, FlowPair> flows;
+  for (const AnalyzerEvent& ev : events) {
+    if (ev.ph == 's') flows[ev.flow_id].start = &ev;
+    if (ev.ph == 'f') flows[ev.flow_id].finish = &ev;
+  }
+  report.flows_total = static_cast<long>(flows.size());
+  for (const auto& [id, pair] : flows) {
+    if (pair.start != nullptr && pair.finish != nullptr) ++report.flows_matched;
+  }
+
+  // Backward chaining: start from the rank that finishes last; repeatedly
+  // jump from the latest matched delivery at or before the cursor to its
+  // send site on the source rank. Each jump is one dependency hop of the
+  // makespan's critical path.
+  const AnalyzerEvent* tail = nullptr;
+  for (const auto& [rank, evs] : by_rank) {
+    for (const AnalyzerEvent* ev : evs) {
+      if (tail == nullptr || ev->ts > tail->ts) tail = ev;
+    }
+  }
+  if (tail != nullptr) {
+    report.critical_end_seconds = tail->ts * kMicro;
+    int rank = tail->rank;
+    double cursor = tail->ts;
+    double start_ts = cursor;
+    for (int guard = 0; guard < 100000; ++guard) {
+      const AnalyzerEvent* best = nullptr;
+      const AnalyzerEvent* best_src = nullptr;
+      for (const auto& [id, pair] : flows) {
+        if (pair.start == nullptr || pair.finish == nullptr) continue;
+        if (pair.finish->rank != rank || pair.finish->ts > cursor) continue;
+        if (pair.start->ts >= pair.finish->ts) continue;  // refuse time travel
+        if (best == nullptr || pair.finish->ts > best->ts) {
+          best = pair.finish;
+          best_src = pair.start;
+        }
+      }
+      if (best == nullptr) {
+        auto it = by_rank.find(rank);
+        if (it != by_rank.end()) {
+          for (const AnalyzerEvent* ev : it->second) start_ts = std::min(start_ts, ev->ts);
+        }
+        break;
+      }
+      CriticalHop hop;
+      hop.from_rank = best_src->rank;
+      hop.to_rank = rank;
+      hop.send_ts_seconds = best_src->ts * kMicro;
+      hop.recv_ts_seconds = best->ts * kMicro;
+      report.critical_path.push_back(hop);
+      rank = best_src->rank;
+      cursor = best_src->ts;
+      start_ts = cursor;
+    }
+    report.critical_start_seconds = start_ts * kMicro;
+    std::reverse(report.critical_path.begin(), report.critical_path.end());
+  }
+
+  // ---- device lanes: transfer/compute overlap per rank ---------------------
+  std::map<int, std::array<std::vector<Interval>, 3>> lanes;  // 0=h2d 1=d2h 2=kernel
+  for (const AnalyzerEvent& ev : events) {
+    if (ev.ph != 'X' || ev.pid != trace.sim_pid) continue;
+    int lane = -1;
+    if (ev.lane == "h2d") lane = 0;
+    if (ev.lane == "d2h") lane = 1;
+    if (ev.lane == "kernel") lane = 2;
+    if (lane < 0) continue;
+    lanes[ev.rank][static_cast<std::size_t>(lane)].emplace_back(ev.ts, ev.ts + ev.dur);
+  }
+  for (const auto& [rank, lns] : lanes) {
+    DeviceBreakdown db;
+    db.rank = rank;
+    db.h2d_seconds = union_length(lns[0]) * kMicro;
+    db.d2h_seconds = union_length(lns[1]) * kMicro;
+    db.kernel_seconds = union_length(lns[2]) * kMicro;
+    std::vector<Interval> transfers = lns[0];
+    transfers.insert(transfers.end(), lns[1].begin(), lns[1].end());
+    db.overlap_seconds = intersection_length(transfers, lns[2]) * kMicro;
+    report.devices.push_back(db);
+  }
+
+  // ---- cut round-trip latency ----------------------------------------------
+  std::map<std::pair<int, long long>, std::vector<double>> cut_stack;
+  for (const AnalyzerEvent& ev : events) {
+    if (ev.name != "gpumip.mip.cuts.round") continue;
+    auto& stack = cut_stack[{ev.pid, ev.tid}];
+    if (ev.ph == 'B') {
+      stack.push_back(ev.ts);
+    } else if (ev.ph == 'E' && !stack.empty()) {
+      const double latency = (ev.ts - stack.back()) * kMicro;
+      stack.pop_back();
+      ++report.cut_rounds;
+      report.cut_latency_total_seconds += latency;
+      report.cut_latency_max_seconds = std::max(report.cut_latency_max_seconds, latency);
+    }
+  }
+
+  return report;
+}
+
+std::string format_report(const Report& report) {
+  std::ostringstream out;
+  out.setf(std::ios::fixed);
+  out.precision(6);
+  out << "trace: " << report.events << " events, " << report.flows_matched << "/"
+      << report.flows_total << " flows matched, " << report.dropped << " dropped, makespan "
+      << report.makespan_seconds << "s\n";
+
+  out << "critical path: " << report.critical_path.size() << " cross-rank hop(s), "
+      << report.critical_start_seconds << "s -> " << report.critical_end_seconds << "s\n";
+  for (const CriticalHop& hop : report.critical_path) {
+    out << "  rank " << hop.from_rank << " @" << hop.send_ts_seconds << "s -> rank "
+        << hop.to_rank << " @" << hop.recv_ts_seconds << "s\n";
+  }
+
+  out << "ranks:\n";
+  for (const RankBreakdown& rb : report.ranks) {
+    out << "  rank " << rb.rank << ": span " << rb.span_seconds << "s, busy " << rb.busy_seconds
+        << "s, blocked-on-recv " << rb.blocked_seconds << "s, idle " << rb.idle_seconds << "s ("
+        << rb.events << " events)\n";
+  }
+
+  if (!report.devices.empty()) {
+    out << "device lanes:\n";
+    for (const DeviceBreakdown& db : report.devices) {
+      out << "  rank " << db.rank << ": h2d " << db.h2d_seconds << "s, d2h " << db.d2h_seconds
+          << "s, kernel " << db.kernel_seconds << "s, transfer/compute overlap "
+          << db.overlap_seconds << "s\n";
+    }
+  }
+
+  if (report.cut_rounds > 0) {
+    out << "cut rounds: " << report.cut_rounds << ", mean latency "
+        << report.cut_latency_total_seconds / static_cast<double>(report.cut_rounds)
+        << "s, max " << report.cut_latency_max_seconds << "s\n";
+  }
+  return out.str();
+}
+
+std::string verify_nontrivial(const Report& report) {
+  if (report.events < 10) return "fewer than 10 events";
+  if (report.ranks.size() < 2) return "fewer than 2 ranks in the timeline";
+  if (report.flows_matched < 1) return "no matched cross-rank flow";
+  if (report.flows_total > 0 && report.flows_matched < report.flows_total) {
+    return "unmatched flow halves (" + std::to_string(report.flows_matched) + "/" +
+           std::to_string(report.flows_total) + ")";
+  }
+  if (report.critical_path.empty()) return "critical path has no cross-rank hop";
+  if (report.makespan_seconds <= 0.0) return "zero makespan";
+  for (const RankBreakdown& rb : report.ranks) {
+    if (rb.idle_seconds < -1e-9 || rb.busy_seconds < -1e-9 || rb.blocked_seconds < -1e-9) {
+      return "negative time in rank " + std::to_string(rb.rank) + " breakdown";
+    }
+  }
+  return "";
+}
+
+// ---- self-check fixtures ---------------------------------------------------
+
+namespace {
+
+/// Hand-written two-rank trace with exactly known answers: rank 0 works
+/// [0,10]µs then sends; rank 1 blocks [2,11]µs, receives at 11, works to
+/// 20, sends back; rank 0 receives at 25. One kernel [0,8]µs overlapping an
+/// h2d transfer [4,12]µs by 4µs. One cut round [1,5]µs.
+const char* kFixture = R"json({
+  "traceEvents": [
+    {"name":"process_name","ph":"M","pid":1,"tid":0,"args":{"name":"simulated time"}},
+    {"name":"gpumip.mip.solve","ph":"B","ts":0.0,"pid":1,"tid":4,"args":{"rank":0,"lane":"cpu","arg":0}},
+    {"name":"gpumip.mip.cuts.round","ph":"B","ts":1.0,"pid":1,"tid":4,"args":{"rank":0,"lane":"cpu","arg":0}},
+    {"name":"gpumip.mip.cuts.round","ph":"E","ts":5.0,"pid":1,"tid":4,"args":{"rank":0,"lane":"cpu","arg":0}},
+    {"name":"gpumip.mip.solve","ph":"E","ts":10.0,"pid":1,"tid":4,"args":{"rank":0,"lane":"cpu","arg":0}},
+    {"name":"gpumip.simmpi.send","ph":"i","s":"t","ts":10.0,"pid":1,"tid":4,"args":{"rank":0,"lane":"cpu","arg":16}},
+    {"name":"gpumip.simmpi.msg","ph":"s","cat":"gpumip.flow","id":"0x1","ts":10.0,"pid":1,"tid":4,"args":{"rank":0,"lane":"cpu","arg":0}},
+    {"name":"gpumip.simmpi.msg","ph":"f","bp":"e","cat":"gpumip.flow","id":"0x2","ts":25.0,"pid":1,"tid":4,"args":{"rank":0,"lane":"cpu","arg":0}},
+    {"name":"gpumip.simmpi.recv","ph":"i","s":"t","ts":25.0,"pid":1,"tid":4,"args":{"rank":0,"lane":"cpu","arg":16}},
+    {"name":"gpumip.simmpi.recv.wait","ph":"B","ts":2.0,"pid":1,"tid":8,"args":{"rank":1,"lane":"cpu","arg":0}},
+    {"name":"gpumip.simmpi.msg","ph":"f","bp":"e","cat":"gpumip.flow","id":"0x1","ts":11.0,"pid":1,"tid":8,"args":{"rank":1,"lane":"cpu","arg":0}},
+    {"name":"gpumip.simmpi.recv.wait","ph":"E","ts":11.0,"pid":1,"tid":8,"args":{"rank":1,"lane":"cpu","arg":0}},
+    {"name":"gpumip.mip.solve","ph":"B","ts":11.0,"pid":1,"tid":8,"args":{"rank":1,"lane":"cpu","arg":0}},
+    {"name":"gpumip.mip.solve","ph":"E","ts":20.0,"pid":1,"tid":8,"args":{"rank":1,"lane":"cpu","arg":0}},
+    {"name":"gpumip.simmpi.msg","ph":"s","cat":"gpumip.flow","id":"0x2","ts":20.0,"pid":1,"tid":8,"args":{"rank":1,"lane":"cpu","arg":0}},
+    {"name":"gpumip.gpu.kernel","ph":"X","ts":0.0,"dur":8.0,"pid":1,"tid":7,"args":{"rank":0,"lane":"kernel","arg":0}},
+    {"name":"gpumip.gpu.h2d","ph":"X","ts":4.0,"dur":8.0,"pid":1,"tid":5,"args":{"rank":0,"lane":"h2d","arg":256}}
+  ],
+  "otherData": {"schema": "gpumip.trace.v1", "dropped": 3}
+})json";
+
+bool near(double a, double b) { return std::fabs(a - b) < 1e-12; }
+
+}  // namespace
+
+bool run_self_check(std::ostream& out) {
+  bool ok = true;
+  auto expect = [&](bool cond, const std::string& what) {
+    out << "  [" << (cond ? "PASS" : "FAIL") << "] " << what << "\n";
+    if (!cond) ok = false;
+  };
+
+  Trace trace;
+  std::string error;
+  expect(parse_trace(kFixture, trace, error), "fixture parses (" + error + ")");
+  expect(trace.dropped == 3, "otherData.dropped decoded");
+  const Report report = analyze(trace);
+  expect(report.events == 16, "16 non-metadata events");
+  expect(report.flows_total == 2 && report.flows_matched == 2, "both flows matched");
+  expect(near(report.makespan_seconds, 25.0 * 1e-6), "makespan 25us");
+  expect(report.critical_path.size() == 2, "critical path has 2 hops");
+  if (report.critical_path.size() == 2) {
+    expect(report.critical_path[0].from_rank == 0 && report.critical_path[0].to_rank == 1 &&
+               report.critical_path[1].from_rank == 1 && report.critical_path[1].to_rank == 0,
+           "hops chain 0 -> 1 -> 0");
+    expect(near(report.critical_start_seconds, 0.0) && near(report.critical_end_seconds, 25e-6),
+           "path spans the whole run");
+  }
+  expect(report.ranks.size() == 2, "two ranks in breakdown");
+  for (const RankBreakdown& rb : report.ranks) {
+    if (rb.rank == 0) {
+      expect(near(rb.busy_seconds, 10e-6) && near(rb.blocked_seconds, 0.0) &&
+                 near(rb.idle_seconds, 15e-6),
+             "rank 0: busy 10us, idle 15us");
+    }
+    if (rb.rank == 1) {
+      expect(near(rb.busy_seconds, 9e-6) && near(rb.blocked_seconds, 9e-6) &&
+                 near(rb.idle_seconds, 0.0),
+             "rank 1: busy 9us, blocked 9us");
+    }
+  }
+  expect(report.devices.size() == 1, "one device rank");
+  if (report.devices.size() == 1) {
+    const DeviceBreakdown& db = report.devices.front();
+    expect(near(db.kernel_seconds, 8e-6) && near(db.h2d_seconds, 8e-6) &&
+               near(db.overlap_seconds, 4e-6),
+           "kernel 8us, h2d 8us, overlap 4us");
+  }
+  expect(report.cut_rounds == 1 && near(report.cut_latency_max_seconds, 4e-6),
+         "one cut round of 4us");
+  expect(verify_nontrivial(report).empty(), "fixture verdict: non-trivial");
+
+  // Degenerate inputs must be rejected, not misreported.
+  Trace bad;
+  expect(!parse_trace("{\"traceEvents\": 7}", bad, error), "non-array traceEvents rejected");
+  expect(!parse_trace("{\"traceEvents\": [", bad, error), "truncated document rejected");
+  Trace empty;
+  expect(parse_trace("{\"traceEvents\": []}", empty, error) &&
+             !verify_nontrivial(analyze(empty)).empty(),
+         "empty trace parses but is trivial");
+  return ok;
+}
+
+}  // namespace gpumip::tracetool

@@ -1,0 +1,91 @@
+// gpumip-trace CLI — scripts/check.sh gate 9 entry point.
+//
+//   gpumip-trace --self-check [trace.json ...]
+//   gpumip-trace trace.json ...
+//
+// Without --self-check: loads each trace (obs/trace.hpp export), prints the
+// analysis report (critical path, per-rank busy/blocked/idle, device-lane
+// overlap, cut latency). With --self-check: first runs the built-in
+// known-answer fixtures, then additionally requires each given trace to be
+// non-trivial (matched flows, >= 2 ranks, a cross-rank critical path) — the
+// gate runs this against the committed fixture trace.
+//
+// Exit status: 0 clean, 1 failed self-check or trivial trace, 2 usage/IO/
+// parse error.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyze.hpp"
+
+namespace {
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gpumip::tracetool;
+
+  bool self_check = false;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--self-check") {
+      self_check = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: gpumip-trace [--self-check] trace.json ...\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "gpumip-trace: unknown option " << arg << "\n";
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  bool ok = true;
+  if (self_check) {
+    std::cout << "==> gpumip-trace self-check (known-answer fixtures)\n";
+    ok = run_self_check(std::cout);
+  }
+  if (!self_check && paths.empty()) {
+    std::cerr << "gpumip-trace: no input files (see --help)\n";
+    return 2;
+  }
+
+  for (const std::string& path : paths) {
+    std::string text;
+    if (!read_file(path, text)) {
+      std::cerr << "gpumip-trace: cannot read " << path << "\n";
+      return 2;
+    }
+    Trace trace;
+    std::string error;
+    if (!parse_trace(text, trace, error)) {
+      std::cerr << "gpumip-trace: " << path << ": " << error << "\n";
+      return 2;
+    }
+    const Report report = analyze(trace);
+    std::cout << "==> " << path << "\n" << format_report(report);
+    if (self_check) {
+      const std::string verdict = verify_nontrivial(report);
+      if (verdict.empty()) {
+        std::cout << "  [PASS] trace is non-trivial\n";
+      } else {
+        std::cout << "  [FAIL] " << verdict << "\n";
+        ok = false;
+      }
+    }
+  }
+  return ok ? 0 : 1;
+}
