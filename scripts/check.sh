@@ -36,7 +36,11 @@
 #                   membership statically (subsumes gate 6's grep for names
 #                   that never execute) and holds trace-event names to the
 #                   docs/TRACING.md catalog the same way, R5 compiles every
-#                   src/ header as its own translation unit. The gate first
+#                   src/ header as its own translation unit, and the
+#                   call-graph rules R6-R9 enforce the hot-path manifest
+#                   (no allocation / payload copy / blocking call reachable
+#                   from a declared root without a justified waiver, every
+#                   root instrumented). The gate first
 #                   runs the tool's seeded-violation self-test, so a rule
 #                   that silently stopped firing also fails the gate.
 #   8. bench      — recorded-baseline regression compare: reruns the bench
@@ -61,6 +65,17 @@ set -u -o pipefail
 cd "$(dirname "$0")/.."
 JOBS="${1:-$(nproc)}"
 FAILURES=0
+
+# Per-gate wall-time ledger, printed as a summary at the end of the run so
+# slow gates are visible without timestamp archaeology in the logs.
+GATE_SUMMARY=()
+timed() {
+  local gate_name="$1"
+  shift
+  local gate_start=$SECONDS
+  "$@"
+  GATE_SUMMARY+=("$(printf '%-10s %5ds' "$gate_name" $((SECONDS - gate_start)))")
+}
 
 run_gate() {
   local name="$1" build_dir="$2"
@@ -92,19 +107,19 @@ run_gate() {
 # the environment forbids it (containers without CAP_SYS_PTRACE).
 export ASAN_OPTIONS="${ASAN_OPTIONS:-detect_leaks=1:strict_string_checks=1}"
 export UBSAN_OPTIONS="${UBSAN_OPTIONS:-print_stacktrace=1}"
-run_gate sanitize build-asan -DGPUMIP_SANITIZE=ON
+timed sanitize run_gate sanitize build-asan -DGPUMIP_SANITIZE=ON
 
 # Gate 2: checked mode — every GPUMIP_ASSERT / GPUMIP_VALIDATE call site in
 # the solver runs live (tree, snapshot, basis residual, sparse structure,
 # device ledger, message audit).
-run_gate checked build-checked -DGPUMIP_CHECKED=ON
+timed checked run_gate checked build-checked -DGPUMIP_CHECKED=ON
 
 # Gate 3: ThreadSanitizer over the thread-per-rank simmpi runtime. TSan is
 # incompatible with ASan, hence its own build tree. halt_on_error makes a
 # detected race abort the test immediately — without it the exit status can
 # be swallowed when output goes through a pipe.
 export TSAN_OPTIONS="${TSAN_OPTIONS:-halt_on_error=1:second_deadlock_stack=1}"
-run_gate tsan build-tsan -DGPUMIP_SANITIZE=thread
+timed tsan run_gate tsan build-tsan -DGPUMIP_SANITIZE=thread
 
 # Gate 4: seeded schedule sweep. GPUMIP_SCHEDULE_SEED fuzzes message
 # delivery order inside run_ranks (see parallel/schedule.hpp), so the same
@@ -134,22 +149,25 @@ schedule_gate() {
   done
   echo "==> [schedule] OK (seeds: 1 42 7919 104729)"
 }
-schedule_gate
+timed schedule schedule_gate
 
 # Gate 5: clang-tidy (optional tool; the compile database comes from the
 # sanitize build, which exports compile_commands.json).
-if command -v clang-tidy >/dev/null 2>&1; then
-  echo "==> [tidy] clang-tidy over src/"
-  mapfile -t sources < <(find src -name '*.cpp' | sort)
-  if ! clang-tidy -p build-asan --quiet "${sources[@]}"; then
-    echo "==> [tidy] LINT FINDINGS"
-    FAILURES=$((FAILURES + 1))
+tidy_gate() {
+  if command -v clang-tidy >/dev/null 2>&1; then
+    echo "==> [tidy] clang-tidy over src/"
+    mapfile -t sources < <(find src -name '*.cpp' | sort)
+    if ! clang-tidy -p build-asan --quiet "${sources[@]}"; then
+      echo "==> [tidy] LINT FINDINGS"
+      FAILURES=$((FAILURES + 1))
+    else
+      echo "==> [tidy] OK"
+    fi
   else
-    echo "==> [tidy] OK"
+    echo "==> [tidy] SKIPPED: clang-tidy not installed (install LLVM tools to enable this gate)"
   fi
-else
-  echo "==> [tidy] SKIPPED: clang-tidy not installed (install LLVM tools to enable this gate)"
-fi
+}
+timed tidy tidy_gate
 
 # Gate 6: observability. Half (a): export metrics from two cheap benches
 # (e7 covers the batching histograms, e8 the per-rank simmpi names) and
@@ -226,15 +244,16 @@ PY
   done
   echo "==> [obs] OK"
 }
-obs_gate
+timed obs obs_gate
 
 # Gate 7: gpumip-lint. A dedicated small Release tree builds just the tool
 # (it has no solver dependencies, so this is cheap even from scratch). The
-# self-test proves each rule R1-R4 still fires on its seeded-violation
-# fixture and that the suppression round trip holds; the sweep then
-# requires src/ to be clean modulo the justified entries in
-# tools/gpumip-lint/suppressions.txt, and R5 compiles every header under
-# src/ standalone with the toolchain compiler.
+# self-test proves each rule R1-R4 and the call-graph rules R6-R9 still
+# fire on their seeded-violation fixtures and that the suppression round
+# trip holds; the sweep then requires src/ to be clean modulo the justified
+# entries in tools/gpumip-lint/suppressions.txt, with R5 compiling every
+# header under src/ standalone and R6-R9 walking the hot-path manifest
+# tools/gpumip-lint/hotpaths.txt.
 lint_gate() {
   local build_dir=build-lint
   echo "==> [lint] configure+build ($build_dir, gpumip-lint)"
@@ -252,10 +271,11 @@ lint_gate() {
     FAILURES=$((FAILURES + 1))
     return
   fi
-  echo "==> [lint] R1-R5 over src/ (suppressions: tools/gpumip-lint/suppressions.txt)"
+  echo "==> [lint] R1-R9 over src/ (suppressions: tools/gpumip-lint/suppressions.txt, hot paths: tools/gpumip-lint/hotpaths.txt)"
   mapfile -t lint_sources < <(find src -name '*.cpp' -o -name '*.hpp' | sort)
   if ! "$tool" --metrics-doc docs/METRICS.md --tracing-doc docs/TRACING.md \
        --suppressions tools/gpumip-lint/suppressions.txt \
+       --hotpaths tools/gpumip-lint/hotpaths.txt \
        --header-check --include-dir src --compiler "${CXX:-c++}" \
        --scratch "$build_dir/lint-scratch" "${lint_sources[@]}"; then
     echo "==> [lint] FINDINGS (annotate with justification or fix; see docs/LINT.md)"
@@ -264,7 +284,7 @@ lint_gate() {
   fi
   echo "==> [lint] OK"
 }
-lint_gate
+timed lint lint_gate
 
 # Gate 8: bench-regression compare. scripts/bench.sh --compare reruns the
 # recorded-baseline suite and diffs the deterministic counters/gauges
@@ -309,7 +329,7 @@ PY
   fi
   echo "==> [bench] OK (compare clean; seeded regression caught)"
 }
-bench_gate
+timed bench bench_gate
 
 # Gate 9: event-trace analyzer. Reuses the gate-7 Release tree (the tool is
 # solver-independent and cheap to build). --self-check first proves the
@@ -335,8 +355,13 @@ trace_gate() {
   fi
   echo "==> [trace] OK"
 }
-trace_gate
+timed trace trace_gate
 
+echo
+echo "==> gate wall-time summary"
+for gate_line in "${GATE_SUMMARY[@]}"; do
+  echo "    $gate_line"
+done
 echo
 if [ "$FAILURES" -ne 0 ]; then
   echo "check.sh: $FAILURES gate(s) failed"

@@ -1,0 +1,80 @@
+#include "gpu/arena.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "obs/obs.hpp"
+#include "support/assert.hpp"
+
+namespace gpumip::gpu {
+
+namespace {
+std::size_t align_up(std::size_t bytes) {
+  return DeviceArena::aligned_size(bytes);
+}
+}  // namespace
+
+DeviceArena::DeviceArena(Device& device, std::string label)
+    : device_(&device), label_(std::move(label)) {}
+
+void DeviceArena::reserve(std::size_t bytes) {
+  check_arg(used_ == 0, "DeviceArena::reserve: outstanding blocks (reset first)");
+  if (bytes <= capacity_ && slabs_.size() <= 1) return;
+  const std::size_t want = std::max(bytes, capacity_);
+  release();
+  grow(want);
+}
+
+DeviceArena::Block DeviceArena::allot(std::size_t bytes) {
+  const std::size_t need = align_up(std::max<std::size_t>(bytes, 1));
+  // Advance to the first slab with room; slabs are bump-only, so earlier
+  // slabs never regain space until reset().
+  while (cursor_slab_ < slabs_.size() &&
+         cursor_offset_ + need > slabs_[cursor_slab_].size_bytes()) {
+    ++cursor_slab_;
+    cursor_offset_ = 0;
+  }
+  if (cursor_slab_ >= slabs_.size()) {
+    grow(need);
+  } else {
+    GPUMIP_OBS_ADD("gpumip.gpu.arena.reuse_bytes", need);
+  }
+  Block block;
+  block.slab = &slabs_[cursor_slab_];
+  block.offset = cursor_offset_;
+  block.bytes = bytes;
+  cursor_offset_ += need;
+  used_ += need;
+  high_water_ = std::max(high_water_, used_);
+  return block;
+}
+
+void DeviceArena::reset() noexcept {
+  cursor_slab_ = 0;
+  cursor_offset_ = 0;
+  used_ = 0;
+}
+
+void DeviceArena::release() noexcept {
+  slabs_.clear();
+  cursor_slab_ = 0;
+  cursor_offset_ = 0;
+  capacity_ = 0;
+  used_ = 0;
+}
+
+void DeviceArena::grow(std::size_t min_bytes) {
+  // Geometric growth bounds the number of real device allocations at
+  // O(log total) over the arena's lifetime; a reserve() after reset()
+  // coalesces back to one slab.
+  const std::size_t slab_bytes = std::max(align_up(min_bytes), capacity_);
+  GPUMIP_OBS_COUNT("gpumip.gpu.arena.grows");
+  GPUMIP_OBS_ADD("gpumip.gpu.arena.slab_bytes", slab_bytes);
+  // gpumip-lint: hot-alloc(arena capacity growth: one device allocation amortized over every block the slab later serves)
+  slabs_.push_back(device_->alloc(slab_bytes, label_ + ".slab"));
+  cursor_slab_ = slabs_.size() - 1;
+  cursor_offset_ = 0;
+  capacity_ += slab_bytes;
+}
+
+}  // namespace gpumip::gpu

@@ -1,0 +1,98 @@
+// Bump arena over simulated device memory (ROADMAP item 4: arena reuse for
+// per-node device allocations).
+//
+// Repeated batch evaluations used to pay one Device::alloc per problem per
+// call; every allocation is a ledger insert plus capacity accounting, and
+// the churn shows up directly in the C5/C7 measurements. The arena amortizes
+// that: it holds one or more slabs of device memory and serves sub-spans by
+// bumping a cursor. reset() rewinds the cursor without returning capacity to
+// the device, so the next batch reuses the same slabs with zero allocations
+// in the steady state.
+//
+// Growth policy: allot() that does not fit appends a new slab (geometric,
+// at least doubling total capacity) — existing blocks stay valid because
+// old slabs are never freed while in use. reserve() with no outstanding
+// blocks coalesces everything into a single exactly-sized slab first, so a
+// caller that knows its total up front gets one slab and no overshoot.
+// Capacity failures surface as the Device's own DeviceOutOfMemory.
+//
+// Metrics (docs/METRICS.md): gpumip.gpu.arena.grows / .slab_bytes count
+// real device allocations; gpumip.gpu.arena.reuse_bytes counts bytes served
+// from already-held capacity (the saving).
+#pragma once
+
+#include <cstddef>
+#include <deque>
+#include <span>
+#include <string>
+
+#include "gpu/device.hpp"
+
+namespace gpumip::gpu {
+
+class DeviceArena {
+ public:
+  /// Non-owning view of arena memory: a sub-span of one slab. Valid until
+  /// the arena is reset, re-reserved, or destroyed.
+  struct Block {
+    DeviceBuffer* slab = nullptr;
+    std::size_t offset = 0;
+    std::size_t bytes = 0;
+
+    template <typename T>
+    std::span<T> as() {
+      // gpumip-lint: device-context(Block::as is itself the typed wrapper: it narrows the slab's device span to this block for kernel bodies)
+      return slab->as<T>().subspan(offset / sizeof(T), bytes / sizeof(T));
+    }
+  };
+
+  /// Every allot is rounded up to this alignment (cache-line-style).
+  static constexpr std::size_t kAlignment = 64;
+
+  /// Bytes one allot(bytes) actually consumes of arena capacity; callers
+  /// sizing a reserve() for N blocks should sum this, not the raw bytes.
+  static constexpr std::size_t aligned_size(std::size_t bytes) noexcept {
+    const std::size_t n = bytes == 0 ? 1 : bytes;
+    return (n + kAlignment - 1) & ~(kAlignment - 1);
+  }
+
+  explicit DeviceArena(Device& device, std::string label = "arena");
+  DeviceArena(const DeviceArena&) = delete;
+  DeviceArena& operator=(const DeviceArena&) = delete;
+
+  /// Ensures total capacity of at least `bytes`. Only legal with no
+  /// outstanding blocks (right after construction or reset()); coalesces
+  /// multiple slabs into one exactly-sized slab.
+  void reserve(std::size_t bytes);
+
+  /// Serves `bytes` of device memory (64-byte aligned), growing if needed.
+  Block allot(std::size_t bytes);
+
+  /// Rewinds the cursor; capacity is retained for the next batch. All
+  /// previously returned blocks become invalid.
+  void reset() noexcept;
+
+  /// Returns all slabs to the device (the teardown audit sees no leaks).
+  void release() noexcept;
+
+  std::size_t capacity_bytes() const noexcept { return capacity_; }
+  std::size_t used_bytes() const noexcept { return used_; }
+  std::size_t high_water_bytes() const noexcept { return high_water_; }
+  std::size_t slab_count() const noexcept { return slabs_.size(); }
+
+ private:
+  void grow(std::size_t min_bytes);
+
+  Device* device_;
+  std::string label_;
+  // deque, not vector: growth must never relocate existing slabs — returned
+  // Blocks hold pointers into them.
+  std::deque<DeviceBuffer> slabs_;
+  std::size_t cursor_slab_ = 0;   ///< slab currently being bumped
+  std::size_t cursor_offset_ = 0; ///< next free byte within that slab
+  std::size_t capacity_ = 0;      ///< sum of slab sizes
+  std::size_t used_ = 0;          ///< bytes served since last reset
+  std::size_t high_water_ = 0;    ///< max used_ over the arena's lifetime
+};
+
+}  // namespace gpumip::gpu

@@ -12,6 +12,7 @@ Eta Eta::from_ftran(std::span<const double> y, int r, double tol) {
   }
   Eta eta;
   eta.pivot_row = r;
+  // gpumip-lint: hot-alloc(one eta column per pivot IS the product-form representation; freed at refactorization)
   eta.column.resize(y.size());
   const double inv = 1.0 / yr;
   for (std::size_t i = 0; i < y.size(); ++i) eta.column[i] = -y[i] * inv;

@@ -33,7 +33,7 @@ gpu::KernelCost wave_cost(int active, int m, int n, double flops_each, double do
 }  // namespace
 
 BatchedLpReport solve_batched(const std::vector<const StandardForm*>& problems,
-                              gpu::Device& device, BatchMode mode,
+                              gpu::Device& device, gpu::DeviceArena& arena, BatchMode mode,
                               const SimplexOptions& options, int streams) {
   check_arg(!problems.empty(), "solve_batched: empty batch");
   check_arg(streams >= 1, "solve_batched: need at least one stream");
@@ -41,17 +41,29 @@ BatchedLpReport solve_batched(const std::vector<const StandardForm*>& problems,
   GPUMIP_OBS_COUNT("gpumip.lp.batch.solves");
   GPUMIP_OBS_RECORD("gpumip.lp.batch.size", static_cast<double>(problems.size()));
 
-  // Device residency for the whole batch (capacity is checked for real).
-  std::vector<gpu::DeviceBuffer> buffers;
+  // Device residency for the whole batch, served from the caller's arena
+  // (capacity is still checked for real: arena growth goes through
+  // Device::alloc). Sizing the reserve up front keeps the arena at one
+  // exactly-fitting slab; repeat batches of similar shape reuse it with no
+  // device allocation at all.
+  arena.reset();
+  std::size_t residency_bytes = 0;
   for (const StandardForm* form : problems) {
     check_arg(form != nullptr, "solve_batched: null problem");
-    buffers.push_back(
-        device.alloc(dense_lp_device_bytes(form->num_rows, form->num_vars), "batch.lp"));
+    residency_bytes += gpu::DeviceArena::aligned_size(
+        static_cast<std::size_t>(dense_lp_device_bytes(form->num_rows, form->num_vars)));
+  }
+  // gpumip-lint: hot-alloc(arena reserve: at most one amortized slab allocation, zero once warm)
+  arena.reserve(residency_bytes);
+  for (const StandardForm* form : problems) {
+    (void)arena.allot(
+        static_cast<std::size_t>(dense_lp_device_bytes(form->num_rows, form->num_vars)));
   }
 
   // Host numerics: exact solves, recording the per-problem recipes.
   for (const StandardForm* form : problems) {
     SimplexSolver solver(*form, options);
+    // gpumip-lint: hot-alloc(one result slot per problem in the batch report; sized by the batch, not the pivot count)
     report.results.push_back(solver.solve_default());
   }
 
@@ -67,7 +79,9 @@ BatchedLpReport solve_batched(const std::vector<const StandardForm*>& problems,
       break;
     }
     case BatchMode::Streams: {
+      // gpumip-lint: hot-alloc(stream-id table bounded by --streams, built at batch setup before the timed section)
       std::vector<gpu::StreamId> ids = {0};
+      // gpumip-lint: hot-alloc(same stream-id table growth, bounded by --streams)
       while (static_cast<int>(ids.size()) < streams) ids.push_back(device.create_stream());
       for (std::size_t p = 0; p < report.results.size(); ++p) {
         charge_to_device(device, ids[p % ids.size()], report.results[p].ops,
@@ -127,6 +141,13 @@ BatchedLpReport solve_batched(const std::vector<const StandardForm*>& problems,
   report.sim_seconds = device.synchronize();
   report.kernels = device.stats().kernels - kernels_before;
   return report;
+}
+
+BatchedLpReport solve_batched(const std::vector<const StandardForm*>& problems,
+                              gpu::Device& device, BatchMode mode,
+                              const SimplexOptions& options, int streams) {
+  gpu::DeviceArena arena(device, "batch.lp");
+  return solve_batched(problems, device, arena, mode, options, streams);
 }
 
 }  // namespace gpumip::lp

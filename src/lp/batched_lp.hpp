@@ -17,6 +17,7 @@
 
 #include <vector>
 
+#include "gpu/arena.hpp"
 #include "gpu/device.hpp"
 #include "lp/simplex.hpp"
 
@@ -39,7 +40,16 @@ struct BatchedLpReport {
 
 /// Solves every standard form under its own bounds and replays the device
 /// cost in the chosen mode. All forms must be small enough to co-reside on
-/// the device (throws DeviceOutOfMemory otherwise).
+/// the device (throws DeviceOutOfMemory otherwise). Device residency for
+/// the batch comes from `arena` (reset on entry): callers evaluating batch
+/// after batch hold one arena so the steady state performs no device
+/// allocations at all (ROADMAP item 4).
+[[nodiscard]] BatchedLpReport solve_batched(const std::vector<const StandardForm*>& problems,
+                              gpu::Device& device, gpu::DeviceArena& arena, BatchMode mode,
+                              const SimplexOptions& options = {}, int streams = 16);
+
+/// Convenience overload owning a throwaway arena (one device allocation per
+/// call instead of one per problem).
 [[nodiscard]] BatchedLpReport solve_batched(const std::vector<const StandardForm*>& problems,
                               gpu::Device& device, BatchMode mode,
                               const SimplexOptions& options = {}, int streams = 16);

@@ -42,6 +42,12 @@ struct SimplexSolver::Workspace {
   long iterations = 0;
   int degenerate_streak = 0;
   LpOpStats ops;
+  // Per-pivot scratch, sized once in init_workspace so the iteration loop
+  // never allocates: compute_duals fills dual_cb/dual_y, ftran_column
+  // fills ftran_w, each returning a reference to its buffer.
+  linalg::Vector dual_cb;  // size m
+  linalg::Vector dual_y;   // size m
+  linalg::Vector ftran_w;  // size m
 };
 
 SimplexSolver::SimplexSolver(const StandardForm& form, SimplexOptions options)
@@ -72,6 +78,9 @@ void SimplexSolver::init_workspace(Workspace& ws, std::span<const double> lb,
   ws.status.assign(static_cast<std::size_t>(ws.total), VarStatus::AtLower);
   ws.basic.assign(static_cast<std::size_t>(m), -1);
   ws.binv = linalg::Matrix(m, m);
+  ws.dual_cb.assign(static_cast<std::size_t>(m), 0.0);
+  ws.dual_y.assign(static_cast<std::size_t>(m), 0.0);
+  ws.ftran_w.assign(static_cast<std::size_t>(m), 0.0);
   ws.ops.m = m;
   ws.ops.n = n;
   ws.ops.nnz = form_->a_rows.nnz();
@@ -217,9 +226,11 @@ void SimplexSolver::recompute_basic_values(Workspace& ws) const {
   }
 }
 
-linalg::Vector SimplexSolver::ftran_column(Workspace& ws, int var) const {
-  // w = B⁻¹ a_var, exploiting sparsity of a_var.
-  linalg::Vector w(static_cast<std::size_t>(ws.m), 0.0);
+const linalg::Vector& SimplexSolver::ftran_column(Workspace& ws, int var) const {
+  // w = B⁻¹ a_var, exploiting sparsity of a_var. Fills ws.ftran_w in place
+  // so the per-pivot path never allocates.
+  linalg::Vector& w = ws.ftran_w;
+  std::fill(w.begin(), w.end(), 0.0);
   if (var >= ws.n) {
     const int row = var - ws.n;
     const double s = ws.art_sign[static_cast<std::size_t>(row)];
@@ -237,8 +248,9 @@ linalg::Vector SimplexSolver::ftran_column(Workspace& ws, int var) const {
   return w;
 }
 
-linalg::Vector SimplexSolver::compute_duals(Workspace& ws, const linalg::Vector& cost) const {
-  linalg::Vector cb(static_cast<std::size_t>(ws.m));
+const linalg::Vector& SimplexSolver::compute_duals(Workspace& ws,
+                                                   const linalg::Vector& cost) const {
+  linalg::Vector& cb = ws.dual_cb;
   for (int i = 0; i < ws.m; ++i) {
     // A basic variable beyond `cost` is an artificial still in the basis
     // after an abnormal stop (iteration limit / singularity during phase 1);
@@ -246,7 +258,7 @@ linalg::Vector SimplexSolver::compute_duals(Workspace& ws, const linalg::Vector&
     const std::size_t v = static_cast<std::size_t>(ws.basic[static_cast<std::size_t>(i)]);
     cb[static_cast<std::size_t>(i)] = v < cost.size() ? cost[v] : 0.0;
   }
-  linalg::Vector y(static_cast<std::size_t>(ws.m), 0.0);
+  linalg::Vector& y = ws.dual_y;
   linalg::gemv_t(1.0, ws.binv, cb, 0.0, y);
   ++ws.ops.btran;
   return y;
@@ -277,7 +289,7 @@ SimplexSolver::PhaseResult SimplexSolver::primal_loop(Workspace& ws,
         return PhaseResult::Singular;
       }
     }
-    const linalg::Vector y = compute_duals(ws, cost);
+    const linalg::Vector& y = compute_duals(ws, cost);
     ++ws.ops.price_full;
     const bool bland = ws.degenerate_streak > options_.bland_threshold;
 
@@ -321,7 +333,7 @@ SimplexSolver::PhaseResult SimplexSolver::primal_loop(Workspace& ws,
       sigma = entering_d < 0.0 ? 1.0 : -1.0;
     }
 
-    linalg::Vector w = ftran_column(ws, entering);
+    const linalg::Vector& w = ftran_column(ws, entering);
 
     // Ratio test: entering moves by t >= 0 in direction sigma; basics move
     // by dx_i = -sigma * w_i per unit t.
@@ -365,6 +377,7 @@ SimplexSolver::PhaseResult SimplexSolver::primal_loop(Workspace& ws,
     ws.degenerate_streak = t_best <= tol ? ws.degenerate_streak + 1 : 0;
     ++ws.iterations;
     ++ws.ops.iterations;
+    GPUMIP_OBS_COUNT("gpumip.lp.simplex.iterations");
 
     // Move basic variables.
     for (int i = 0; i < ws.m; ++i) {
@@ -537,7 +550,7 @@ LpResult SimplexSolver::resolve_dual(std::span<const double> lb, std::span<const
   // Verify dual feasibility of the warm basis; if the reduced costs are off
   // (shouldn't happen when only bounds changed), fall back to primal.
   {
-    const linalg::Vector y = compute_duals(ws, cost);
+    const linalg::Vector& y = compute_duals(ws, cost);
     ++ws.ops.price_full;
     for (int v = 0; v < ws.n; ++v) {
       const std::size_t k = static_cast<std::size_t>(v);
@@ -583,7 +596,7 @@ LpResult SimplexSolver::resolve_dual(std::span<const double> lb, std::span<const
     }
     if (row < 0) return finish(ws, LpStatus::Optimal);
 
-    const linalg::Vector y = compute_duals(ws, cost);
+    const linalg::Vector& y = compute_duals(ws, cost);
     // Row r of B⁻¹ (the BTRAN of e_r).
     linalg::Vector rho(static_cast<std::size_t>(ws.m));
     for (int k = 0; k < ws.m; ++k) rho[static_cast<std::size_t>(k)] = ws.binv(row, k);
@@ -620,7 +633,7 @@ LpResult SimplexSolver::resolve_dual(std::span<const double> lb, std::span<const
     }
     if (entering < 0) return finish(ws, LpStatus::Infeasible);
 
-    linalg::Vector w = ftran_column(ws, entering);
+    const linalg::Vector& w = ftran_column(ws, entering);
     const double pivot = w[static_cast<std::size_t>(row)];
     if (std::fabs(pivot) <= options_.pivot_tol) {
       // Numerically inconsistent with the rho-based alpha; refactorize and

@@ -68,8 +68,11 @@ class SimplexSolver {
   void cold_start(Workspace& ws) const;
   void refactorize(Workspace& ws) const;
   void recompute_basic_values(Workspace& ws) const;
-  linalg::Vector ftran_column(Workspace& ws, int var) const;
-  linalg::Vector compute_duals(Workspace& ws, const linalg::Vector& cost) const;
+  /// Both return references into Workspace scratch (ftran_w / dual_y) so
+  /// the per-pivot path stays allocation-free; each call overwrites the
+  /// previous result for its buffer.
+  const linalg::Vector& ftran_column(Workspace& ws, int var) const;
+  const linalg::Vector& compute_duals(Workspace& ws, const linalg::Vector& cost) const;
   double reduced_cost(const Workspace& ws, const linalg::Vector& y,
                       const linalg::Vector& cost, int var) const;
   PhaseResult primal_loop(Workspace& ws, const linalg::Vector& cost, bool phase_one);

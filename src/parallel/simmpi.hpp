@@ -103,8 +103,18 @@ class Comm {
   int rank() const noexcept { return rank_; }
   int size() const noexcept;
 
-  /// Sends bytes to `dest` (non-blocking buffered send).
+  /// Sends bytes to `dest` (non-blocking buffered send). This overload
+  /// copies the span into the message; the copied bytes are surfaced by
+  /// the `gpumip.simmpi.payload.copy_bytes` counter. Note `{}` is
+  /// ambiguous between the overloads — pass an explicit empty
+  /// `std::span<const std::byte>{}` for payload-less control messages.
   void send(int dest, int tag, std::span<const std::byte> payload);
+
+  /// Zero-copy send: the buffer (typically `ByteWriter::take()`) moves
+  /// straight into the queued Message. Hot senders (subproblem dispatch,
+  /// report return) use this path so C8 measures one wire payload, not a
+  /// serialization copy on top.
+  void send(int dest, int tag, std::vector<std::byte>&& payload);
 
   /// Blocking receive; source/tag of -1 match anything.
   Message recv(int source = -1, int tag = -1);
@@ -150,6 +160,7 @@ class ByteWriter {
     // -Wstringop-overflow false-positives on the insert reallocation path
     // once surrounding code is inlined differently.
     const std::size_t at = buffer_.size();
+    // gpumip-lint: hot-alloc(serialization buffer growth, geometric; take() then moves it into the zero-copy send)
     buffer_.resize(at + sizeof(T));
     std::memcpy(buffer_.data() + at, &value, sizeof(T));
   }

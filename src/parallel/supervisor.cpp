@@ -95,6 +95,7 @@ WorkerReport decode_report(std::span<const std::byte> payload) {
   report.nodes = r.read<long>();
   report.busy_seconds = r.read<double>();
   const auto count = r.read<std::uint64_t>();
+  // gpumip-lint: hot-alloc(decode materializes the worker's returned frontier; sized exactly from the header)
   report.frontier.resize(count);
   for (Subproblem& sub : report.frontier) {
     sub.bound = r.read<double>();
@@ -110,7 +111,9 @@ SupervisorResult run_supervised(const mip::MipModel& model,
                                 const SupervisorOptions& options) {
   check_arg(options.workers >= 1, "supervisor: need at least one worker");
   SupervisorResult out;
+  // gpumip-lint: hot-alloc(per-worker result tables sized once at startup, before any dispatch)
   out.worker_nodes.assign(static_cast<std::size_t>(options.workers), 0);
+  // gpumip-lint: hot-alloc(per-worker result tables sized once at startup, before any dispatch)
   out.worker_busy.assign(static_cast<std::size_t>(options.workers), 0.0);
 
   // ---- supervisor-side ramp-up (sequential, before ranks start) ----
@@ -163,6 +166,7 @@ SupervisorResult run_supervised(const mip::MipModel& model,
 
   std::deque<Subproblem> pool;
   for (const mip::SnapshotNode& node : seed.frontier) {
+    // gpumip-lint: hot-alloc(the subproblem pool IS the search state; its size is the frontier width, not the node count)
     pool.push_back({node.lb, node.ub, node.bound, node.depth});
   }
 
@@ -215,6 +219,7 @@ SupervisorResult run_supervised(const mip::MipModel& model,
         snap.incumbent_x = incumbent_x;
         snap.nodes_solved_so_far = completed;
         for (const Subproblem& sub : pool) {
+          // gpumip-lint: hot-alloc(checkpoint snapshot copies the live frontier by design (C2 coverage proof))
           snap.frontier.push_back({sub.lb, sub.ub, sub.bound, sub.depth});
         }
         // Paper C2: the emitted snapshot must cover the live search — the
@@ -247,6 +252,7 @@ SupervisorResult run_supervised(const mip::MipModel& model,
             });
           }
           for (Subproblem& sub : report.frontier) {
+            // gpumip-lint: hot-alloc(surviving subproblems move into the pool; bound vectors are moved, not copied)
             if (sub.bound < incumbent_obj - 1e-9) pool.push_back(std::move(sub));
           }
           emit_checkpoint();
@@ -256,9 +262,10 @@ SupervisorResult run_supervised(const mip::MipModel& model,
         if (!pool.empty()) {
           dispatch(msg.source);
         } else if (outstanding > 0) {
+          // gpumip-lint: hot-alloc(idle-worker list bounded by the worker count)
           waiting.push_back(msg.source);
         } else {
-          comm.send(msg.source, kTagStop, {});
+          comm.send(msg.source, kTagStop, std::span<const std::byte>{});
           ++stopped;
         }
         // Serve newly available work to waiting workers.
@@ -270,7 +277,7 @@ SupervisorResult run_supervised(const mip::MipModel& model,
         // If the pool drained and nothing is outstanding, release waiters.
         if (pool.empty() && outstanding == 0) {
           for (int worker : waiting) {
-            comm.send(worker, kTagStop, {});
+            comm.send(worker, kTagStop, std::span<const std::byte>{});
             ++stopped;
           }
           waiting.clear();
@@ -279,7 +286,7 @@ SupervisorResult run_supervised(const mip::MipModel& model,
     } else {
       // ------------- worker -------------
       for (;;) {
-        comm.send(0, kTagRequest, {});
+        comm.send(0, kTagRequest, std::span<const std::byte>{});
         Message msg = comm.recv(0);
         if (msg.tag == kTagStop) break;
         check_internal(msg.tag == kTagWork, "worker: unexpected tag");
@@ -288,6 +295,7 @@ SupervisorResult run_supervised(const mip::MipModel& model,
 
         mip::ConsistentSnapshot task;
         task.incumbent_objective = item.cutoff;
+        // gpumip-lint: hot-alloc(one-node snapshot seeding the worker's solver; one per dispatched subproblem)
         task.frontier.push_back({item.sub.lb, item.sub.ub, item.sub.bound, item.sub.depth});
 
         mip::MipOptions wopts = options.mip;
@@ -319,6 +327,7 @@ SupervisorResult run_supervised(const mip::MipModel& model,
         if (r.status == mip::MipStatus::NodeLimit) {
           mip::ConsistentSnapshot rest = solver.capture_snapshot();
           for (const mip::SnapshotNode& node : rest.frontier) {
+            // gpumip-lint: hot-alloc(unfinished frontier rides back to the supervisor in the report payload)
             report.frontier.push_back({node.lb, node.ub, node.bound, node.depth});
           }
         }

@@ -82,6 +82,38 @@ TEST(BatchedLp, InputValidation) {
   EXPECT_THROW(solve_batched(with_null, device, BatchMode::Sequential), Error);
 }
 
+TEST(BatchedLp, PersistentArenaMakesRepeatBatchesAllocationFree) {
+  Batch batch = make_batch(8, 31);
+  gpu::Device device;
+  gpu::DeviceArena arena(device, "batch.lp");
+  BatchedLpReport first = solve_batched(batch.views, device, arena, BatchMode::Lockstep);
+  // The up-front reserve sizes one exact slab for the whole batch
+  // (solve_batched calls reset_stats, so assert through the live ledger).
+  EXPECT_EQ(device.live_allocations(), 1u);
+  EXPECT_EQ(arena.slab_count(), 1u);
+  const std::size_t capacity_after_first = arena.capacity_bytes();
+  for (int round = 0; round < 3; ++round) {
+    BatchedLpReport again = solve_batched(batch.views, device, arena, BatchMode::Lockstep);
+    ASSERT_EQ(again.results.size(), first.results.size());
+    EXPECT_NEAR(again.results[0].objective, first.results[0].objective, 1e-12);
+  }
+  // Steady state (ROADMAP item 4): the first batch's slab serves every
+  // later batch — no new device allocations, no capacity growth.
+  EXPECT_EQ(device.live_allocations(), 1u);
+  EXPECT_EQ(arena.slab_count(), 1u);
+  EXPECT_EQ(arena.capacity_bytes(), capacity_after_first);
+}
+
+TEST(BatchedLp, ThrowawayArenaOverloadStillSolves) {
+  Batch batch = make_batch(4, 37);
+  gpu::Device device;
+  BatchedLpReport r = solve_batched(batch.views, device, BatchMode::Sequential);
+  ASSERT_EQ(r.results.size(), 4u);
+  // The throwaway arena freed its slab on return: ledger clean, no leaks.
+  EXPECT_EQ(device.live_allocations(), 0u);
+  EXPECT_NO_THROW(device.audit());
+}
+
 TEST(BatchedLp, SingleProblemDegeneratesGracefully) {
   Batch batch = make_batch(1, 29);
   gpu::Device device;

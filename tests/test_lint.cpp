@@ -1,6 +1,9 @@
 // gpumip-lint engine tests (tools/gpumip-lint/): one seeded-violation
-// fixture per rule R1-R5 proving the rule fires, the matching clean fixture
-// proving it stays quiet, and the suppression-file round trip. These are
+// fixture per rule R1-R9 proving the rule fires, the matching clean fixture
+// proving it stays quiet, the suppression-file round trip, lexer
+// regressions (raw strings, digit separators, annotation extent), and the
+// call-graph edge cases (overload merge, templates, address-taken,
+// std::function widening, std::/container-protocol exclusion). These are
 // the same contracts scripts/check.sh gate 7 enforces over src/.
 #include <gtest/gtest.h>
 
@@ -9,6 +12,9 @@
 #include <fstream>
 #include <sstream>
 
+#include "callgraph.hpp"
+#include "index.hpp"
+#include "lexer.hpp"
 #include "lint.hpp"
 
 namespace lint = gpumip::lint;
@@ -279,4 +285,322 @@ TEST(LintR5, MissingIncludeFiresAndSelfContainedHeaderIsQuiet) {
 TEST(LintGate, SelfTestFixturesAllBehave) {
   std::ostringstream report;
   EXPECT_TRUE(lint::run_self_test(report)) << report.str();
+}
+
+// ---- Lexer regressions ------------------------------------------------------
+// The scan is the layer every rule trusts: a literal that leaks into `clean`
+// produces phantom findings, a swallowed region hides real ones.
+
+namespace {
+
+lint::Scanned scan_fixture(const lint::SourceFile& file) {
+  std::vector<lint::Finding> findings;
+  lint::Scanned scanned = lint::scan(file, findings);
+  EXPECT_TRUE(findings.empty());
+  return scanned;
+}
+
+}  // namespace
+
+TEST(LintLexer, DigitSeparatorsDoNotOpenCharLiterals) {
+  // If 1'000'000 opened a char literal, everything up to the next quote
+  // (including the allocation) would be blanked out of `clean`.
+  const lint::SourceFile file{"src/fix.cpp",
+                              "int big = 1'000'000;\nauto p = std::make_unique<int>(big);\n"};
+  const auto scanned = scan_fixture(file);
+  EXPECT_NE(lint::find_word(scanned.clean, "make_unique", 0), std::string::npos);
+}
+
+TEST(LintLexer, RawStringPrefixesAreBlanked) {
+  for (const char* prefix : {"R", "LR", "uR", "u8R", "UR"}) {
+    const std::string code =
+        std::string("auto s = ") + prefix + "\"(v.push_back(1))\";\nmarker();\n";
+    const lint::SourceFile file{"src/fix.cpp", code};
+    const auto scanned = scan_fixture(file);
+    EXPECT_EQ(lint::find_word(scanned.clean, "push_back", 0), std::string::npos) << prefix;
+    EXPECT_NE(lint::find_word(scanned.clean, "marker", 0), std::string::npos) << prefix;
+  }
+}
+
+TEST(LintLexer, EscapedQuotesStayInsideTheLiteral) {
+  const lint::SourceFile file{"src/fix.cpp",
+                              "const char* s = \"quote \\\" v.push_back(1)\";\nmarker();\n"};
+  const auto scanned = scan_fixture(file);
+  EXPECT_EQ(lint::find_word(scanned.clean, "push_back", 0), std::string::npos);
+  EXPECT_NE(lint::find_word(scanned.clean, "marker", 0), std::string::npos);
+}
+
+TEST(LintLexer, BlockCommentsPreserveLineStructure) {
+  const lint::SourceFile file{"src/fix.cpp", "int a;\n/* b\nc */ int d;\nmarker();\n"};
+  const auto scanned = scan_fixture(file);
+  const std::size_t at = lint::find_word(scanned.clean, "marker", 0);
+  ASSERT_NE(at, std::string::npos);
+  EXPECT_EQ(lint::line_of(scanned, at), 4);
+  EXPECT_EQ(scanned.clean.size(), file.content.size());
+}
+
+TEST(LintLexer, AnnotationCoversItsLineAndTheLineBelow) {
+  const lint::SourceFile file{
+      "src/fix.cpp", "// gpumip-lint: hot-alloc(fixture reason)\nv.push_back(1);\nother();\n"};
+  const auto scanned = scan_fixture(file);
+  EXPECT_TRUE(lint::has_annotation(scanned, 1, "hot-alloc"));
+  EXPECT_TRUE(lint::has_annotation(scanned, 2, "hot-alloc"));
+  EXPECT_FALSE(lint::has_annotation(scanned, 3, "hot-alloc"));
+  EXPECT_FALSE(lint::has_annotation(scanned, 2, "hot-copy"));
+}
+
+// ---- Call-graph edge cases --------------------------------------------------
+// Name-based resolution must merge what it cannot distinguish (overloads,
+// templates) and widen for indirection (address-taken, std::function) while
+// excluding the two site classes that can never be repo code.
+
+namespace {
+
+struct Graphed {
+  std::vector<lint::SourceFile> files;
+  std::vector<lint::Scanned> scanned;
+  std::vector<lint::FunctionDecl> functions;
+  lint::CallGraph graph;
+};
+
+Graphed build_graph(std::vector<lint::SourceFile> files) {
+  Graphed g;
+  g.files = std::move(files);
+  std::vector<lint::Finding> findings;
+  for (const auto& f : g.files) g.scanned.push_back(lint::scan(f, findings));
+  g.functions = lint::index_functions(g.scanned);
+  g.graph = lint::build_call_graph(g.scanned, g.functions);
+  return g;
+}
+
+std::vector<int> fn_indices(const Graphed& g, const std::string& qualified) {
+  std::vector<int> out;
+  for (int i = 0; i < static_cast<int>(g.functions.size()); ++i) {
+    if (g.functions[static_cast<std::size_t>(i)].qualified == qualified) out.push_back(i);
+  }
+  return out;
+}
+
+bool has_edge(const Graphed& g, int from, int to) {
+  const auto& e = g.graph.edges[static_cast<std::size_t>(from)];
+  return std::find(e.begin(), e.end(), to) != e.end();
+}
+
+}  // namespace
+
+TEST(LintCallGraph, OverloadSetsMergeUnderOneName) {
+  auto g = build_graph({{"src/fix.cpp",
+                         "void send(int a) { }\n"
+                         "void send(int a, int b) { }\n"
+                         "void caller() { send(1); }\n"}});
+  const auto sends = fn_indices(g, "send");
+  const auto callers = fn_indices(g, "caller");
+  ASSERT_EQ(sends.size(), 2u);
+  ASSERT_EQ(callers.size(), 1u);
+  // One call site, edges to BOTH overloads: the over-approximation.
+  EXPECT_TRUE(has_edge(g, callers[0], sends[0]));
+  EXPECT_TRUE(has_edge(g, callers[0], sends[1]));
+}
+
+TEST(LintCallGraph, ExplicitTemplateArgumentsResolve) {
+  auto g = build_graph({{"src/fix.cpp",
+                         "template <typename T>\n"
+                         "T twice(T v) { return v + v; }\n"
+                         "int caller() { return twice<int>(2); }\n"}});
+  const auto twice = fn_indices(g, "twice");
+  const auto callers = fn_indices(g, "caller");
+  ASSERT_EQ(twice.size(), 1u);
+  ASSERT_EQ(callers.size(), 1u);
+  EXPECT_TRUE(has_edge(g, callers[0], twice[0]));
+}
+
+TEST(LintCallGraph, AddressTakenFunctionsAreMarked) {
+  auto g = build_graph({{"src/fix.cpp",
+                         "void on_ready() { }\n"
+                         "void install(void (*cb)()) { }\n"
+                         "void setup() { install(on_ready); }\n"}});
+  const auto ready = fn_indices(g, "on_ready");
+  const auto install = fn_indices(g, "install");
+  const auto setup = fn_indices(g, "setup");
+  ASSERT_EQ(ready.size(), 1u);
+  // Mentioned without parens at the call site -> address taken, no direct edge.
+  EXPECT_TRUE(g.graph.address_taken[static_cast<std::size_t>(ready[0])]);
+  EXPECT_TRUE(has_edge(g, setup[0], install[0]));
+  EXPECT_FALSE(has_edge(g, setup[0], ready[0]));
+}
+
+TEST(LintCallGraph, StdFunctionDispatchIsConservative) {
+  auto g = build_graph({{"src/fix.cpp",
+                         "void handler() { }\n"
+                         "void dispatch(const std::function<void()>& f) { f(); }\n"
+                         "void wire() { dispatch(handler); }\n"}});
+  const auto handler = fn_indices(g, "handler");
+  const auto dispatch = fn_indices(g, "dispatch");
+  ASSERT_EQ(dispatch.size(), 1u);
+  // dispatch invokes a std::function value; traversals must treat it as a
+  // call to every address-taken function (handler, bound in wire).
+  EXPECT_TRUE(g.graph.calls_function_object[static_cast<std::size_t>(dispatch[0])]);
+  EXPECT_TRUE(g.graph.address_taken[static_cast<std::size_t>(handler[0])]);
+}
+
+TEST(LintCallGraph, StdQualifiedAndContainerProtocolSitesAreExcluded) {
+  auto g = build_graph({{"src/fix.cpp",
+                         "void sort(int* a) { }\n"
+                         "int size() { return 3; }\n"
+                         "void caller(std::vector<int>& v) {\n"
+                         "  std::sort(v.begin(), v.end());\n"
+                         "  auto n = v.size();\n"
+                         "  (void)n;\n"
+                         "}\n"}});
+  const auto sort = fn_indices(g, "sort");
+  const auto size = fn_indices(g, "size");
+  const auto callers = fn_indices(g, "caller");
+  ASSERT_EQ(callers.size(), 1u);
+  // `std::sort` can never be the repo's sort; `v.size()` is the container
+  // protocol. Neither may produce an edge.
+  EXPECT_FALSE(has_edge(g, callers[0], sort[0]));
+  EXPECT_FALSE(has_edge(g, callers[0], size[0]));
+}
+
+// ---- R6-R9: hot-path rules over the manifest -------------------------------
+
+namespace {
+
+lint::Options hot_options(const std::string& manifest) {
+  lint::Options options = doc_options();
+  options.hotpaths = manifest;
+  options.have_hotpaths = true;
+  options.hotpaths_path = "hotpaths.txt";
+  return options;
+}
+
+constexpr const char* kObs = "GPUMIP_OBS_COUNT(\"gpumip.test.documented.total\");";
+
+}  // namespace
+
+TEST(LintR6, AllocationReachableThroughTheGraphFires) {
+  const std::string code =
+      "void helper(std::vector<int>& v) { v.push_back(1); }\n"
+      "void hot_root(std::vector<int>& v) { " + std::string(kObs) + " helper(v); }\n";
+  const auto findings =
+      lint_one("src/fix.cpp", code, hot_options("root hot_root -- fixture\n"));
+  ASSERT_TRUE(has_rule(findings, "R6"));
+  // The finding names the call chain from the root.
+  bool chain_shown = false;
+  for (const auto& f : findings) {
+    if (f.rule == "R6" && f.message.find("hot_root -> helper") != std::string::npos) {
+      chain_shown = true;
+    }
+  }
+  EXPECT_TRUE(chain_shown);
+}
+
+TEST(LintR6, HotAllocAnnotationWaivesTheSite) {
+  const std::string code =
+      "void helper(std::vector<int>& v) {\n"
+      "  // gpumip-lint: hot-alloc(fixture reason)\n"
+      "  v.push_back(1);\n"
+      "}\n"
+      "void hot_root(std::vector<int>& v) { " + std::string(kObs) + " helper(v); }\n";
+  EXPECT_FALSE(has_rule(lint_one("src/fix.cpp", code, hot_options("root hot_root -- fixture\n")),
+                        "R6"));
+}
+
+TEST(LintR6, StopEntriesPruneTheTraversal) {
+  const std::string code =
+      "void helper(std::vector<int>& v) { v.push_back(1); }\n"
+      "void hot_root(std::vector<int>& v) { " + std::string(kObs) + " helper(v); }\n";
+  EXPECT_FALSE(has_rule(
+      lint_one("src/fix.cpp", code,
+               hot_options("root hot_root -- fixture\nstop helper -- fixture\n")),
+      "R6"));
+}
+
+TEST(LintR6, ClassWildcardStopMatchesQualifiedDefinitions) {
+  const std::string code =
+      "void Util::grow(std::vector<int>& v) { v.push_back(1); }\n"
+      "void hot_root(Util& u, std::vector<int>& v) { " + std::string(kObs) + " u.grow(v); }\n";
+  EXPECT_TRUE(has_rule(lint_one("src/fix.cpp", code, hot_options("root hot_root -- fixture\n")),
+                       "R6"));
+  EXPECT_FALSE(has_rule(
+      lint_one("src/fix.cpp", code,
+               hot_options("root hot_root -- fixture\nstop Util::* -- fixture\n")),
+      "R6"));
+}
+
+TEST(LintR7, ByValuePayloadPassAndReturnFire) {
+  const std::string code =
+      "Message make_reply() { return Message{}; }\n"
+      "void hot_root(Message m) { " + std::string(kObs) + " make_reply(); }\n";
+  const auto findings = lint_one(
+      "src/fix.cpp", code,
+      hot_options("root hot_root -- fixture\npayload Message -- fixture\n"));
+  int r7 = 0;
+  for (const auto& f : findings) {
+    if (f.rule == "R7") ++r7;
+  }
+  EXPECT_EQ(r7, 2);  // passed into hot_root, returned from make_reply
+}
+
+TEST(LintR7, ReferencesAndHotCopyWaiverAreQuiet) {
+  const std::string by_ref =
+      "void hot_root(const Message& m) { " + std::string(kObs) + " }\n";
+  EXPECT_FALSE(has_rule(
+      lint_one("src/fix.cpp", by_ref,
+               hot_options("root hot_root -- fixture\npayload Message -- fixture\n")),
+      "R7"));
+  const std::string waived =
+      "// gpumip-lint: hot-copy(fixture reason)\n"
+      "void hot_root(Message m) { " + std::string(kObs) + " }\n";
+  EXPECT_FALSE(has_rule(
+      lint_one("src/fix.cpp", waived,
+               hot_options("root hot_root -- fixture\npayload Message -- fixture\n")),
+      "R7"));
+}
+
+TEST(LintR8, BlockingFiresOnlyUnderWaveRoots) {
+  const std::string code =
+      "void hot_wave(std::mutex& mu) { " + std::string(kObs) + " mu.lock(); }\n";
+  EXPECT_TRUE(
+      has_rule(lint_one("src/fix.cpp", code, hot_options("wave hot_wave -- fixture\n")), "R8"));
+  // The same body under a plain root is legal: only waves ban blocking.
+  EXPECT_FALSE(
+      has_rule(lint_one("src/fix.cpp", code, hot_options("root hot_wave -- fixture\n")), "R8"));
+}
+
+TEST(LintR8, ManifestDeclaredBlockingPrimitiveFires) {
+  const std::string code =
+      "void hot_wave() { " + std::string(kObs) + " drain_all(); }\n"
+      "void drain_all() { }\n";
+  EXPECT_TRUE(has_rule(
+      lint_one("src/fix.cpp", code,
+               hot_options("wave hot_wave -- fixture\nblocking drain_all -- fixture\n")),
+      "R8"));
+}
+
+TEST(LintR9, UninstrumentedRootFiresAndObsSiteQuiets) {
+  EXPECT_TRUE(has_rule(lint_one("src/fix.cpp", "void hot_root() { work(); }\n",
+                                hot_options("root hot_root -- fixture\n")),
+                       "R9"));
+  EXPECT_FALSE(has_rule(
+      lint_one("src/fix.cpp", "void hot_root() { " + std::string(kObs) + " }\n",
+               hot_options("root hot_root -- fixture\n")),
+      "R9"));
+}
+
+TEST(LintHot, StaleManifestEntryIsAFinding) {
+  const auto findings =
+      lint_one("src/fix.cpp", "void present() { }\n",
+               hot_options("root vanished_fn -- this entry matches nothing\n"));
+  ASSERT_TRUE(has_rule(findings, "HOT"));
+}
+
+TEST(LintHot, MalformedManifestLinesAreFindings) {
+  const std::string code = "void hot_root() { " + std::string(kObs) + " }\n";
+  // Unknown kind.
+  EXPECT_TRUE(has_rule(
+      lint_one("src/fix.cpp", code, hot_options("banana hot_root -- fixture\n")), "HOT"));
+  // Missing justification separator.
+  EXPECT_TRUE(
+      has_rule(lint_one("src/fix.cpp", code, hot_options("root hot_root\n")), "HOT"));
 }

@@ -34,12 +34,36 @@ TEST(SimMpi, PingPong) {
   EXPECT_GT(report.makespan, 0.0);  // two wire latencies at least
 }
 
+TEST(SimMpi, MoveSendDeliversIdenticalPayload) {
+  // The zero-copy overload must be wire-identical to the span overload:
+  // same bytes delivered, same traffic accounting.
+  RunReport report = run_ranks(2, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<std::byte> owned(64);
+      for (std::size_t i = 0; i < owned.size(); ++i) owned[i] = static_cast<std::byte>(i);
+      const std::vector<std::byte> kept = owned;  // lvalue -> span (copy) path
+      comm.send(1, 1, std::move(owned));          // rvalue -> move path
+      comm.send(1, 2, kept);
+      comm.send(1, 3, std::span<const std::byte>{});  // explicit empty payload
+    } else {
+      const Message moved = comm.recv(0, 1);
+      const Message copied = comm.recv(0, 2);
+      const Message empty = comm.recv(0, 3);
+      ASSERT_EQ(moved.payload.size(), 64u);
+      EXPECT_EQ(moved.payload, copied.payload);
+      EXPECT_TRUE(empty.payload.empty());
+    }
+  });
+  EXPECT_EQ(report.network.messages, 3u);
+  EXPECT_EQ(report.network.bytes, 128u);
+}
+
 TEST(SimMpi, MessageClocksPropagate) {
   // Receiver's clock must jump to at least sender's clock + wire time.
   RunReport report = run_ranks(2, [](Comm& comm) {
     if (comm.rank() == 0) {
       comm.advance(1.0);  // sender does 1s of work first
-      comm.send(1, 0, {});
+      comm.send(1, 0, std::span<const std::byte>{});
     } else {
       comm.recv(0, 0);
       EXPECT_GE(comm.now(), 1.0);
@@ -51,8 +75,8 @@ TEST(SimMpi, MessageClocksPropagate) {
 TEST(SimMpi, TaggedAndWildcardReceive) {
   run_ranks(2, [](Comm& comm) {
     if (comm.rank() == 0) {
-      comm.send(1, 5, {});
-      comm.send(1, 6, {});
+      comm.send(1, 5, std::span<const std::byte>{});
+      comm.send(1, 6, std::span<const std::byte>{});
     } else {
       // Receive out of order by tag.
       Message m6 = comm.recv(0, 6);
@@ -68,13 +92,13 @@ TEST(SimMpi, TryRecvNonBlocking) {
     if (comm.rank() == 0) {
       Message out;
       EXPECT_FALSE(comm.try_recv(out, 1, 99));
-      comm.send(1, 1, {});
+      comm.send(1, 1, std::span<const std::byte>{});
       Message confirm = comm.recv(1, 2);
       EXPECT_TRUE(comm.try_recv(out, 1, 3) || true);  // may or may not have arrived
     } else {
       comm.recv(0, 1);
-      comm.send(0, 2, {});
-      comm.send(0, 3, {});
+      comm.send(0, 2, std::span<const std::byte>{});
+      comm.send(0, 3, std::span<const std::byte>{});
     }
   });
 }

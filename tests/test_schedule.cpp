@@ -192,7 +192,7 @@ TEST(ScheduleFuzz, DistinctSeedsExploreDistinctOrders) {
         3,
         [&](Comm& comm) {
           if (comm.rank() < 2) {
-            for (int i = 0; i < kPerSender; ++i) comm.send(2, 1, {});
+            for (int i = 0; i < kPerSender; ++i) comm.send(2, 1, std::span<const std::byte>{});
             comm.barrier();
           } else {
             comm.barrier();
@@ -273,8 +273,8 @@ TEST(ScheduleDeadlock, DumpShowsQueuedMessagesAndBlockedSites) {
         comm.recv(1, 1);  // first request handled fine...
         comm.recv(1, 3);  // ...wrong tag: the queued tag-1 request never matches
       } else {
-        comm.send(0, 1, {});
-        comm.send(0, 1, {});
+        comm.send(0, 1, std::span<const std::byte>{});
+        comm.send(0, 1, std::span<const std::byte>{});
         comm.recv(0, 2);  // waits forever for the reply
       }
     });
@@ -302,11 +302,11 @@ TEST(ScheduleDeadlock, FuzzedSweepNeverFalselyFiresOnHealthyProtocol) {
           if (comm.rank() == 0) {
             for (int round = 0; round < 8; ++round) {
               Message req = comm.recv(-1, 1);
-              comm.send(req.source, 2, {});
+              comm.send(req.source, 2, std::span<const std::byte>{});
             }
           } else {
             for (int round = 0; round < 4; ++round) {
-              comm.send(0, 1, {});
+              comm.send(0, 1, std::span<const std::byte>{});
               comm.recv(0, 2);
             }
           }
@@ -327,7 +327,7 @@ TEST(AbnormalExit, ReportCountsOnlyTheFailedRankAndUndelivered) {
                    2,
                    [](Comm& comm) {
                      if (comm.rank() == 0) {
-                       for (int i = 0; i < 3; ++i) comm.send(1, 1, {});
+                       for (int i = 0; i < 3; ++i) comm.send(1, 1, std::span<const std::byte>{});
                        throw Error(ErrorCode::kInternal, "deliberate failure");
                      }
                      comm.recv(0, 99);  // never matches; unwound by the abort
@@ -417,8 +417,8 @@ TEST(ScheduleReplay, DivergentProtocolIsRejectedNotMisreplayed) {
       2,
       [](Comm& comm) {
         if (comm.rank() == 0) {
-          comm.send(1, 1, {});
-          comm.send(1, 2, {});
+          comm.send(1, 1, std::span<const std::byte>{});
+          comm.send(1, 2, std::span<const std::byte>{});
         } else {
           comm.recv(0, 1);
           comm.recv(0, 2);
@@ -437,8 +437,8 @@ TEST(ScheduleReplay, DivergentProtocolIsRejectedNotMisreplayed) {
         2,
         [](Comm& comm) {
           if (comm.rank() == 0) {
-            comm.send(1, 1, {});
-            comm.send(1, 2, {});
+            comm.send(1, 1, std::span<const std::byte>{});
+            comm.send(1, 2, std::span<const std::byte>{});
           } else {
             comm.recv(0, 2);
             comm.recv(0, 1);

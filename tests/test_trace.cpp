@@ -175,7 +175,7 @@ TEST(TraceFlows, SendRecvPairsMatchUnderFuzzedSchedules) {
         3,
         [&](parallel::Comm& comm) {
           if (comm.rank() < 2) {
-            for (int i = 0; i < kPerSender; ++i) comm.send(2, 1, {});
+            for (int i = 0; i < kPerSender; ++i) comm.send(2, 1, std::span<const std::byte>{});
             comm.barrier();
           } else {
             comm.barrier();

@@ -1,0 +1,169 @@
+#include "callgraph.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+namespace gpumip::lint {
+namespace {
+
+/// Container-protocol members: a `.begin()` / `->end()` site is an STL
+/// iterator call, not a call into a same-named repo function (the obs
+/// tracing API has free functions named begin/end that are only ever
+/// invoked through the GPUMIP_TRACE_* macros, which the unpreprocessed
+/// token stream never sees as calls anyway).
+bool is_container_protocol(const std::string& name) {
+  static const std::set<std::string> kProtocol = {
+      "begin", "end", "cbegin", "cend", "rbegin", "rend", "data", "size", "empty", "count",
+  };
+  return kProtocol.count(name) != 0;
+}
+
+/// Keywords that appear as `name (` call-lookalikes inside bodies.
+bool is_call_keyword(const std::string& name) {
+  static const std::set<std::string> kKeywords = {
+      "if",      "for",     "while",       "switch",      "catch",       "return",
+      "sizeof",  "alignof", "decltype",    "constexpr",   "new",         "delete",
+      "throw",   "requires", "static_assert", "alignas",  "noexcept",    "defined",
+      "static_cast", "dynamic_cast", "const_cast", "reinterpret_cast", "do", "else",
+      "co_await", "co_return", "co_yield", "case",
+  };
+  return kKeywords.count(name) != 0;
+}
+
+/// From `pos` (pointing at '<'), skips a balanced template-argument list.
+/// Returns the offset one past the '>' — or npos when the '<' is a plain
+/// comparison (balance fails or a statement boundary intervenes).
+std::size_t skip_template_args(const std::string& s, std::size_t pos) {
+  int depth = 0;
+  for (std::size_t i = pos; i < s.size(); ++i) {
+    const char c = s[i];
+    if (c == '<') ++depth;
+    else if (c == '>' && --depth == 0) return i + 1;
+    else if (c == ';' || c == '{' || c == '}') return std::string::npos;
+  }
+  return std::string::npos;
+}
+
+/// Names of variables declared with a std::function type anywhere in
+/// `text` (a signature + body slice): `std::function<R(Args)> name`,
+/// including `const std::function<...>&` parameters.
+std::vector<std::string> function_object_names(const std::string& text) {
+  std::vector<std::string> names;
+  for (std::size_t at = find_word(text, "function", 0); at != std::string::npos;
+       at = find_word(text, "function", at + 1)) {
+    if (at < 5 || text.compare(at - 5, 5, "std::") != 0) continue;
+    std::size_t pos = skip_ws(text, at + 8);
+    if (pos >= text.size() || text[pos] != '<') continue;
+    pos = skip_template_args(text, pos);
+    if (pos == std::string::npos) continue;
+    pos = skip_ws(text, pos);
+    while (pos < text.size() && (text[pos] == '&' || text[pos] == '*')) {
+      pos = skip_ws(text, pos + 1);
+    }
+    std::string name;
+    while (pos < text.size() && is_ident_char(text[pos])) name += text[pos++];
+    if (!name.empty() && std::isdigit(static_cast<unsigned char>(name[0])) == 0 &&
+        name != "const") {
+      names.push_back(std::move(name));
+    }
+  }
+  return names;
+}
+
+}  // namespace
+
+std::unordered_map<std::string, std::vector<int>> function_name_map(
+    const std::vector<FunctionDecl>& functions) {
+  std::unordered_map<std::string, std::vector<int>> map;
+  for (int i = 0; i < static_cast<int>(functions.size()); ++i) {
+    const FunctionDecl& d = functions[static_cast<std::size_t>(i)];
+    map[d.name].push_back(i);
+    if (d.qualified != d.name) map[d.qualified].push_back(i);
+  }
+  return map;
+}
+
+CallGraph build_call_graph(const std::vector<Scanned>& files,
+                           const std::vector<FunctionDecl>& functions) {
+  CallGraph graph;
+  graph.edges.assign(functions.size(), {});
+  graph.address_taken.assign(functions.size(), 0);
+  graph.calls_function_object.assign(functions.size(), 0);
+  std::unordered_map<std::string, std::vector<int>> by_name;
+  for (int i = 0; i < static_cast<int>(functions.size()); ++i) {
+    by_name[functions[static_cast<std::size_t>(i)].name].push_back(i);
+  }
+
+  // One token walk per file: every identifier is either a direct call
+  // (followed by '(' or by template args then '('), in which case the
+  // enclosing function gains edges to the whole overload set — or a bare
+  // mention of a known function name, which marks that set address-taken.
+  for (int fi = 0; fi < static_cast<int>(files.size()); ++fi) {
+    const std::string& clean = files[static_cast<std::size_t>(fi)].clean;
+    std::size_t i = 0;
+    while (i < clean.size()) {
+      if (!is_ident_char(clean[i])) {
+        ++i;
+        continue;
+      }
+      const std::size_t start = i;
+      while (i < clean.size() && is_ident_char(clean[i])) ++i;
+      if (std::isdigit(static_cast<unsigned char>(clean[start])) != 0) continue;
+      const std::string name = clean.substr(start, i - start);
+      auto it = by_name.find(name);
+      std::size_t after = skip_ws(clean, i);
+      bool is_call = after < clean.size() && clean[after] == '(';
+      if (!is_call && after < clean.size() && clean[after] == '<') {
+        const std::size_t past = skip_template_args(clean, after);
+        is_call = past != std::string::npos && past < clean.size() && clean[past] == '(';
+      }
+      if (!is_call) {
+        if (it != by_name.end()) {
+          for (int callee : it->second) {
+            graph.address_taken[static_cast<std::size_t>(callee)] = 1;
+          }
+        }
+        continue;
+      }
+      if (it == by_name.end() || is_call_keyword(name)) continue;
+      // `std::foo(...)` can never resolve to a repo function — dropping
+      // these sites kills the std::min/std::max/std::copy name merges.
+      if (start >= 5 && clean.compare(start - 5, 5, "std::") == 0) continue;
+      const bool member_site = (start >= 1 && clean[start - 1] == '.') ||
+                               (start >= 2 && clean.compare(start - 2, 2, "->") == 0);
+      if (member_site && is_container_protocol(name)) continue;
+      const int caller = enclosing_function(functions, fi, start);
+      if (caller < 0) continue;
+      // A function's own definition header sits outside its body extent,
+      // so `caller` here is genuinely the surrounding function.
+      for (int callee : it->second) {
+        std::vector<int>& out = graph.edges[static_cast<std::size_t>(caller)];
+        if (std::find(out.begin(), out.end(), callee) == out.end()) out.push_back(callee);
+      }
+    }
+  }
+
+  // std::function dispatch: a declared function-object name that is later
+  // invoked makes the declaring function an indirect caller.
+  for (int i = 0; i < static_cast<int>(functions.size()); ++i) {
+    const FunctionDecl& d = functions[static_cast<std::size_t>(i)];
+    const std::string& clean = files[static_cast<std::size_t>(d.file_index)].clean;
+    const std::string slice = clean.substr(d.params_begin, d.body_end - d.params_begin);
+    for (const std::string& var : function_object_names(slice)) {
+      const std::string body = clean.substr(d.body_begin, d.body_end - d.body_begin);
+      for (std::size_t at = find_word(body, var, 0); at != std::string::npos;
+           at = find_word(body, var, at + 1)) {
+        const std::size_t after = skip_ws(body, at + var.size());
+        if (after < body.size() && body[after] == '(') {
+          graph.calls_function_object[static_cast<std::size_t>(i)] = 1;
+          break;
+        }
+      }
+      if (graph.calls_function_object[static_cast<std::size_t>(i)] != 0) break;
+    }
+  }
+  return graph;
+}
+
+}  // namespace gpumip::lint

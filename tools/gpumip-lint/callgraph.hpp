@@ -1,0 +1,55 @@
+// gpumip-lint call graph: over-approximate caller->callee edges across the
+// indexed function definitions.
+//
+// Resolution is name-based and deliberately conservative (DESIGN.md,
+// "Static analysis"): a call site `foo(...)` adds edges to EVERY indexed
+// function named `foo` (overload sets and same-named methods of different
+// classes merge), templated calls `foo<T>(...)` resolve the same way, and
+// two indirect mechanisms widen the graph instead of narrowing it.
+// Two site classes are excluded because they can never resolve to repo
+// code: `std::`-qualified calls, and container-protocol member calls
+// (`.begin()`, `->size()`, ...). Everything else merges:
+//
+//  * address-taken set — any whole-word mention of a known function name
+//    that is not a direct call (function pointers, member pointers,
+//    callables handed to algorithms) marks that function address-taken;
+//  * std::function dispatch — a function that declares a std::function
+//    variable/parameter and invokes it gets edges to every address-taken
+//    function (it could be calling any of them).
+//
+// The result errs toward extra edges, never missing ones, so "unreachable
+// from a hot-path root" is a sound claim while "reachable" may need a
+// justified waiver.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "index.hpp"
+#include "lexer.hpp"
+
+namespace gpumip::lint {
+
+struct CallGraph {
+  /// Per function (parallel to the FunctionDecl array): indices of known
+  /// callees, deduplicated, in first-call order.
+  std::vector<std::vector<int>> edges;
+  /// Per function: true when its name is ever mentioned without being
+  /// directly called (address taken / bound into a callable).
+  std::vector<char> address_taken;
+  /// Per function: true when it invokes a value it declared with a
+  /// std::function type — such a call could reach any address-taken
+  /// function, so traversals must add those edges conservatively.
+  std::vector<char> calls_function_object;
+};
+
+CallGraph build_call_graph(const std::vector<Scanned>& files,
+                           const std::vector<FunctionDecl>& functions);
+
+/// All indices of functions whose `name` or `qualified` equals `name`
+/// (the multimap behind edge resolution, exposed for manifest matching).
+std::unordered_map<std::string, std::vector<int>> function_name_map(
+    const std::vector<FunctionDecl>& functions);
+
+}  // namespace gpumip::lint

@@ -1,0 +1,71 @@
+// gpumip-lint hot-path rules R6-R9: call-graph-aware enforcement of the
+// contracts the paper's hot-loop claims rest on (C3 factorization reuse,
+// C4 cut round-trips, C5 matrix locality, C8 comms overhead — all
+// statements about what must NOT happen per iteration/message/wave).
+//
+// The checked-in manifest (tools/gpumip-lint/hotpaths.txt) declares the
+// roots; the rules then walk the over-approximate call graph from each
+// root and flag, anywhere in the reachable set:
+//
+//   R6  heap allocation (new, container growth, allocating local
+//       containers, std::function construction) — waived per site with
+//       `// gpumip-lint: hot-alloc(reason)`;
+//   R7  by-value passes/returns of declared payload types — waived per
+//       signature with `// gpumip-lint: hot-copy(reason)`;
+//   R8  blocking calls (mutex acquisition, condition waits, file I/O,
+//       manifest-declared blocking primitives) reachable from a `wave`
+//       root (a device-wave critical section) — waived per site with
+//       `// gpumip-lint: hot-block(reason)`;
+//   R9  missing trace/metric instrumentation in a root's own body.
+//
+// Manifest grammar (one entry per line, '#' comments):
+//
+//   root <function>     -- <why this is a hot path>
+//   wave <function>     -- <why this is a device-wave critical section>
+//   stop <function>     -- <why traversal stops here (setup/fuzz/etc.)>
+//   payload <type>      -- <why copies of this type are banned>
+//   blocking <function> -- <why calls to this block the caller>
+//
+// <function> is an unqualified name, a spelled qualified name
+// (Comm::send), or a class wildcard (Scheduler::*). Roots are traversal
+// boundaries for each other; `stop` entries prune. root/wave/stop entries
+// that match no indexed function are themselves findings (rule HOT), so
+// the manifest cannot outlive the code it describes. Allocations inside a
+// `throw` statement are exempt from R6 (the error path is off the hot
+// path by definition).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "callgraph.hpp"
+#include "index.hpp"
+#include "lexer.hpp"
+#include "lint.hpp"
+
+namespace gpumip::lint {
+
+struct HotPathEntry {
+  std::string kind;    ///< root | wave | stop | payload | blocking
+  std::string name;    ///< function name / wildcard / type token
+  std::string reason;  ///< mandatory justification
+  int line = 0;        ///< line in the manifest file
+};
+
+struct HotPathManifest {
+  std::vector<HotPathEntry> entries;
+  bool empty() const noexcept { return entries.empty(); }
+};
+
+/// Parses the manifest text. Syntax problems (unknown kind, missing
+/// ` -- justification`) are reported as HOT findings against `path`.
+HotPathManifest parse_hotpaths(const std::string& text, const std::string& path,
+                               std::vector<Finding>& findings);
+
+/// Runs R6-R9 over the indexed sources. `functions`/`graph` must come from
+/// index_functions/build_call_graph over the same `files`.
+void check_hotpaths(const std::vector<Scanned>& files, const HotPathManifest& manifest,
+                    const std::string& manifest_path, const std::vector<FunctionDecl>& functions,
+                    const CallGraph& graph, std::vector<Finding>& findings);
+
+}  // namespace gpumip::lint

@@ -1,0 +1,211 @@
+#include "index.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <set>
+
+namespace gpumip::lint {
+namespace {
+
+/// Keywords that look like `name (` in the token stream but never name a
+/// function definition.
+bool is_decl_keyword(const std::string& name) {
+  static const std::set<std::string> kKeywords = {
+      "if",     "for",       "while",    "switch",        "catch",     "return",
+      "sizeof", "alignof",   "decltype", "constexpr",     "consteval", "constinit",
+      "new",    "delete",    "throw",    "requires",      "static_assert",
+      "alignas", "noexcept", "defined",  "case",          "operator",  "do",
+      "else",   "goto",      "co_await", "co_return",     "co_yield",  "assert",
+  };
+  return kKeywords.count(name) != 0;
+}
+
+/// Skips a balanced (...) or {...} group starting at `pos` (which must be
+/// the opening character). Returns the offset one past the closing
+/// character, or npos when unbalanced.
+std::size_t skip_group(const std::string& s, std::size_t pos, char open, char close) {
+  int depth = 0;
+  for (std::size_t i = pos; i < s.size(); ++i) {
+    if (s[i] == open) ++depth;
+    else if (s[i] == close && --depth == 0) return i + 1;
+  }
+  return std::string::npos;
+}
+
+/// Skips a constructor member-initializer list starting just after the
+/// ':' and returns the offset of the body '{', or npos when the text does
+/// not parse as an initializer list. Grammar handled:
+///   member ( ... )  |  member { ... }  |  Base<T> ( ... )
+/// separated by commas, terminated by the body's '{'.
+std::size_t skip_ctor_initializers(const std::string& s, std::size_t pos) {
+  for (;;) {
+    pos = skip_ws(s, pos);
+    // Initializer name, possibly qualified (Base::Base) or templated.
+    std::size_t start = pos;
+    while (pos < s.size() && (is_ident_char(s[pos]) || s[pos] == ':')) ++pos;
+    if (pos == start) return std::string::npos;
+    pos = skip_ws(s, pos);
+    if (pos < s.size() && s[pos] == '<') {
+      pos = skip_group(s, pos, '<', '>');
+      if (pos == std::string::npos) return std::string::npos;
+      pos = skip_ws(s, pos);
+    }
+    if (pos >= s.size() || (s[pos] != '(' && s[pos] != '{')) return std::string::npos;
+    pos = skip_group(s, pos, s[pos], s[pos] == '(' ? ')' : '}');
+    if (pos == std::string::npos) return std::string::npos;
+    pos = skip_ws(s, pos);
+    if (pos < s.size() && s[pos] == ',') {
+      ++pos;
+      continue;
+    }
+    if (pos < s.size() && s[pos] == '{') return pos;
+    return std::string::npos;
+  }
+}
+
+}  // namespace
+
+std::vector<FunctionDecl> index_functions(const std::vector<Scanned>& files) {
+  std::vector<FunctionDecl> out;
+  for (int fi = 0; fi < static_cast<int>(files.size()); ++fi) {
+    const std::string& clean = files[static_cast<std::size_t>(fi)].clean;
+    for (std::size_t p = clean.find('('); p != std::string::npos; p = clean.find('(', p + 1)) {
+      // The identifier immediately before the '(' (no identifier: lambda,
+      // cast, grouping parens — skip).
+      std::size_t e = p;
+      while (e > 0 && is_space(clean[e - 1])) --e;
+      if (e == 0 || !is_ident_char(clean[e - 1])) continue;
+      std::size_t nb = e;
+      while (nb > 0 && is_ident_char(clean[nb - 1])) --nb;
+      const std::string name = clean.substr(nb, e - nb);
+      if (name.empty() || std::isdigit(static_cast<unsigned char>(name[0])) != 0) continue;
+      if (is_decl_keyword(name)) continue;
+
+      // Spelled qualifiers: A::B::name (template qualifiers like Foo<T>::
+      // end the collection; the partial qualification is kept).
+      std::size_t qb = nb;
+      std::string qualified = name;
+      while (qb >= 2 && clean.compare(qb - 2, 2, "::") == 0) {
+        std::size_t qe = qb - 2;
+        std::size_t qs = qe;
+        while (qs > 0 && is_ident_char(clean[qs - 1])) --qs;
+        if (qs == qe) break;  // ::name (global) or Foo<T>::name
+        qualified = clean.substr(qs, qe - qs) + "::" + qualified;
+        qb = qs;
+      }
+
+      const std::size_t params_end_plus = skip_group(clean, p, '(', ')');
+      if (params_end_plus == std::string::npos) continue;
+      const std::size_t params_end = params_end_plus - 1;
+
+      // Between the parameter list and the body: cv/ref qualifiers,
+      // noexcept(...), override/final, a trailing return type, a requires
+      // clause, or a constructor initializer list. Anything else means
+      // this was a call or a declaration, not a definition.
+      std::size_t t = params_end + 1;
+      std::size_t body_begin = std::string::npos;
+      bool rejected = false;
+      while (!rejected && t < clean.size()) {
+        t = skip_ws(clean, t);
+        if (t >= clean.size()) break;
+        const char ch = clean[t];
+        if (ch == '{') {
+          body_begin = t;
+          break;
+        }
+        if (ch == '&') {
+          ++t;
+        } else if (ch == '-' && t + 1 < clean.size() && clean[t + 1] == '>') {
+          // Trailing return type: skip to the body '{' or a terminator.
+          t += 2;
+          int depth = 0;
+          while (t < clean.size()) {
+            const char c2 = clean[t];
+            if (c2 == '(') ++depth;
+            else if (c2 == ')') --depth;
+            else if (depth == 0 && (c2 == '{' || c2 == ';' || c2 == '=')) break;
+            ++t;
+          }
+        } else if (ch == ':') {
+          if (t + 1 < clean.size() && clean[t + 1] == ':') {
+            rejected = true;
+            break;
+          }
+          body_begin = skip_ctor_initializers(clean, t + 1);
+          if (body_begin == std::string::npos) rejected = true;
+          break;
+        } else if (is_ident_char(ch)) {
+          std::size_t ts = t;
+          while (t < clean.size() && is_ident_char(clean[t])) ++t;
+          const std::string tok = clean.substr(ts, t - ts);
+          if (tok == "const" || tok == "override" || tok == "final" || tok == "mutable" ||
+              tok == "try") {
+            continue;
+          }
+          if (tok == "noexcept" || tok == "throw") {
+            std::size_t after = skip_ws(clean, t);
+            if (after < clean.size() && clean[after] == '(') {
+              std::size_t g = skip_group(clean, after, '(', ')');
+              if (g == std::string::npos) {
+                rejected = true;
+                break;
+              }
+              t = g;
+            }
+            continue;
+          }
+          if (tok == "requires") {
+            while (t < clean.size() && clean[t] != '{' && clean[t] != ';') ++t;
+            continue;
+          }
+          rejected = true;
+        } else {
+          rejected = true;
+        }
+      }
+      if (rejected || body_begin == std::string::npos) continue;
+      std::size_t body_end_plus = skip_group(clean, body_begin, '{', '}');
+      if (body_end_plus == std::string::npos) continue;
+
+      FunctionDecl d;
+      d.name = name;
+      d.qualified = qualified;
+      d.file_index = fi;
+      d.name_begin = qb;
+      d.line = line_of(files[static_cast<std::size_t>(fi)], qb);
+      // Heuristic return-type start: just after the previous statement or
+      // brace boundary. May include storage/attribute tokens; the rules
+      // only look for payload-type tokens inside it, so extra prefix
+      // tokens are harmless.
+      std::size_t rb = clean.find_last_of(";{}", qb);
+      d.ret_begin = (rb == std::string::npos) ? 0 : rb + 1;
+      d.params_begin = p;
+      d.params_end = params_end;
+      d.body_begin = body_begin;
+      d.body_end = body_end_plus - 1;
+      out.push_back(std::move(d));
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const FunctionDecl& a, const FunctionDecl& b) {
+    return std::tie(a.file_index, a.body_begin) < std::tie(b.file_index, b.body_begin);
+  });
+  return out;
+}
+
+int enclosing_function(const std::vector<FunctionDecl>& functions, int file_index,
+                       std::size_t offset) {
+  int best = -1;
+  std::size_t best_begin = 0;
+  for (int i = 0; i < static_cast<int>(functions.size()); ++i) {
+    const FunctionDecl& d = functions[static_cast<std::size_t>(i)];
+    if (d.file_index != file_index) continue;
+    if (d.body_begin < offset && offset < d.body_end &&
+        (best == -1 || d.body_begin > best_begin)) {
+      best = i;
+      best_begin = d.body_begin;
+    }
+  }
+  return best;
+}
+
+}  // namespace gpumip::lint

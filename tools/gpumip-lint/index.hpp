@@ -1,0 +1,49 @@
+// gpumip-lint declaration indexer: finds every function *definition* in the
+// scanned sources and records its name, spelled qualification, signature
+// extent, and brace-matched body extent.
+//
+// This is deliberately a token-level approximation, like the rest of the
+// tool (no libclang): a definition is an identifier (optionally qualified
+// with `A::B::`) followed by a balanced parameter list and then — after
+// cv/ref/noexcept/trailing-return/requires/ctor-initializer tokens — an
+// opening brace. Lambdas are NOT indexed: their bodies nest inside the
+// enclosing indexed function's extent, so call sites inside a lambda are
+// attributed to the function that owns the lambda. That is exactly the
+// attribution the hot-path rules want (the supervisor protocol lives in a
+// lambda inside run_supervised).
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace gpumip::lint {
+
+/// One indexed function definition.
+struct FunctionDecl {
+  std::string name;       ///< unqualified: "solve"
+  std::string qualified;  ///< as spelled: "SimplexSolver::solve"; == name when unqualified
+  int file_index = -1;    ///< into the scanned-file array given to index_functions
+  int line = 0;           ///< 1-based line of the name
+  std::size_t name_begin = 0;    ///< offset of the (qualified) name's first char
+  std::size_t ret_begin = 0;     ///< heuristic start of the return-type text
+  std::size_t params_begin = 0;  ///< offset of '('
+  std::size_t params_end = 0;    ///< offset of the matching ')'
+  std::size_t body_begin = 0;    ///< offset of '{'
+  std::size_t body_end = 0;      ///< offset of the matching '}'
+};
+
+/// Indexes every function definition across `files`. Declarations without
+/// a body, lambdas, and macro invocations that do not look like
+/// definitions are skipped. Results are ordered by (file, body_begin).
+std::vector<FunctionDecl> index_functions(const std::vector<Scanned>& files);
+
+/// The innermost indexed function in file `file_index` whose body extent
+/// contains `offset`; -1 when the offset is at namespace scope. Local
+/// structs' methods nest inside their enclosing function, hence innermost.
+int enclosing_function(const std::vector<FunctionDecl>& functions, int file_index,
+                       std::size_t offset);
+
+}  // namespace gpumip::lint

@@ -1,0 +1,245 @@
+#include "lexer.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace gpumip::lint {
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+bool is_space(char c) { return std::isspace(static_cast<unsigned char>(c)) != 0; }
+
+std::size_t skip_ws(const std::string& s, std::size_t pos) {
+  while (pos < s.size() && is_space(s[pos])) ++pos;
+  return pos;
+}
+
+int line_of(const Scanned& f, std::size_t pos) {
+  auto it = std::upper_bound(f.line_start.begin(), f.line_start.end(), pos);
+  return static_cast<int>(it - f.line_start.begin());
+}
+
+namespace {
+
+void parse_annotation(const std::string& comment, int line, Scanned& out,
+                      std::vector<Finding>& findings) {
+  const std::string marker = "gpumip-lint:";
+  std::size_t at = comment.find(marker);
+  if (at == std::string::npos) return;
+  std::size_t pos = skip_ws(comment, at + marker.size());
+  std::string tag;
+  while (pos < comment.size() &&
+         (std::isalpha(static_cast<unsigned char>(comment[pos])) != 0 || comment[pos] == '-')) {
+    tag += comment[pos++];
+  }
+  pos = skip_ws(comment, pos);
+  std::string reason;
+  bool closed = false;
+  if (pos < comment.size() && comment[pos] == '(') {
+    std::size_t close = comment.find(')', pos);
+    if (close != std::string::npos) {
+      reason = comment.substr(pos + 1, close - pos - 1);
+      closed = true;
+    }
+  }
+  // Trim the reason.
+  while (!reason.empty() && is_space(reason.front())) reason.erase(reason.begin());
+  while (!reason.empty() && is_space(reason.back())) reason.pop_back();
+  if (tag.empty() || !closed || reason.empty()) {
+    findings.push_back({out.src->path, line, "SUP",
+                        "malformed gpumip-lint annotation: expected "
+                        "'gpumip-lint: <tag>(<non-empty reason>)'"});
+    return;
+  }
+  out.annotations[line].push_back({tag, reason});
+}
+
+/// The maximal identifier-character run ending just before `pos`.
+std::string ident_run_before(const std::string& text, std::size_t pos) {
+  std::size_t begin = pos;
+  while (begin > 0 && is_ident_char(text[begin - 1])) --begin;
+  return text.substr(begin, pos - begin);
+}
+
+/// True when the `'` at `pos` is a C++14 digit separator (1'000'000,
+/// 0xFF'FF): it continues a token that began with a digit. Encoding
+/// prefixes of genuine char literals (L'a', u8'a') begin with a letter, so
+/// they still open the literal state.
+bool is_digit_separator(const std::string& text, std::size_t pos) {
+  const std::string run = ident_run_before(text, pos);
+  return !run.empty() && std::isdigit(static_cast<unsigned char>(run.front())) != 0;
+}
+
+/// True when the `"` at `pos` opens a raw string literal: the identifier
+/// run immediately before it is exactly one of the standard raw-string
+/// prefixes and is itself a whole token (so an identifier merely *ending*
+/// in R, glued to a string by a macro, is not misread as a raw string).
+bool opens_raw_string(const std::string& text, std::size_t pos) {
+  std::size_t begin = pos;
+  while (begin > 0 && is_ident_char(text[begin - 1])) --begin;
+  const std::string run = text.substr(begin, pos - begin);
+  return run == "R" || run == "LR" || run == "uR" || run == "u8R" || run == "UR";
+}
+
+}  // namespace
+
+Scanned scan(const SourceFile& file, std::vector<Finding>& findings) {
+  Scanned out;
+  out.src = &file;
+  const std::string& text = file.content;
+  out.clean.assign(text.size(), ' ');
+  out.line_start.push_back(0);
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\n') out.line_start.push_back(i + 1);
+  }
+  {
+    std::istringstream ls(text);
+    std::string line;
+    while (std::getline(ls, line)) out.lines.push_back(line);
+  }
+
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
+  State state = State::kCode;
+  std::string comment, literal, raw_delim;
+  std::size_t token_start = 0;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '\n') out.clean[i] = '\n';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && i + 1 < text.size() && text[i + 1] == '/') {
+          state = State::kLineComment;
+          comment.clear();
+          token_start = i;
+          ++i;
+        } else if (c == '/' && i + 1 < text.size() && text[i + 1] == '*') {
+          state = State::kBlockComment;
+          comment.clear();
+          token_start = i;
+          ++i;
+        } else if (c == '"' && opens_raw_string(text, i)) {
+          // Raw string literal R"delim(...)delim" (any encoding prefix).
+          // The delimiter scan is bounded: a missing '(' before end of
+          // input (truncated file) degrades to an ordinary string rather
+          // than consuming the rest of the file.
+          std::size_t j = i + 1;
+          std::string delim;
+          while (j < text.size() && text[j] != '(' && text[j] != '"' && text[j] != '\n' &&
+                 delim.size() < 16) {
+            delim += text[j++];
+          }
+          if (j >= text.size() || text[j] != '(') {
+            state = State::kString;
+            token_start = i;
+            literal.clear();
+            out.clean[i] = '"';
+            break;
+          }
+          state = State::kRawString;
+          token_start = i;
+          literal.clear();
+          raw_delim = ")" + delim + "\"";
+          out.clean[i] = '"';
+          i = j;  // position of '('
+        } else if (c == '"') {
+          state = State::kString;
+          token_start = i;
+          literal.clear();
+          out.clean[i] = '"';
+        } else if (c == '\'' && !is_digit_separator(text, i)) {
+          state = State::kChar;
+          out.clean[i] = '\'';
+        } else {
+          out.clean[i] = c;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          parse_annotation(comment, line_of(out, token_start), out, findings);
+          state = State::kCode;
+        } else {
+          comment += c;
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && i + 1 < text.size() && text[i + 1] == '/') {
+          parse_annotation(comment, line_of(out, token_start), out, findings);
+          state = State::kCode;
+          ++i;
+        } else {
+          comment += c;
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && i + 1 < text.size()) {
+          literal += text[i + 1];
+          ++i;
+        } else if (c == '"') {
+          out.clean[i] = '"';
+          out.literals[token_start] = literal;
+          state = State::kCode;
+        } else {
+          literal += c;
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && i + 1 < text.size()) {
+          ++i;
+        } else if (c == '\'') {
+          out.clean[i] = '\'';
+          state = State::kCode;
+        }
+        break;
+      case State::kRawString:
+        if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
+          out.literals[token_start] = literal;
+          i += raw_delim.size() - 1;
+          out.clean[i] = '"';
+          state = State::kCode;
+        } else {
+          literal += c;
+        }
+        break;
+    }
+  }
+  if (state == State::kLineComment) {
+    parse_annotation(comment, line_of(out, token_start), out, findings);
+  }
+  return out;
+}
+
+bool has_annotation(const Scanned& f, int line, const std::string& tag) {
+  for (int l : {line, line - 1}) {
+    auto it = f.annotations.find(l);
+    if (it == f.annotations.end()) continue;
+    for (const Annotation& a : it->second) {
+      if (a.tag == tag) return true;
+    }
+  }
+  return false;
+}
+
+std::size_t find_word(const std::string& s, const std::string& word, std::size_t from) {
+  for (std::size_t at = s.find(word, from); at != std::string::npos;
+       at = s.find(word, at + 1)) {
+    const bool left_ok = at == 0 || !is_ident_char(s[at - 1]);
+    const std::size_t end = at + word.size();
+    const bool right_ok = end >= s.size() || !is_ident_char(s[end]);
+    if (left_ok && right_ok) return at;
+  }
+  return std::string::npos;
+}
+
+std::string statement_around(const std::string& clean, std::size_t pos) {
+  const std::string stops = ";{}";
+  std::size_t begin = clean.find_last_of(stops, pos);
+  begin = (begin == std::string::npos) ? 0 : begin + 1;
+  std::size_t end = clean.find_first_of(stops, pos);
+  if (end == std::string::npos) end = clean.size();
+  return clean.substr(begin, end - begin);
+}
+
+}  // namespace gpumip::lint

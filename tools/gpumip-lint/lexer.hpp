@@ -1,0 +1,72 @@
+// gpumip-lint lexer: the comment/string-aware scan every rule builds on.
+//
+// One pass over a source file produces a `Scanned` view: a `clean` copy of
+// the text with comment bodies and literal contents blanked (same length,
+// same line structure, so offsets and line numbers carry over), the string
+// literal values keyed by their opening-quote position, and the parsed
+// `// gpumip-lint: tag(reason)` waiver annotations. Token-level helpers
+// (whole-word search, statement extraction, annotation lookup) live here
+// too so the rule modules (lint.cpp, hotpath.cpp) and the declaration
+// indexer (index.cpp) share one tokenization of reality.
+//
+// The scan understands line/block comments, ordinary and char literals
+// with escapes, raw string literals with any of the standard encoding
+// prefixes (R" / LR" / uR" / u8R" / UR"), and C++14 digit separators
+// (1'000'000 does not open a character literal).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace gpumip::lint {
+
+bool is_ident_char(char c);
+bool is_space(char c);
+std::size_t skip_ws(const std::string& s, std::size_t pos);
+
+/// An inline waiver: `// gpumip-lint: <tag>(<reason>)`. Covers the
+/// annotation's own line and the line below it.
+struct Annotation {
+  std::string tag;
+  std::string reason;
+};
+
+/// One source file after the comment/string-aware scan. `clean` has the
+/// same length and line structure as the input, with comment text and
+/// literal bodies blanked, so token searches cannot match inside either.
+struct Scanned {
+  const SourceFile* src = nullptr;
+  std::string clean;
+  std::vector<std::size_t> line_start;                    // 0-based offsets
+  std::unordered_map<std::size_t, std::string> literals;  // opening-quote pos -> value
+  std::map<int, std::vector<Annotation>> annotations;     // 1-based line
+  std::vector<std::string> lines;                         // original text, 1-based via index+1
+};
+
+/// 1-based line number of byte offset `pos`.
+int line_of(const Scanned& f, std::size_t pos);
+
+/// Comment/string-aware scan. Blanks comments and literal bodies in
+/// `clean`, records string literal values by position, and parses
+/// `// gpumip-lint: tag(reason)` annotations out of comments (malformed
+/// annotations become SUP findings).
+Scanned scan(const SourceFile& file, std::vector<Finding>& findings);
+
+/// True when `tag` is annotated on `line` or the line above it.
+bool has_annotation(const Scanned& f, int line, const std::string& tag);
+
+/// Finds the next whole-word occurrence of `word` in `s` at or after
+/// `from`; npos when absent.
+std::size_t find_word(const std::string& s, const std::string& word, std::size_t from);
+
+/// The statement around `pos`: text between the previous and next
+/// `;`/`{`/`}` in the blanked source. Good enough to ask "does this copy
+/// touch a device span".
+std::string statement_around(const std::string& clean, std::size_t pos);
+
+}  // namespace gpumip::lint

@@ -1,213 +1,24 @@
 #include "lint.hpp"
 
 #include <algorithm>
-#include <cctype>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
-#include <map>
 #include <ostream>
 #include <set>
 #include <sstream>
-#include <unordered_map>
+#include <thread>
+
+#include "callgraph.hpp"
+#include "hotpath.hpp"
+#include "index.hpp"
+#include "lexer.hpp"
 
 namespace gpumip::lint {
 namespace {
-
-bool is_ident_char(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
-}
-
-bool is_space(char c) { return std::isspace(static_cast<unsigned char>(c)) != 0; }
-
-std::size_t skip_ws(const std::string& s, std::size_t pos) {
-  while (pos < s.size() && is_space(s[pos])) ++pos;
-  return pos;
-}
-
-/// An inline waiver: `// gpumip-lint: <tag>(<reason>)`. Covers the
-/// annotation's own line and the line below it.
-struct Annotation {
-  std::string tag;
-  std::string reason;
-};
-
-/// One source file after the comment/string-aware scan. `clean` has the
-/// same length and line structure as the input, with comment text and
-/// literal bodies blanked, so token searches cannot match inside either.
-struct Scanned {
-  const SourceFile* src = nullptr;
-  std::string clean;
-  std::vector<std::size_t> line_start;                    // 0-based offsets
-  std::unordered_map<std::size_t, std::string> literals;  // opening-quote pos -> value
-  std::map<int, std::vector<Annotation>> annotations;     // 1-based line
-  std::vector<std::string> lines;                         // original text, 1-based via index+1
-};
-
-int line_of(const Scanned& f, std::size_t pos) {
-  auto it = std::upper_bound(f.line_start.begin(), f.line_start.end(), pos);
-  return static_cast<int>(it - f.line_start.begin());
-}
-
-void parse_annotation(const std::string& comment, int line, Scanned& out,
-                      std::vector<Finding>& findings) {
-  const std::string marker = "gpumip-lint:";
-  std::size_t at = comment.find(marker);
-  if (at == std::string::npos) return;
-  std::size_t pos = skip_ws(comment, at + marker.size());
-  std::string tag;
-  while (pos < comment.size() &&
-         (std::isalpha(static_cast<unsigned char>(comment[pos])) != 0 || comment[pos] == '-')) {
-    tag += comment[pos++];
-  }
-  pos = skip_ws(comment, pos);
-  std::string reason;
-  bool closed = false;
-  if (pos < comment.size() && comment[pos] == '(') {
-    std::size_t close = comment.find(')', pos);
-    if (close != std::string::npos) {
-      reason = comment.substr(pos + 1, close - pos - 1);
-      closed = true;
-    }
-  }
-  // Trim the reason.
-  while (!reason.empty() && is_space(reason.front())) reason.erase(reason.begin());
-  while (!reason.empty() && is_space(reason.back())) reason.pop_back();
-  if (tag.empty() || !closed || reason.empty()) {
-    findings.push_back({out.src->path, line, "SUP",
-                        "malformed gpumip-lint annotation: expected "
-                        "'gpumip-lint: <tag>(<non-empty reason>)'"});
-    return;
-  }
-  out.annotations[line].push_back({tag, reason});
-}
-
-/// Comment/string-aware scan. Blanks comments and literal bodies in
-/// `clean`, records string literal values by position, and parses
-/// `// gpumip-lint: tag(reason)` annotations out of comments.
-Scanned scan(const SourceFile& file, std::vector<Finding>& findings) {
-  Scanned out;
-  out.src = &file;
-  const std::string& text = file.content;
-  out.clean.assign(text.size(), ' ');
-  out.line_start.push_back(0);
-  for (std::size_t i = 0; i < text.size(); ++i) {
-    if (text[i] == '\n') out.line_start.push_back(i + 1);
-  }
-  {
-    std::istringstream ls(text);
-    std::string line;
-    while (std::getline(ls, line)) out.lines.push_back(line);
-  }
-
-  enum class State { kCode, kLineComment, kBlockComment, kString, kChar, kRawString };
-  State state = State::kCode;
-  std::string comment, literal, raw_delim;
-  std::size_t token_start = 0;
-  for (std::size_t i = 0; i < text.size(); ++i) {
-    const char c = text[i];
-    if (c == '\n') out.clean[i] = '\n';
-    switch (state) {
-      case State::kCode:
-        if (c == '/' && i + 1 < text.size() && text[i + 1] == '/') {
-          state = State::kLineComment;
-          comment.clear();
-          token_start = i;
-          ++i;
-        } else if (c == '/' && i + 1 < text.size() && text[i + 1] == '*') {
-          state = State::kBlockComment;
-          comment.clear();
-          token_start = i;
-          ++i;
-        } else if (c == '"' && i >= 1 && text[i - 1] == 'R') {
-          // Raw string literal R"delim(...)delim".
-          state = State::kRawString;
-          token_start = i;
-          literal.clear();
-          raw_delim.clear();
-          std::size_t j = i + 1;
-          while (j < text.size() && text[j] != '(') raw_delim += text[j++];
-          raw_delim = ")" + raw_delim + "\"";
-          out.clean[i] = '"';
-          i = j;  // position of '('
-        } else if (c == '"') {
-          state = State::kString;
-          token_start = i;
-          literal.clear();
-          out.clean[i] = '"';
-        } else if (c == '\'') {
-          state = State::kChar;
-          out.clean[i] = '\'';
-        } else {
-          out.clean[i] = c;
-        }
-        break;
-      case State::kLineComment:
-        if (c == '\n') {
-          parse_annotation(comment, line_of(out, token_start), out, findings);
-          state = State::kCode;
-        } else {
-          comment += c;
-        }
-        break;
-      case State::kBlockComment:
-        if (c == '*' && i + 1 < text.size() && text[i + 1] == '/') {
-          parse_annotation(comment, line_of(out, token_start), out, findings);
-          state = State::kCode;
-          ++i;
-        } else {
-          comment += c;
-        }
-        break;
-      case State::kString:
-        if (c == '\\' && i + 1 < text.size()) {
-          literal += text[i + 1];
-          ++i;
-        } else if (c == '"') {
-          out.clean[i] = '"';
-          out.literals[token_start] = literal;
-          state = State::kCode;
-        } else {
-          literal += c;
-        }
-        break;
-      case State::kChar:
-        if (c == '\\' && i + 1 < text.size()) {
-          ++i;
-        } else if (c == '\'') {
-          out.clean[i] = '\'';
-          state = State::kCode;
-        }
-        break;
-      case State::kRawString:
-        if (text.compare(i, raw_delim.size(), raw_delim) == 0) {
-          out.literals[token_start] = literal;
-          i += raw_delim.size() - 1;
-          out.clean[i] = '"';
-          state = State::kCode;
-        } else {
-          literal += c;
-        }
-        break;
-    }
-  }
-  if (state == State::kLineComment) {
-    parse_annotation(comment, line_of(out, token_start), out, findings);
-  }
-  return out;
-}
-
-bool has_annotation(const Scanned& f, int line, const std::string& tag) {
-  for (int l : {line, line - 1}) {
-    auto it = f.annotations.find(l);
-    if (it == f.annotations.end()) continue;
-    for (const Annotation& a : it->second) {
-      if (a.tag == tag) return true;
-    }
-  }
-  return false;
-}
 
 /// True when `path` names a file of the confinement stem `stem`, i.e. the
 /// path contains "<stem>." — "gpu/device" matches gpu/device.cpp and
@@ -221,31 +32,6 @@ bool matches_stem(const std::string& path, const std::string& stem) {
 bool in_device_context(const std::string& path, const Options& options) {
   return std::any_of(options.device_context.begin(), options.device_context.end(),
                      [&](const std::string& stem) { return matches_stem(path, stem); });
-}
-
-/// Finds the next whole-word occurrence of `word` in `s` at or after
-/// `from`; npos when absent.
-std::size_t find_word(const std::string& s, const std::string& word, std::size_t from) {
-  for (std::size_t at = s.find(word, from); at != std::string::npos;
-       at = s.find(word, at + 1)) {
-    const bool left_ok = at == 0 || !is_ident_char(s[at - 1]);
-    const std::size_t end = at + word.size();
-    const bool right_ok = end >= s.size() || !is_ident_char(s[end]);
-    if (left_ok && right_ok) return at;
-  }
-  return std::string::npos;
-}
-
-/// The statement around `pos`: text between the previous and next
-/// `;`/`{`/`}` in the blanked source. Good enough to ask "does this copy
-/// touch a device span".
-std::string statement_around(const std::string& clean, std::size_t pos) {
-  const std::string stops = ";{}";
-  std::size_t begin = clean.find_last_of(stops, pos);
-  begin = (begin == std::string::npos) ? 0 : begin + 1;
-  std::size_t end = clean.find_first_of(stops, pos);
-  if (end == std::string::npos) end = clean.size();
-  return clean.substr(begin, end - begin);
 }
 
 bool mentions_device_span(const std::string& text) {
@@ -579,6 +365,16 @@ std::vector<Finding> run_lint(const std::vector<SourceFile>& files, const Option
     check_r4(f, options, findings);
   }
 
+  // Hot-path rules R6-R9: index every function definition, build the
+  // over-approximate call graph, and walk it from the manifest roots.
+  if (options.have_hotpaths) {
+    const HotPathManifest manifest =
+        parse_hotpaths(options.hotpaths, options.hotpaths_path, findings);
+    const std::vector<FunctionDecl> functions = index_functions(scanned);
+    const CallGraph graph = build_call_graph(scanned, functions);
+    check_hotpaths(scanned, manifest, options.hotpaths_path, functions, graph, findings);
+  }
+
   // Apply the suppression file: a finding survives unless an entry matches
   // its rule, file suffix, and offending source line.
   auto source_line = [&](const Finding& fi) -> std::string {
@@ -593,7 +389,7 @@ std::vector<Finding> run_lint(const std::vector<SourceFile>& files, const Option
   std::vector<Finding> kept;
   for (Finding& fi : findings) {
     bool suppressed = false;
-    if (fi.rule != "SUP") {
+    if (fi.rule != "SUP" && fi.rule != "HOT") {
       for (Suppression& s : suppressions) {
         if (s.rule == fi.rule && fi.file.size() >= s.path_suffix.size() &&
             fi.file.compare(fi.file.size() - s.path_suffix.size(), s.path_suffix.size(),
@@ -626,37 +422,62 @@ std::vector<Finding> run_lint(const std::vector<SourceFile>& files, const Option
 std::vector<Finding> check_headers_standalone(const std::vector<std::string>& headers,
                                               const std::string& include_dir,
                                               const std::string& compiler,
-                                              const std::string& scratch_dir) {
+                                              const std::string& scratch_dir,
+                                              std::size_t jobs) {
   namespace fs = std::filesystem;
-  std::vector<Finding> findings;
   fs::create_directories(scratch_dir);
-  for (const std::string& header : headers) {
-    std::string mangled = header;
-    std::replace(mangled.begin(), mangled.end(), '/', '_');
-    const fs::path tu = fs::path(scratch_dir) / (mangled + ".standalone.cpp");
-    const fs::path log = fs::path(scratch_dir) / (mangled + ".log");
-    {
-      std::ofstream out(tu);
-      out << "// generated by gpumip-lint R5: the header must compile alone\n"
-          << "#include \"" << header << "\"\n";
-    }
-    const std::string cmd = compiler + " -std=c++20 -fsyntax-only -I \"" + include_dir +
-                            "\" \"" + tu.string() + "\" > \"" + log.string() + "\" 2>&1";
-    const int rc = std::system(cmd.c_str());  // NOLINT: deliberate tool invocation
-    if (rc == 0) continue;
-    std::string detail;
-    {
-      std::ifstream in(log);
-      std::string line;
-      int kept_lines = 0;
-      while (std::getline(in, line) && kept_lines < 6) {
-        detail += "\n    " + line;
-        ++kept_lines;
+  if (jobs == 0) {
+    jobs = std::max<std::size_t>(1, std::min<std::size_t>(8, std::thread::hardware_concurrency()));
+  }
+  jobs = std::min(jobs, std::max<std::size_t>(1, headers.size()));
+
+  // One probe per header, each its own compiler invocation — independent
+  // work, so a small pool pulls headers off a shared counter. Results land
+  // in per-header slots to keep the output in header order.
+  std::vector<std::vector<Finding>> slots(headers.size());
+  std::atomic<std::size_t> next{0};
+  auto probe = [&]() {
+    for (;;) {
+      const std::size_t idx = next.fetch_add(1);
+      if (idx >= headers.size()) return;
+      const std::string& header = headers[idx];
+      std::string mangled = header;
+      std::replace(mangled.begin(), mangled.end(), '/', '_');
+      const fs::path tu = fs::path(scratch_dir) / (mangled + ".standalone.cpp");
+      const fs::path log = fs::path(scratch_dir) / (mangled + ".log");
+      {
+        std::ofstream out(tu);
+        out << "// generated by gpumip-lint R5: the header must compile alone\n"
+            << "#include \"" << header << "\"\n";
       }
+      const std::string cmd = compiler + " -std=c++20 -fsyntax-only -I \"" + include_dir +
+                              "\" \"" + tu.string() + "\" > \"" + log.string() + "\" 2>&1";
+      const int rc = std::system(cmd.c_str());  // NOLINT: deliberate tool invocation
+      if (rc == 0) continue;
+      std::string detail;
+      {
+        std::ifstream in(log);
+        std::string line;
+        int kept_lines = 0;
+        while (std::getline(in, line) && kept_lines < 6) {
+          detail += "\n    " + line;
+          ++kept_lines;
+        }
+      }
+      slots[idx].push_back({include_dir + "/" + header, 1, "R5",
+                            "header is not self-contained (fails to compile as its own "
+                            "translation unit):" + detail});
     }
-    findings.push_back({include_dir + "/" + header, 1, "R5",
-                        "header is not self-contained (fails to compile as its own "
-                        "translation unit):" + detail});
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(jobs);
+  for (std::size_t t = 0; t < jobs; ++t) pool.emplace_back(probe);
+  for (std::thread& t : pool) t.join();
+
+  std::vector<Finding> findings;
+  for (std::vector<Finding>& slot : slots) {
+    findings.insert(findings.end(), std::make_move_iterator(slot.begin()),
+                    std::make_move_iterator(slot.end()));
   }
   return findings;
 }
@@ -672,6 +493,14 @@ bool fires(const std::string& path, const std::string& content, const std::strin
                      [&](const Finding& f) { return f.rule == rule; });
 }
 
+/// Like `fires`, but with a hot-path manifest installed first.
+bool fires_hot(const std::string& content, const std::string& manifest, const std::string& rule,
+               Options options) {
+  options.hotpaths = manifest;
+  options.have_hotpaths = true;
+  return fires("src/lp/fixture.cpp", content, rule, options);
+}
+
 }  // namespace
 
 bool run_self_test(std::ostream& out) {
@@ -685,6 +514,17 @@ bool run_self_test(std::ostream& out) {
     out << "    [" << (ok ? "ok" : "FAIL") << "] " << what << "\n";
     if (!ok) ++failed;
   };
+  // Per-rule wall time: `mark("Rn")` closes the section that started at
+  // the previous mark (or at entry) and prints its elapsed time.
+  auto section_start = std::chrono::steady_clock::now();
+  auto mark = [&](const char* rule) {
+    const auto now = std::chrono::steady_clock::now();
+    const auto us =
+        std::chrono::duration_cast<std::chrono::microseconds>(now - section_start).count();
+    out << "    [time] " << rule << " fixtures: " << (static_cast<double>(us) / 1000.0)
+        << " ms\n";
+    section_start = now;
+  };
 
   // R1: raw device access fires outside the device context, is quiet
   // inside it, and the inline annotation waives it.
@@ -695,6 +535,7 @@ bool run_self_test(std::ostream& out) {
   expect(!fires("src/mip/fixture.cpp",
                 "// gpumip-lint: device-context(fixture kernel body)\n" + r1, "R1", options),
          "R1 waived by device-context annotation");
+  mark("R1");
 
   // R2a: raw byte copies fire outside the transfer engine only.
   const std::string r2 = "void f() { std::memcpy(d, s, n); }\n";
@@ -711,6 +552,7 @@ bool run_self_test(std::ostream& out) {
   expect(!fires("src/lp/fixture.cpp", "void f() { std::copy(v.begin(), v.end(), w.begin()); }\n",
                 "R2", options),
          "R2 quiet on host-to-host std::copy");
+  mark("R2");
 
   // R3: raw std exceptions fire; locally declared Error subclasses do not.
   expect(fires("src/lp/fixture.cpp", "void f() { throw std::runtime_error(\"x\"); }\n", "R3",
@@ -726,6 +568,7 @@ bool run_self_test(std::ostream& out) {
   expect(!fires("src/lp/fixture.cpp", "void f() { try { g(); } catch (...) { throw; } }\n", "R3",
                 options),
          "R3 quiet on rethrow");
+  mark("R3");
 
   // R4: grammar violations and undocumented names fire; documented
   // conforming names do not.
@@ -762,6 +605,7 @@ bool run_self_test(std::ostream& out) {
                 "void f() { GPUMIP_TRACE_INSTANT(\"gpumip.fixture.undocumented\", 0); }\n",
                 "R4", options),
          "R4 trace finding waived by metric-name annotation");
+  mark("R4");
 
   // Suppression round trip: a matching entry silences the finding and is
   // marked used; an unmatched entry is reported stale.
@@ -790,6 +634,144 @@ bool run_self_test(std::ostream& out) {
     expect(parse_findings.size() == 1 && parse_findings[0].rule == "SUP",
            "suppression without justification is rejected");
   }
+  mark("SUP");
+
+  // ---- hot-path rules R6-R9 (call-graph-rooted, manifest-driven) ----
+  const std::string manifest =
+      "root hot_loop -- fixture: the iteration loop\n"
+      "wave wave_loop -- fixture: device-wave critical section\n"
+      "stop cold_setup -- fixture: once-per-solve setup path\n"
+      "payload Payload -- fixture: message payloads must not copy\n"
+      "blocking blocking_recv -- fixture: simulated blocking receive\n";
+  const std::string instrumented =
+      "void hot_loop() { GPUMIP_OBS_COUNT(\"gpumip.test.documented.total\"); body(); }\n";
+
+  // R6: allocation in the root fires; transitive allocation through a
+  // callee fires; preallocated indexing stays quiet; throw statements and
+  // the hot-alloc annotation waive.
+  expect(fires_hot("void hot_loop() {\n"
+                   "  GPUMIP_OBS_COUNT(\"gpumip.test.documented.total\");\n"
+                   "  buf.push_back(1.0);\n"
+                   "}\n",
+                   manifest, "R6", options),
+         "R6 fires on container growth in a root");
+  expect(fires_hot("void helper() { auto* p = new int(3); use(p); }\n"
+                   "void hot_loop() {\n"
+                   "  GPUMIP_OBS_COUNT(\"gpumip.test.documented.total\");\n"
+                   "  helper();\n"
+                   "}\n",
+                   manifest, "R6", options),
+         "R6 fires transitively through the call graph");
+  expect(!fires_hot("void hot_loop() {\n"
+                    "  GPUMIP_OBS_COUNT(\"gpumip.test.documented.total\");\n"
+                    "  buf[i] = buf[i] * 2.0;\n"
+                    "}\n",
+                    manifest, "R6", options),
+         "R6 quiet on preallocated indexing");
+  expect(!fires_hot("void cold_setup() { buf.push_back(1.0); }\n"
+                    "void hot_loop() {\n"
+                    "  GPUMIP_OBS_COUNT(\"gpumip.test.documented.total\");\n"
+                    "  cold_setup();\n"
+                    "}\n",
+                    manifest, "R6", options),
+         "R6 quiet past a stop entry (traversal prunes)");
+  expect(!fires_hot("void hot_loop() {\n"
+                    "  GPUMIP_OBS_COUNT(\"gpumip.test.documented.total\");\n"
+                    "  if (bad) throw FixtureError(std::string(\"context\"));\n"
+                    "}\n",
+                    manifest, "R6", options),
+         "R6 quiet on allocation inside a throw statement");
+  expect(!fires_hot("void hot_loop() {\n"
+                    "  GPUMIP_OBS_COUNT(\"gpumip.test.documented.total\");\n"
+                    "  buf.push_back(1.0);  // gpumip-lint: hot-alloc(fixture amortized)\n"
+                    "}\n",
+                    manifest, "R6", options),
+         "R6 waived by hot-alloc annotation");
+  expect(fires_hot("void target_fn() { auto* p = new int(1); use(p); }\n"
+                   "void hot_loop() {\n"
+                   "  GPUMIP_OBS_COUNT(\"gpumip.test.documented.total\");\n"
+                   "  std::function<void()> cb = target_fn;  "
+                   "// gpumip-lint: hot-alloc(fixture dispatch setup)\n"
+                   "  cb();\n"
+                   "}\n",
+                   manifest, "R6", options),
+         "R6 follows conservative std::function edges to address-taken functions");
+  mark("R6");
+
+  // R7: by-value payload parameters and returns fire; references, views,
+  // and the hot-copy annotation stay quiet.
+  expect(fires_hot("void handle(Payload p) { use(p); }\n" + instrumented +
+                       "void body() { handle(x); }\n",
+                   manifest, "R7", options),
+         "R7 fires on a by-value payload parameter");
+  expect(fires_hot("Payload make() { return y; }\n" + instrumented +
+                       "void body() { auto m = make(); }\n",
+                   manifest, "R7", options),
+         "R7 fires on a by-value payload return");
+  expect(!fires_hot("void handle(const Payload& p) { use(p); }\n" + instrumented +
+                        "void body() { handle(x); }\n",
+                    manifest, "R7", options),
+         "R7 quiet on a payload reference");
+  expect(!fires_hot("// gpumip-lint: hot-copy(fixture: NRVO, payload is moved)\n"
+                    "Payload make() { return y; }\n" +
+                        instrumented + "void body() { auto m = make(); }\n",
+                    manifest, "R7", options),
+         "R7 waived by hot-copy annotation");
+  expect(!fires_hot("void unreachable(Payload p) { use(p); }\n" + instrumented +
+                        "void body() { work(); }\n",
+                    manifest, "R7", options),
+         "R7 quiet on functions unreachable from any root");
+  mark("R7");
+
+  // R8: blocking sites fire under a wave root only; the hot-block
+  // annotation and manifest-declared blocking names behave.
+  const std::string wave_instrumented =
+      "void wave_loop() { GPUMIP_TRACE_BEGIN(\"gpumip.test.documented.event\", 0); step(); }\n";
+  expect(fires_hot(wave_instrumented +
+                       "void step() { std::lock_guard<std::mutex> g(mu); work(); }\n",
+                   manifest, "R8", options),
+         "R8 fires on a lock inside a device-wave critical section");
+  expect(fires_hot(wave_instrumented + "void step() { blocking_recv(); }\n", manifest, "R8",
+                   options),
+         "R8 fires on a manifest-declared blocking call");
+  expect(!fires_hot("void hot_loop() {\n"
+                    "  GPUMIP_OBS_COUNT(\"gpumip.test.documented.total\");\n"
+                    "  std::lock_guard<std::mutex> g(mu);\n"
+                    "}\n",
+                    manifest, "R8", options),
+         "R8 quiet outside wave roots (plain roots may lock)");
+  expect(!fires_hot(wave_instrumented +
+                        "void step() {\n"
+                        "  std::lock_guard<std::mutex> g(mu);  "
+                        "// gpumip-lint: hot-block(fixture: uncontended stats lock)\n"
+                        "}\n",
+                    manifest, "R8", options),
+         "R8 waived by hot-block annotation");
+  mark("R8");
+
+  // R9: an uninstrumented root fires; any GPUMIP_OBS_/GPUMIP_TRACE_/obs::
+  // site in its extent satisfies the rule.
+  expect(fires_hot("void hot_loop() { work(); }\n", manifest, "R9", options),
+         "R9 fires on an uninstrumented root");
+  expect(!fires_hot(instrumented + "void body() { work(); }\n", manifest, "R9", options),
+         "R9 quiet on an instrumented root");
+  mark("R9");
+
+  // HOT: stale and malformed manifest entries are findings. The fixture
+  // defines every root/wave/stop the base manifest names, so any HOT
+  // finding comes from the entry under test.
+  const std::string complete =
+      "void hot_loop() { GPUMIP_OBS_COUNT(\"gpumip.test.documented.total\"); }\n"
+      "void wave_loop() { GPUMIP_TRACE_BEGIN(\"gpumip.test.documented.event\", 0); }\n"
+      "void cold_setup() { setup(); }\n";
+  expect(fires_hot(complete, manifest + "root vanished_fn -- fixture: stale entry\n", "HOT",
+                   options),
+         "HOT fires on a root entry matching no function");
+  expect(fires_hot(complete, manifest + "root orphan_entry_without_reason\n", "HOT", options),
+         "HOT fires on an entry missing its justification");
+  expect(!fires_hot(complete, manifest, "HOT", options),
+         "HOT quiet on a manifest that matches the code");
+  mark("HOT");
 
   out << (failed == 0 ? "    self-test: all fixtures behaved\n"
                       : "    self-test: FIXTURE FAILURES\n");

@@ -8,9 +8,14 @@
 // and trace-event name literals follow the gpumip.* grammar and are
 // documented in docs/METRICS.md resp. docs/TRACING.md (R4), and that every
 // public header is self-contained
-// (R5). Implemented as a lexer plus lightweight semantic matching over the
-// token stream — deliberately no libclang dependency, so the tool builds
-// everywhere the library builds and runs in milliseconds over all of src/.
+// (R5). On top of the token stream sits a declaration indexer and an
+// over-approximate call graph (index.hpp, callgraph.hpp) that power the
+// hot-path rules R6-R9 (hotpath.hpp): no heap allocation, no by-value
+// payload copies, no blocking calls, and mandatory instrumentation on the
+// paths reachable from the roots declared in the checked-in manifest
+// (tools/gpumip-lint/hotpaths.txt). Implemented as a lexer plus lightweight
+// semantic matching — deliberately no libclang dependency, so the tool
+// builds everywhere the library builds and runs in milliseconds over src/.
 //
 // The engine is a library so the test suite (tests/test_lint.cpp) can feed
 // it fixture sources in memory; tools/gpumip-lint/main.cpp is the CLI that
@@ -23,8 +28,10 @@
 
 namespace gpumip::lint {
 
-/// One diagnostic. `rule` is "R1".."R5" or "SUP" (suppression-file
-/// problems: syntax errors, missing justification, stale entries).
+/// One diagnostic. `rule` is "R1".."R9", "SUP" (suppression-file problems:
+/// syntax errors, missing justification, stale entries), or "HOT"
+/// (hot-path manifest problems: syntax errors, entries matching no indexed
+/// function). SUP and HOT findings are not themselves suppressible.
 struct Finding {
   std::string file;
   int line = 0;
@@ -88,6 +95,13 @@ struct Options {
   /// The one file allowed to move raw bytes (memcpy & friends): the
   /// Device transfer engine, which is what the H2D/D2H ledger instruments.
   std::string transfer_engine = "gpu/device.cpp";
+
+  /// Full text of the hot-path manifest (tools/gpumip-lint/hotpaths.txt).
+  /// When `have_hotpaths` is set, the call-graph rules R6-R9 run rooted at
+  /// its entries; `hotpaths_path` labels manifest findings (rule HOT).
+  std::string hotpaths;
+  bool have_hotpaths = false;
+  std::string hotpaths_path = "(hotpaths)";
 };
 
 /// Parses the suppression file text. Syntax problems (missing fields,
@@ -95,26 +109,32 @@ struct Options {
 std::vector<Suppression> parse_suppressions(const std::string& text, const std::string& path,
                                             std::vector<Finding>& findings);
 
-/// Runs rules R1-R4 over `files`, consuming `suppressions` (marking used
-/// entries) and appending stale-suppression findings. Returns all
-/// unsuppressed findings, ordered by file then line.
+/// Runs rules R1-R4 — and, when `options.have_hotpaths` is set, the
+/// call-graph hot-path rules R6-R9 — over `files`, consuming
+/// `suppressions` (marking used entries) and appending stale-suppression
+/// findings. Returns all unsuppressed findings, ordered by file then line.
 std::vector<Finding> run_lint(const std::vector<SourceFile>& files, const Options& options,
                               std::vector<Suppression>& suppressions);
 
 /// R5: compiles one translation unit `#include "<header>"` per header with
 /// `compiler -std=c++20 -fsyntax-only -I include_dir`, using `scratch_dir`
 /// for the generated TUs and captured compiler output. `headers` are paths
-/// relative to `include_dir`. Returns one finding per header that fails.
+/// relative to `include_dir`. Probes are independent, so they run on a
+/// small thread pool: `jobs` threads, or hardware_concurrency (capped at
+/// 8) when 0. Returns one finding per header that fails, in header order.
 std::vector<Finding> check_headers_standalone(const std::vector<std::string>& headers,
                                               const std::string& include_dir,
                                               const std::string& compiler,
-                                              const std::string& scratch_dir);
+                                              const std::string& scratch_dir,
+                                              std::size_t jobs = 0);
 
-/// Built-in seeded-violation fixtures: one per rule R1-R4 proving the rule
-/// fires, one clean fixture per rule proving it stays quiet, plus the
-/// suppression and annotation round trips. Prints a report to `out`;
-/// returns true when every expectation holds. (R5 is exercised by
-/// tests/test_lint.cpp and the gate itself, since it needs a compiler.)
+/// Built-in seeded-violation fixtures: one per rule R1-R4 and R6-R9
+/// proving the rule fires, one clean fixture per rule proving it stays
+/// quiet, the suppression/annotation round trips, call-graph transitivity
+/// and stop-pruning, and manifest staleness (HOT). Prints a report to
+/// `out` with per-rule wall time; returns true when every expectation
+/// holds. (R5 is exercised by tests/test_lint.cpp and the gate itself,
+/// since it needs a compiler.)
 bool run_self_test(std::ostream& out);
 
 }  // namespace gpumip::lint

@@ -4,7 +4,9 @@
 //   gpumip-lint [--metrics-doc docs/METRICS.md]
 //               [--tracing-doc docs/TRACING.md]
 //               [--suppressions tools/gpumip-lint/suppressions.txt]
+//               [--hotpaths tools/gpumip-lint/hotpaths.txt]
 //               [--header-check --include-dir src --compiler c++ --scratch DIR]
+//               [--jobs N]
 //               file.cpp file.hpp ...
 //
 // Exit status: 0 clean, 1 unsuppressed findings (or failed self-test),
@@ -45,9 +47,11 @@ int main(int argc, char** argv) {
   std::string metrics_doc_path;
   std::string tracing_doc_path;
   std::string suppressions_path;
+  std::string hotpaths_path;
   std::string include_dir;
   std::string compiler = "c++";
   std::string scratch = "build-lint-scratch";
+  std::size_t jobs = 0;  // 0 = hardware concurrency (capped in the engine)
   bool header_check = false;
   bool self_test = false;
   std::vector<std::string> paths;
@@ -69,6 +73,10 @@ int main(int argc, char** argv) {
       tracing_doc_path = value("--tracing-doc");
     } else if (arg == "--suppressions") {
       suppressions_path = value("--suppressions");
+    } else if (arg == "--hotpaths") {
+      hotpaths_path = value("--hotpaths");
+    } else if (arg == "--jobs") {
+      jobs = static_cast<std::size_t>(std::strtoul(value("--jobs").c_str(), nullptr, 10));
     } else if (arg == "--header-check") {
       header_check = true;
     } else if (arg == "--include-dir") {
@@ -80,6 +88,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: gpumip-lint [--self-test] [--metrics-doc FILE] "
                    "[--tracing-doc FILE] [--suppressions FILE]\n"
+                   "                   [--hotpaths FILE] [--jobs N]\n"
                    "                   [--header-check --include-dir DIR [--compiler CXX] "
                    "[--scratch DIR]]\n"
                    "                   files...\n";
@@ -111,6 +120,14 @@ int main(int argc, char** argv) {
       return 2;
     }
     options.have_tracing_doc = true;
+  }
+  if (!hotpaths_path.empty()) {
+    if (!read_file(hotpaths_path, options.hotpaths)) {
+      std::cerr << "gpumip-lint: cannot read hot-path manifest " << hotpaths_path << "\n";
+      return 2;
+    }
+    options.have_hotpaths = true;
+    options.hotpaths_path = hotpaths_path;
   }
 
   std::vector<Finding> findings;
@@ -155,7 +172,7 @@ int main(int argc, char** argv) {
       return 2;
     }
     std::vector<Finding> header_findings =
-        check_headers_standalone(headers, include_dir, compiler, scratch);
+        check_headers_standalone(headers, include_dir, compiler, scratch, jobs);
     findings.insert(findings.end(), header_findings.begin(), header_findings.end());
   }
 
