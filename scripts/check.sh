@@ -36,13 +36,17 @@
 #                   membership statically (subsumes gate 6's grep for names
 #                   that never execute) and holds trace-event names to the
 #                   docs/TRACING.md catalog the same way, R5 compiles every
-#                   src/ header as its own translation unit, and the
+#                   src/ header as its own translation unit, the
 #                   call-graph rules R6-R9 enforce the hot-path manifest
 #                   (no allocation / payload copy / blocking call reachable
 #                   from a declared root without a justified waiver, every
-#                   root instrumented). The gate first
-#                   runs the tool's seeded-violation self-test, so a rule
-#                   that silently stopped firing also fails the gate.
+#                   root instrumented), and the CFG/dataflow lifetime rules
+#                   R10-R12 catch use-after-move, arena use-after-reset,
+#                   and unbalanced raw trace spans path-sensitively. The
+#                   gate first runs the tool's seeded-violation self-test,
+#                   so a rule that silently stopped firing also fails the
+#                   gate, and archives the --format=json report next to
+#                   the gate logs.
 #   8. bench      — recorded-baseline regression compare: reruns the bench
 #                   suite (scripts/bench.sh --compare) and diffs the
 #                   deterministic counters/gauges against the committed
@@ -248,12 +252,17 @@ timed obs obs_gate
 
 # Gate 7: gpumip-lint. A dedicated small Release tree builds just the tool
 # (it has no solver dependencies, so this is cheap even from scratch). The
-# self-test proves each rule R1-R4 and the call-graph rules R6-R9 still
-# fire on their seeded-violation fixtures and that the suppression round
-# trip holds; the sweep then requires src/ to be clean modulo the justified
-# entries in tools/gpumip-lint/suppressions.txt, with R5 compiling every
-# header under src/ standalone and R6-R9 walking the hot-path manifest
-# tools/gpumip-lint/hotpaths.txt.
+# self-test proves each rule R1-R4, the call-graph rules R6-R9, and the
+# CFG/dataflow lifetime rules R10-R12 still fire on their seeded-violation
+# fixtures and that the suppression round trip holds; the sweep then
+# requires src/ to be clean modulo the justified entries in
+# tools/gpumip-lint/suppressions.txt, with R5 compiling every header under
+# src/ standalone and R6-R9 walking the hot-path manifest
+# tools/gpumip-lint/hotpaths.txt. The sweep runs with --format=json:
+# findings stay on stderr for the console, and the machine-readable
+# document (schema gpumip.lint.v1, including the waived findings and the
+# per-phase wall times) is archived next to the gate logs as
+# build-lint.lint.json.
 lint_gate() {
   local build_dir=build-lint
   echo "==> [lint] configure+build ($build_dir, gpumip-lint)"
@@ -271,18 +280,33 @@ lint_gate() {
     FAILURES=$((FAILURES + 1))
     return
   fi
-  echo "==> [lint] R1-R9 over src/ (suppressions: tools/gpumip-lint/suppressions.txt, hot paths: tools/gpumip-lint/hotpaths.txt)"
+  echo "==> [lint] R1-R12 over src/ (suppressions: tools/gpumip-lint/suppressions.txt, hot paths: tools/gpumip-lint/hotpaths.txt)"
   mapfile -t lint_sources < <(find src -name '*.cpp' -o -name '*.hpp' | sort)
-  if ! "$tool" --metrics-doc docs/METRICS.md --tracing-doc docs/TRACING.md \
+  local lint_status=0
+  "$tool" --metrics-doc docs/METRICS.md --tracing-doc docs/TRACING.md \
        --suppressions tools/gpumip-lint/suppressions.txt \
        --hotpaths tools/gpumip-lint/hotpaths.txt \
        --header-check --include-dir src --compiler "${CXX:-c++}" \
-       --scratch "$build_dir/lint-scratch" "${lint_sources[@]}"; then
+       --scratch "$build_dir/lint-scratch" --format=json \
+       "${lint_sources[@]}" >"$build_dir.lint.json" || lint_status=$?
+  # Surface the analyzer's per-phase wall times from the archived JSON so
+  # a slow rule family is visible without re-running by hand.
+  if command -v python3 >/dev/null 2>&1; then
+    python3 - "$build_dir.lint.json" <<'PY' || true
+import json, sys
+s = json.load(open(sys.argv[1]))["stats"]
+print("==> [lint] phases: scan %.1fms, token rules %.1fms, index+graph %.1fms, "
+      "hotpath %.1fms, lifetime %.1fms (%d files, %d functions)"
+      % (s["scan_ms"], s["rules_ms"], s["index_ms"], s["hotpath_ms"],
+         s["lifetime_ms"], s["files"], s["functions"]))
+PY
+  fi
+  if [ "$lint_status" -ne 0 ]; then
     echo "==> [lint] FINDINGS (annotate with justification or fix; see docs/LINT.md)"
     FAILURES=$((FAILURES + 1))
     return
   fi
-  echo "==> [lint] OK"
+  echo "==> [lint] OK (report archived: $build_dir.lint.json)"
 }
 timed lint lint_gate
 

@@ -99,6 +99,42 @@ void complete(std::string_view name, Lane lane, double sim_start, double duratio
 void flow_begin(std::string_view name, std::uint64_t id);
 void flow_end(std::string_view name, std::uint64_t id);
 
+/// RAII holder for a begin()/end() span whose extent is not a clean
+/// lexical scope (e.g. opened inside a wait loop, closed on every exit
+/// path). open() is idempotent while the span is open — re-entering a wait
+/// loop's open site is not a double begin — and close() is idempotent
+/// while it is closed; the destructor closes an open span, so early
+/// returns and throws cannot leak a begin (gpumip-lint R12). For spans
+/// that ARE a lexical scope, construct with a name (or use
+/// GPUMIP_TRACE_SCOPE) and let the destructor do the close. Hot paths use
+/// the GPUMIP_TRACE_SPAN_* / GPUMIP_TRACE_SCOPE macros below so the name
+/// literal follows the GPUMIP_OBS on/off contract.
+class SpanGuard {
+ public:
+  SpanGuard() noexcept = default;
+  explicit SpanGuard(std::string_view name, std::uint64_t arg = 0) { open(name, arg); }
+  ~SpanGuard() { close(); }
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+  void open(std::string_view name, std::uint64_t arg = 0) {
+    if (open_) return;
+    begin(name, arg);
+    name_ = name;
+    open_ = true;
+  }
+  void close() {
+    if (!open_) return;
+    end(name_);
+    open_ = false;
+  }
+  bool is_open() const noexcept { return open_; }
+
+ private:
+  std::string_view name_ = {};  ///< points at the literal passed to open()
+  bool open_ = false;
+};
+
 /// Mixes (run, source, dest, seq) into a flow correlation id. `run`
 /// namespaces concurrent/successive run_ranks worlds within one process so
 /// their per-(source,dest) sequence counters cannot collide.
@@ -170,6 +206,22 @@ std::string export_if_requested();
 #define GPUMIP_TRACE_FLOW_BEGIN(name, id) ::gpumip::obs::trace::flow_begin(name, id)
 #define GPUMIP_TRACE_FLOW_END(name, id) ::gpumip::obs::trace::flow_end(name, id)
 
+// RAII span forms. GUARD declares an (initially closed) guard so the open
+// can happen mid-scope — e.g. inside a wait loop — while the destructor
+// still closes the span on every exit path; SCOPE is the simple
+// whole-scope span. gpumip-lint R12 tracks only the raw BEGIN/END macros,
+// so these forms are balanced by construction.
+#define GPUMIP_TRACE_CONCAT_IMPL(a, b) a##b
+#define GPUMIP_TRACE_CONCAT(a, b) GPUMIP_TRACE_CONCAT_IMPL(a, b)
+#define GPUMIP_TRACE_SPAN_GUARD(var) ::gpumip::obs::trace::SpanGuard var
+#define GPUMIP_TRACE_SPAN_OPEN(var, name, arg) \
+  (var).open(name, static_cast<std::uint64_t>(arg))
+#define GPUMIP_TRACE_SPAN_CLOSE(var) (var).close()
+#define GPUMIP_TRACE_SCOPE(name, arg)                                     \
+  ::gpumip::obs::trace::SpanGuard GPUMIP_TRACE_CONCAT(gpumip_trace_scope_, \
+                                                      __LINE__)(          \
+      name, static_cast<std::uint64_t>(arg))
+
 #else  // !GPUMIP_OBS_ENABLED
 
 // Parsed but never evaluated (the obs.hpp idiom): expressions stay
@@ -198,5 +250,30 @@ std::string export_if_requested();
   } while (false)
 #define GPUMIP_TRACE_FLOW_BEGIN(name, id) GPUMIP_TRACE_BEGIN(name, id)
 #define GPUMIP_TRACE_FLOW_END(name, id) GPUMIP_TRACE_BEGIN(name, id)
+
+// The guard object still exists (it carries no name until open(), and its
+// non-trivial destructor keeps -Wunused-variable quiet); the open/close
+// sites are parsed-but-unevaluated, so the name literal never reaches the
+// binary.
+#define GPUMIP_TRACE_SPAN_GUARD(var) ::gpumip::obs::trace::SpanGuard var
+#define GPUMIP_TRACE_SPAN_OPEN(var, name, arg)          \
+  do {                                                  \
+    if (false) {                                        \
+      static_cast<void>(var);                           \
+      static_cast<void>(name);                          \
+      static_cast<void>(arg);                           \
+    }                                                   \
+  } while (false)
+#define GPUMIP_TRACE_SPAN_CLOSE(var)                    \
+  do {                                                  \
+    if (false) static_cast<void>(var);                  \
+  } while (false)
+#define GPUMIP_TRACE_SCOPE(name, arg)                   \
+  do {                                                  \
+    if (false) {                                        \
+      static_cast<void>(name);                          \
+      static_cast<void>(arg);                           \
+    }                                                   \
+  } while (false)
 
 #endif  // GPUMIP_OBS_ENABLED

@@ -412,7 +412,13 @@ std::string Scheduler::deadlock_report() const {
 
 DeliveryTrace Scheduler::take_trace() {
   std::lock_guard<std::mutex> lock(mutex_);
-  return std::move(trace_);
+  DeliveryTrace out = std::move(trace_);
+  // Not a pessimizing move (trace_ is a member, so this is a genuine
+  // ownership transfer), but don't leave the member in the moved-from
+  // "valid but unspecified" state: re-initialize so a later record/take
+  // cycle starts from a documented empty trace.
+  trace_ = DeliveryTrace{};
+  return out;
 }
 
 }  // namespace detail

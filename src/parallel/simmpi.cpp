@@ -189,7 +189,12 @@ Message Comm::recv(int source, int tag) {
   detail::World& world = *world_;
   world.sched.perturb(rank_);
   detail::Mailbox& box = *world.mailboxes[static_cast<std::size_t>(rank_)];
-  bool waited = false;
+  // The wait span opens on the first blocking pass and must close on every
+  // exit — including the replay-mismatch and world-abort throws below — or
+  // the exported timeline shows a rank blocked forever. The guard's
+  // destructor covers the throw paths; the explicit close keeps the
+  // recorded end at the Lamport merge, not at unwind.
+  GPUMIP_TRACE_SPAN_GUARD(wait_span);
   for (;;) {
     const DeliveryRecord* expect = world.sched.replay_next(rank_);
     bool got = false;
@@ -219,7 +224,7 @@ Message Comm::recv(int source, int tag) {
       // duration is exactly the clock jump the blocking delivery caused.
       // Whether a recv blocks at all is schedule-dependent, which is why
       // replay-equality checks skip this one event name.
-      if (waited) GPUMIP_TRACE_END("gpumip.simmpi.recv.wait");
+      GPUMIP_TRACE_SPAN_CLOSE(wait_span);
       return msg;
     }
     if (world.aborted.load()) throw_aborted();
@@ -228,10 +233,7 @@ Message Comm::recv(int source, int tag) {
     if (world.sched.on_block_recv(rank_, source, tag, expect, clock_)) {
       world.abort_world();
     }
-    if (!waited) {
-      waited = true;
-      GPUMIP_TRACE_BEGIN("gpumip.simmpi.recv.wait", 0);
-    }
+    GPUMIP_TRACE_SPAN_OPEN(wait_span, "gpumip.simmpi.recv.wait", 0);
     {
 #ifdef GPUMIP_OBS_ENABLED
       const WallTimer blocked;

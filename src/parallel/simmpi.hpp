@@ -166,7 +166,17 @@ class ByteWriter {
   }
   void write_doubles(std::span<const double> values);
   void write_ints(std::span<const int> values);
-  std::vector<std::byte> take() { return std::move(buffer_); }
+  /// Surrenders the serialized bytes. Rvalue-qualified: the writer is spent
+  /// afterwards, so the call site must say so — `std::move(w).take()` —
+  /// which is exactly the consume gpumip-lint R10 then tracks. The
+  /// moved-from buffer is re-cleared, so a (moved-from) writer can be
+  /// reused by writing again.
+  [[nodiscard]] std::vector<std::byte> take() && {
+    // gpumip-lint: hot-alloc(move construction steals buffer_'s storage — no allocation; clear() on the emptied vector keeps it reusable)
+    std::vector<std::byte> out = std::move(buffer_);
+    buffer_.clear();
+    return out;
+  }
   std::size_t size() const noexcept { return buffer_.size(); }
 
  private:

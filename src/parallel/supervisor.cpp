@@ -36,7 +36,7 @@ std::vector<std::byte> encode_subproblem(const Subproblem& sub, double cutoff,
   w.write(sub.depth);
   w.write_doubles(sub.lb);
   w.write_doubles(sub.ub);
-  return w.take();
+  return std::move(w).take();
 }
 
 struct WorkItem {
@@ -82,7 +82,7 @@ std::vector<std::byte> encode_report(const WorkerReport& report) {
     w.write_doubles(sub.lb);
     w.write_doubles(sub.ub);
   }
-  return w.take();
+  return std::move(w).take();
 }
 
 WorkerReport decode_report(std::span<const std::byte> payload) {

@@ -1,10 +1,12 @@
 // gpumip-lint engine tests (tools/gpumip-lint/): one seeded-violation
-// fixture per rule R1-R9 proving the rule fires, the matching clean fixture
-// proving it stays quiet, the suppression-file round trip, lexer
-// regressions (raw strings, digit separators, annotation extent), and the
+// fixture per rule R1-R12 proving the rule fires, the matching clean
+// fixture proving it stays quiet, the suppression-file round trip, lexer
+// regressions (raw strings, digit separators, annotation extent), the
 // call-graph edge cases (overload merge, templates, address-taken,
-// std::function widening, std::/container-protocol exclusion). These are
-// the same contracts scripts/check.sh gate 7 enforces over src/.
+// std::function widening, std::/container-protocol exclusion), and the
+// CFG/dataflow layer behind the lifetime rules (lambda carving, loop back
+// edges, switch fallthrough, early returns). These are the same contracts
+// scripts/check.sh gate 7 enforces over src/.
 #include <gtest/gtest.h>
 
 #include <algorithm>
@@ -13,8 +15,11 @@
 #include <sstream>
 
 #include "callgraph.hpp"
+#include "cfg.hpp"
+#include "dataflow.hpp"
 #include "index.hpp"
 #include "lexer.hpp"
+#include "lifetime.hpp"
 #include "lint.hpp"
 
 namespace lint = gpumip::lint;
@@ -603,4 +608,377 @@ TEST(LintHot, MalformedManifestLinesAreFindings) {
   // Missing justification separator.
   EXPECT_TRUE(
       has_rule(lint_one("src/fix.cpp", code, hot_options("root hot_root\n")), "HOT"));
+}
+
+// ---- CFG builder and dataflow engine ----------------------------------------
+
+TEST(LintCfg, LambdaBodiesAreCarvedIntoSeparateGraphs) {
+  std::vector<lint::Finding> fs;
+  const lint::SourceFile src{"src/fix.cpp",
+                             "void f() { auto cb = [&](int k) { g(k); }; cb(1); h(); }\n"};
+  const lint::Scanned scanned = lint::scan(src, fs);
+  const auto functions = lint::index_functions({scanned});
+  ASSERT_EQ(functions.size(), 1u);
+  const auto graphs = lint::build_cfgs(scanned.clean, functions[0].body_begin,
+                                       functions[0].body_end, {});
+  // The function's own graph plus one graph for the lambda body.
+  ASSERT_EQ(graphs.size(), 2u);
+  // The lambda body is recorded as carved in the enclosing graph, so
+  // statement scans in the function skip it.
+  ASSERT_EQ(graphs[0].carved.size(), 1u);
+  EXPECT_TRUE(graphs[1].carved.empty());
+}
+
+TEST(LintCfg, NoreturnNamesAreCollectedFromAttributes) {
+  std::vector<lint::Finding> fs;
+  const lint::SourceFile src{
+      "src/fix.cpp", "[[noreturn]] void die(int code);\nvoid f() { die(2); }\n"};
+  const lint::Scanned scanned = lint::scan(src, fs);
+  const auto names = lint::collect_noreturn_names({scanned});
+  EXPECT_TRUE(names.count("die") != 0);
+  EXPECT_TRUE(names.count("abort") != 0);  // seeded std terminators
+}
+
+TEST(LintDataflow, JoinIsKeywiseOrAndFixpointCoversBranches) {
+  // Diamond: entry -> {left, right} -> exit. Each arm sets its own key;
+  // the exit's IN state must hold the union (may-analysis join).
+  lint::Cfg cfg;
+  cfg.nodes.resize(4);
+  cfg.entry = 0;
+  cfg.exit = 1;
+  cfg.nodes[0].succ = {2, 3};
+  cfg.nodes[2].stmts.push_back({10, 11, lint::StmtKind::kPlain});
+  cfg.nodes[2].succ = {1};
+  cfg.nodes[3].stmts.push_back({20, 21, lint::StmtKind::kPlain});
+  cfg.nodes[3].succ = {1};
+  const auto in = lint::fixpoint(
+      cfg, {{"seed", 1u}}, [](const lint::CfgStmt& s, lint::AbstractState& st) {
+        if (s.begin == 10) {
+          st["left"] |= 1u;
+        } else {
+          st["right"] |= 2u;
+        }
+      });
+  ASSERT_EQ(in.size(), 4u);
+  EXPECT_EQ(in[1].at("seed"), 1u);
+  EXPECT_EQ(in[1].at("left"), 1u);
+  EXPECT_EQ(in[1].at("right"), 2u);
+  // The arms do not see each other's facts.
+  EXPECT_EQ(in[2].count("left"), 0u);
+  EXPECT_EQ(in[3].count("right"), 0u);
+}
+
+// ---- R10: use-after-move ----------------------------------------------------
+
+TEST(LintR10, UseAfterMoveFires) {
+  const auto findings = lint_one(
+      "src/fix.cpp", "void f() { auto v = make(); sink(std::move(v)); use(v.size()); }\n",
+      doc_options());
+  ASSERT_TRUE(has_rule(findings, "R10"));
+  EXPECT_EQ(findings[0].line, 1);
+}
+
+TEST(LintR10, ReassignmentAndReinitKill) {
+  EXPECT_FALSE(has_rule(
+      lint_one("src/fix.cpp",
+               "void f() { auto v = make(); sink(std::move(v)); v = make(); use(v.size()); }\n",
+               doc_options()),
+      "R10"));
+  EXPECT_FALSE(has_rule(
+      lint_one("src/fix.cpp",
+               "void f() { auto v = make(); sink(std::move(v)); v.clear(); use(v.size()); }\n",
+               doc_options()),
+      "R10"));
+}
+
+TEST(LintR10, EarlyReturnInsideLoopKeepsMovedPathApart) {
+  // The moving path leaves the function from inside the loop; the use after
+  // the loop is only reachable with v intact.
+  const auto findings = lint_one("src/fix.cpp",
+                                 "void f() {\n"
+                                 "  auto v = make();\n"
+                                 "  while (go()) {\n"
+                                 "    if (bad()) { sink(std::move(v)); return; }\n"
+                                 "    step();\n"
+                                 "  }\n"
+                                 "  use(v.size());\n"
+                                 "}\n",
+                                 doc_options());
+  EXPECT_FALSE(has_rule(findings, "R10"));
+}
+
+TEST(LintR10, LoopBackEdgeCarriesTheMovedState) {
+  // `continue` instead of `return`: the moved state survives the back edge
+  // and reaches both the next iteration and the code after the loop.
+  const auto findings = lint_one("src/fix.cpp",
+                                 "void f() {\n"
+                                 "  auto v = make();\n"
+                                 "  while (go()) {\n"
+                                 "    if (bad()) { sink(std::move(v)); continue; }\n"
+                                 "    step();\n"
+                                 "  }\n"
+                                 "  use(v.size());\n"
+                                 "}\n",
+                                 doc_options());
+  EXPECT_TRUE(has_rule(findings, "R10"));
+}
+
+TEST(LintR10, LambdaCapturingMovedLocalFires) {
+  const auto findings = lint_one(
+      "src/fix.cpp",
+      "void f() { auto v = make(); sink(std::move(v)); auto cb = [v]() { return 0; }; cb(); }\n",
+      doc_options());
+  EXPECT_TRUE(has_rule(findings, "R10"));
+}
+
+TEST(LintR10, MovedOkAnnotationWaives) {
+  const auto findings =
+      lint_one("src/fix.cpp",
+               "void f() { auto v = make(); sink(std::move(v));\n"
+               "  use(v.size());  // gpumip-lint: moved-ok(fixture: intentional reuse)\n"
+               "}\n",
+               doc_options());
+  EXPECT_FALSE(has_rule(findings, "R10"));
+}
+
+TEST(LintR10, SuppressionRoundTripAndStaleDetection) {
+  std::vector<lint::Finding> parse_findings;
+  auto sups = lint::parse_suppressions(
+      "R10 fix.cpp use(v.size()) -- fixture: reuse audited by hand\n", "(suppressions)",
+      parse_findings);
+  ASSERT_TRUE(parse_findings.empty());
+  auto findings = lint::run_lint(
+      {{"src/fix.cpp", "void f() { auto v = make(); sink(std::move(v)); use(v.size()); }\n"}},
+      doc_options(), sups);
+  EXPECT_FALSE(has_rule(findings, "R10"));
+  EXPECT_TRUE(sups[0].used);
+  // The same entry against clean code is reported stale.
+  auto stale_sups = lint::parse_suppressions(
+      "R10 fix.cpp use(v.size()) -- fixture: reuse audited by hand\n", "(suppressions)",
+      parse_findings);
+  auto stale = lint::run_lint({{"src/fix.cpp", "void f() { work(); }\n"}}, doc_options(),
+                              stale_sups);
+  EXPECT_TRUE(has_rule(stale, "SUP"));
+}
+
+// ---- R11: arena/buffer use-after-reset --------------------------------------
+
+TEST(LintR11, DirectResetThenUseFires) {
+  const auto findings = lint_one(
+      "src/fix.cpp",
+      "void f(Arena& arena) { auto blk = arena.allot(64); arena.reset(); use(blk); }\n",
+      doc_options());
+  ASSERT_TRUE(has_rule(findings, "R11"));
+}
+
+TEST(LintR11, ReDerivingAfterResetQuiets) {
+  const auto findings = lint_one("src/fix.cpp",
+                                 "void f(Arena& arena) {\n"
+                                 "  auto blk = arena.allot(64);\n"
+                                 "  arena.reset();\n"
+                                 "  blk = arena.allot(64);\n"
+                                 "  use(blk);\n"
+                                 "}\n",
+                                 doc_options());
+  EXPECT_FALSE(has_rule(findings, "R11"));
+}
+
+TEST(LintR11, SingleBranchResetFiresAsMayAnalysis) {
+  const auto findings = lint_one(
+      "src/fix.cpp",
+      "void f(Arena& arena) { auto blk = arena.allot(64); if (c) arena.reset(); use(blk); }\n",
+      doc_options());
+  EXPECT_TRUE(has_rule(findings, "R11"));
+}
+
+TEST(LintR11, CallGraphProvenResetterFires) {
+  const auto findings = lint_one(
+      "src/fix.cpp",
+      "void shrink(Arena& a) { a.reset(); }\n"
+      "void f(Arena& arena) { auto blk = arena.allot(64); shrink(arena); use(blk); }\n",
+      doc_options());
+  EXPECT_TRUE(has_rule(findings, "R11"));
+}
+
+TEST(LintR11, DerivationChainsResolveToTheRoot) {
+  // arena -> blk -> p: resetting the arena invalidates the whole chain.
+  const auto findings = lint_one("src/fix.cpp",
+                                 "void f(Arena& arena) {\n"
+                                 "  auto blk = arena.allot(64);\n"
+                                 "  auto p = blk.as<double>();\n"
+                                 "  arena.reset();\n"
+                                 "  use(p);\n"
+                                 "}\n",
+                                 doc_options());
+  EXPECT_TRUE(has_rule(findings, "R11"));
+}
+
+TEST(LintR11, ArenaOkAnnotationWaives) {
+  const auto findings =
+      lint_one("src/fix.cpp",
+               "void f(Arena& arena) { auto blk = arena.allot(64); arena.reset();\n"
+               "  use(blk);  // gpumip-lint: arena-ok(fixture: slab persists across reset)\n"
+               "}\n",
+               doc_options());
+  EXPECT_FALSE(has_rule(findings, "R11"));
+}
+
+// ---- R12: unbalanced instrumentation spans ----------------------------------
+
+namespace {
+const char* kBeg = "GPUMIP_TRACE_BEGIN(\"gpumip.fix.span\", 0);";
+const char* kEnd = "GPUMIP_TRACE_END(\"gpumip.fix.span\");";
+}  // namespace
+
+TEST(LintR12, EarlyReturnInsideOpenSpanFires) {
+  const auto findings = lint_one(
+      "src/fix.cpp",
+      std::string("void f() { ") + kBeg + " if (c) return; " + kEnd + " }\n", doc_options());
+  ASSERT_TRUE(has_rule(findings, "R12"));
+}
+
+TEST(LintR12, BalancedSpanIsQuiet) {
+  const auto findings = lint_one(
+      "src/fix.cpp",
+      std::string("void f() { if (c) return; ") + kBeg + " work(); " + kEnd + " }\n",
+      doc_options());
+  EXPECT_FALSE(has_rule(findings, "R12"));
+}
+
+TEST(LintR12, SwitchFallthroughUnbalancesTheSpan) {
+  const auto findings = lint_one("src/fix.cpp",
+                                 std::string("void f(int k) {\n"
+                                             "  switch (k) {\n"
+                                             "    case 0: ") +
+                                     kBeg + " case 1: " + kEnd +
+                                     " break;\n"
+                                     "  }\n"
+                                     "}\n",
+                                 doc_options());
+  EXPECT_TRUE(has_rule(findings, "R12"));
+}
+
+TEST(LintR12, ThrowAndNoreturnCallsEscapeTheSpan) {
+  EXPECT_TRUE(has_rule(
+      lint_one("src/fix.cpp",
+               std::string("void f() { ") + kBeg + " if (bad) throw Error(); " + kEnd + " }\n",
+               doc_options()),
+      "R12"));
+  EXPECT_TRUE(has_rule(
+      lint_one("src/fix.cpp",
+               std::string("[[noreturn]] void die();\nvoid f() { ") + kBeg +
+                   " if (bad) die(); " + kEnd + " }\n",
+               doc_options()),
+      "R12"));
+}
+
+TEST(LintR12, LambdaBodiesBalanceSeparately) {
+  // Balanced in both the function and its lambda: quiet. A lambda that
+  // leaves its span open fires even though the enclosing function is
+  // balanced.
+  EXPECT_FALSE(has_rule(
+      lint_one("src/fix.cpp",
+               std::string("void f() { auto cb = []() { ") + kBeg + " " + kEnd + " }; " + kBeg +
+                   " cb(); " + kEnd + " }\n",
+               doc_options()),
+      "R12"));
+  EXPECT_TRUE(has_rule(lint_one("src/fix.cpp",
+                                std::string("void f() { auto cb = []() { ") + kBeg +
+                                    " }; cb(); " + kBeg + " " + kEnd + " }\n",
+                                doc_options()),
+                       "R12"));
+}
+
+TEST(LintR12, RaiiSpanFormsAreExempt) {
+  const auto findings = lint_one(
+      "src/fix.cpp",
+      "void f() { GPUMIP_TRACE_SCOPE(\"gpumip.fix.span\", 0); if (c) return; work(); }\n",
+      doc_options());
+  EXPECT_FALSE(has_rule(findings, "R12"));
+}
+
+TEST(LintR12, SpanOkAnnotationWaives) {
+  const auto findings =
+      lint_one("src/fix.cpp",
+               std::string("void f() { ") + kBeg +
+                   "\n"
+                   "  if (c) return;  // gpumip-lint: span-ok(fixture: caller closes)\n"
+                   "  " +
+                   kEnd + " }\n",
+               doc_options());
+  EXPECT_FALSE(has_rule(findings, "R12"));
+}
+
+TEST(LintR12, SuppressionRoundTrip) {
+  std::vector<lint::Finding> parse_findings;
+  auto sups = lint::parse_suppressions("R12 fix.cpp return -- fixture: span closed by caller\n",
+                                       "(suppressions)", parse_findings);
+  ASSERT_TRUE(parse_findings.empty());
+  auto findings = lint::run_lint(
+      {{"src/fix.cpp",
+        std::string("void f() { ") + kBeg + " if (c) return; " + kEnd + " }\n"}},
+      doc_options(), sups);
+  EXPECT_FALSE(has_rule(findings, "R12"));
+  EXPECT_TRUE(sups[0].used);
+}
+
+// ---- Lifetime rules: engine-level helpers -----------------------------------
+
+TEST(LintLifetime, CollectResettersPropagatesThroughTheCallGraph) {
+  std::vector<lint::Finding> fs;
+  const lint::SourceFile src{"src/fix.cpp",
+                             "void leaf(Arena& a) { a.reset(); }\n"
+                             "void mid(Arena& a) { leaf(a); }\n"
+                             "void outer(Arena& a) { mid(a); }\n"
+                             "void unrelated() { work(); }\n"};
+  const lint::Scanned scanned = lint::scan(src, fs);
+  const auto functions = lint::index_functions({scanned});
+  const auto graph = lint::build_call_graph({scanned}, functions);
+  const auto resetters = lint::collect_resetters({scanned}, functions, graph);
+  EXPECT_TRUE(resetters.count("leaf") != 0);
+  EXPECT_TRUE(resetters.count("mid") != 0);
+  EXPECT_TRUE(resetters.count("outer") != 0);
+  EXPECT_TRUE(resetters.count("unrelated") == 0);
+}
+
+TEST(LintLifetime, LifetimeRulesFlagDisablesThem) {
+  lint::Options options = doc_options();
+  options.lifetime_rules = false;
+  const auto findings = lint_one(
+      "src/fix.cpp", "void f() { auto v = make(); sink(std::move(v)); use(v.size()); }\n",
+      options);
+  EXPECT_FALSE(has_rule(findings, "R10"));
+}
+
+TEST(LintLifetime, RunStatsAndWaivedOutArePopulated) {
+  std::vector<lint::Finding> parse_findings;
+  auto sups = lint::parse_suppressions(
+      "R10 fix.cpp use(v.size()) -- fixture: reuse audited by hand\n", "(suppressions)",
+      parse_findings);
+  lint::RunStats stats;
+  std::vector<lint::Finding> waived;
+  auto findings = lint::run_lint(
+      {{"src/fix.cpp", "void f() { auto v = make(); sink(std::move(v)); use(v.size()); }\n"}},
+      doc_options(), sups, &stats, &waived);
+  EXPECT_FALSE(has_rule(findings, "R10"));
+  ASSERT_EQ(waived.size(), 1u);
+  EXPECT_EQ(waived[0].rule, "R10");
+  EXPECT_EQ(stats.files, 1u);
+  EXPECT_EQ(stats.functions, 1u);
+}
+
+// ---- Token index (the shared word-position cache) ---------------------------
+
+TEST(LintLexer, WordIndexMatchesWholeWordSearch) {
+  std::vector<lint::Finding> fs;
+  const lint::SourceFile src{"src/fix.cpp",
+                             "int move_count;\nvoid f() { auto x = std::move(v); }\n"
+                             "// move in a comment\nconst char* s = \"move in a literal\";\n"};
+  const lint::Scanned scanned = lint::scan(src, fs);
+  const auto& positions = lint::word_positions(scanned, "move");
+  // Exactly the one code occurrence: not the identifier move_count, not the
+  // comment, not the string literal.
+  ASSERT_EQ(positions.size(), 1u);
+  EXPECT_EQ(lint::find_word(scanned.clean, "move", 0), positions[0]);
+  EXPECT_TRUE(lint::word_positions(scanned, "absent_word").empty());
 }

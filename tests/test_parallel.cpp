@@ -18,7 +18,7 @@ TEST(SimMpi, PingPong) {
     if (comm.rank() == 0) {
       ByteWriter w;
       w.write<int>(42);
-      comm.send(1, 7, w.take());
+      comm.send(1, 7, std::move(w).take());
       Message reply = comm.recv(1, 8);
       ByteReader r(reply.payload);
       EXPECT_EQ(r.read<int>(), 43);
@@ -27,7 +27,7 @@ TEST(SimMpi, PingPong) {
       ByteReader r(msg.payload);
       ByteWriter w;
       w.write<int>(r.read<int>() + 1);
-      comm.send(0, 8, w.take());
+      comm.send(0, 8, std::move(w).take());
     }
   });
   EXPECT_EQ(report.network.messages, 2u);
@@ -127,7 +127,7 @@ TEST(SimMpi, SerializationRoundTrip) {
   w.write<double>(3.25);
   w.write_doubles(std::vector<double>{1, 2, 3});
   w.write_ints(std::vector<int>{7, 8});
-  const std::vector<std::byte> bytes = w.take();
+  const std::vector<std::byte> bytes = std::move(w).take();
   ByteReader r(bytes);
   EXPECT_DOUBLE_EQ(r.read<double>(), 3.25);
   EXPECT_EQ(r.read_doubles(), (std::vector<double>{1, 2, 3}));

@@ -151,7 +151,7 @@ TEST(ScheduleFuzz, ReorderingPreservesPerSourceFifo) {
             for (int i = 0; i < kPerSender; ++i) {
               ByteWriter w;
               w.write<int>(i);
-              comm.send(2, 1, w.take());
+              comm.send(2, 1, std::move(w).take());
             }
             comm.barrier();
           } else {

@@ -1,0 +1,613 @@
+#include "cfg.hpp"
+
+#include <algorithm>
+
+namespace gpumip::lint {
+namespace {
+
+constexpr std::size_t npos = std::string::npos;
+
+/// Offset of the close bracket matching the open bracket at `pos`
+/// (same-kind counting over the blanked text); `end` when unbalanced.
+std::size_t match_bracket(const std::string& s, std::size_t pos, std::size_t end) {
+  const char open = s[pos];
+  const char close = open == '(' ? ')' : open == '[' ? ']' : '}';
+  int depth = 0;
+  for (std::size_t i = pos; i < end; ++i) {
+    if (s[i] == open) {
+      ++depth;
+    } else if (s[i] == close && --depth == 0) {
+      return i;
+    }
+  }
+  return end;
+}
+
+std::string ident_run_before(const std::string& s, std::size_t pos) {
+  std::size_t begin = pos;
+  while (begin > 0 && is_ident_char(s[begin - 1])) --begin;
+  return s.substr(begin, pos - begin);
+}
+
+/// True when the `[` at `pos` opens a lambda introducer rather than a
+/// subscript/array declarator: the previous non-space token must not be an
+/// expression tail (identifier, `)`, `]`) — except for the keywords that
+/// legally precede a lambda expression.
+bool is_lambda_intro(const std::string& s, std::size_t pos) {
+  std::size_t q = pos;
+  while (q > 0 && is_space(s[q - 1])) --q;
+  if (q == 0) return true;
+  const char prev = s[q - 1];
+  if (prev == ')' || prev == ']') return false;
+  if (is_ident_char(prev)) {
+    const std::string run = ident_run_before(s, q);
+    return run == "return" || run == "co_return" || run == "co_yield" || run == "case";
+  }
+  return true;
+}
+
+/// When the `[` at `pos` opens a lambda, the offset of its body's `{`;
+/// npos otherwise. Walks capture list, optional parameter list, and the
+/// specifier/trailing-return tokens in between.
+std::size_t lambda_body_brace(const std::string& s, std::size_t pos, std::size_t end) {
+  std::size_t close = match_bracket(s, pos, end);
+  if (close >= end) return npos;
+  std::size_t p = skip_ws(s, close + 1);
+  if (p < end && s[p] == '(') p = skip_ws(s, match_bracket(s, p, end) + 1);
+  while (p < end) {
+    const char c = s[p];
+    if (c == '{') return p;
+    if (is_ident_char(c)) {  // mutable / noexcept / constexpr / type names
+      while (p < end && is_ident_char(s[p])) ++p;
+      p = skip_ws(s, p);
+      continue;
+    }
+    if (s.compare(p, 2, "->") == 0 || s.compare(p, 2, "::") == 0) {
+      p = skip_ws(s, p + 2);
+      continue;
+    }
+    if (c == '(') {  // noexcept(...)
+      p = skip_ws(s, match_bracket(s, p, end) + 1);
+      continue;
+    }
+    if (c == '<') {  // template args in a trailing return type
+      int depth = 0;
+      while (p < end) {
+        if (s[p] == '<') ++depth;
+        if (s[p] == '>' && --depth == 0) break;
+        ++p;
+      }
+      p = skip_ws(s, p + 1);
+      continue;
+    }
+    if (c == '&' || c == '*') {
+      p = skip_ws(s, p + 1);
+      continue;
+    }
+    return npos;
+  }
+  return npos;
+}
+
+class Builder {
+ public:
+  Builder(const std::string& s, const std::set<std::string>& noreturn)
+      : s_(s), noreturn_(noreturn) {}
+
+  Cfg build(std::size_t body_begin, std::size_t body_end,
+            std::vector<std::pair<std::size_t, std::size_t>>& lambdas_out) {
+    lambdas_ = &lambdas_out;
+    cfg_ = Cfg{};
+    cfg_.body_begin = body_begin;
+    cfg_.body_end = body_end;
+    cfg_.entry = node();
+    cfg_.exit = node();
+    const int tail = seq(body_begin + 1, body_end, cfg_.entry);
+    if (tail >= 0) {
+      // Control can fall off the end: a synthetic (empty-text) return so
+      // exit-path rules need no special case for the closing brace.
+      stmt(tail, body_end, body_end, StmtKind::kReturn);
+      edge(tail, cfg_.exit);
+    }
+    return std::move(cfg_);
+  }
+
+ private:
+  const std::string& s_;
+  const std::set<std::string>& noreturn_;
+  Cfg cfg_;
+  std::vector<std::pair<std::size_t, std::size_t>>* lambdas_ = nullptr;
+  struct Loop {
+    int cont = -1;  ///< continue target (-1 inside switch with no loop)
+    int brk = -1;   ///< break target
+    bool brk_used = false;
+  };
+  std::vector<Loop> loops_;
+
+  int node() {
+    cfg_.nodes.emplace_back();
+    return static_cast<int>(cfg_.nodes.size()) - 1;
+  }
+  void edge(int from, int to) {
+    if (from < 0 || to < 0) return;
+    std::vector<int>& succ = cfg_.nodes[static_cast<std::size_t>(from)].succ;
+    if (std::find(succ.begin(), succ.end(), to) == succ.end()) succ.push_back(to);
+  }
+  void stmt(int n, std::size_t b, std::size_t e, StmtKind k) {
+    if (n >= 0) cfg_.nodes[static_cast<std::size_t>(n)].stmts.push_back({b, e, k});
+  }
+
+  /// Records every lambda body inside [b,e): masked out of the enclosing
+  /// statements via Cfg::carved, and queued for its own graph.
+  void carve_lambdas(std::size_t b, std::size_t e) {
+    for (std::size_t p = b; p < e; ++p) {
+      if (s_[p] != '[') continue;
+      if (p + 1 < e && s_[p + 1] == '[') {  // [[attribute]]
+        const std::size_t close = s_.find("]]", p);
+        p = (close == npos || close >= e) ? e : close + 1;
+        continue;
+      }
+      if (!is_lambda_intro(s_, p)) continue;
+      const std::size_t brace = lambda_body_brace(s_, p, e);
+      if (brace == npos) continue;
+      const std::size_t close = match_bracket(s_, brace, e);
+      cfg_.carved.push_back({brace, close + 1});
+      lambdas_->push_back({brace, close});
+      p = close;
+    }
+  }
+
+  /// Scans a simple statement from `pos`: up to the `;` at bracket depth 0
+  /// (or a stray top-level `}`). Returns one past the last char of the
+  /// statement text; `pos` is left on the terminator.
+  std::size_t scan_simple(std::size_t& pos, std::size_t end) {
+    std::size_t p = pos;
+    int depth = 0;
+    while (p < end) {
+      const char c = s_[p];
+      if (c == '(' || c == '[' || c == '{') {
+        ++depth;
+      } else if (c == ')' || c == ']' || c == '}') {
+        if (depth == 0) break;  // stray close: malformed, stop here
+        --depth;
+      } else if (c == ';' && depth == 0) {
+        break;
+      }
+      ++p;
+    }
+    pos = p;
+    return p;
+  }
+
+  /// True when [b,e) is a statement whose leading expression is a call to
+  /// a [[noreturn]] function: optional `qual::` prefixes, then a noreturn
+  /// name, then '('.
+  bool leading_noreturn_call(std::size_t b, std::size_t e) const {
+    std::size_t p = skip_ws(s_, b);
+    std::string last;
+    while (p < e) {
+      if (is_ident_char(s_[p])) {
+        last += s_[p++];
+      } else if (s_.compare(p, 2, "::") == 0) {
+        last.clear();
+        p += 2;
+      } else {
+        break;
+      }
+    }
+    if (last.empty() || noreturn_.count(last) == 0) return false;
+    p = skip_ws(s_, p);
+    return p < e && s_[p] == '(';
+  }
+
+  /// Parses statements in [pos,end) into `cur`; returns the node control
+  /// flows out of, or -1 when every path diverted (return/throw/break...).
+  int seq(std::size_t pos, std::size_t end, int cur) {
+    for (;;) {
+      pos = skip_ws(s_, pos);
+      if (pos >= end) return cur;
+      if (cur < 0) {
+        // Unreachable code after a terminator: still parsed (so nested
+        // lambdas are collected and its text is checked) but into a node
+        // with no predecessors — its dataflow in-state stays bottom.
+        cur = node();
+      }
+      cur = statement(pos, end, cur);
+    }
+  }
+
+  int statement(std::size_t& pos, std::size_t end, int cur) {
+    const char c = s_[pos];
+    if (c == '#') {  // preprocessor directive: not part of any path
+      while (pos < end) {
+        std::size_t eol = s_.find('\n', pos);
+        if (eol == npos || eol >= end) {
+          pos = end;
+          break;
+        }
+        const bool continued = eol > pos && s_[eol - 1] == '\\';
+        pos = eol + 1;
+        if (!continued) break;
+      }
+      return cur;
+    }
+    if (c == ';') {
+      ++pos;
+      return cur;
+    }
+    if (c == '}') {  // defensive: seq() is bounded, but don't spin
+      ++pos;
+      return cur;
+    }
+    if (c == '{') {
+      const std::size_t close = match_bracket(s_, pos, end);
+      const int out = seq(pos + 1, close, cur);
+      pos = close + 1;
+      return out;
+    }
+    std::string kw;
+    if (is_ident_char(c)) {
+      std::size_t p = pos;
+      while (p < end && is_ident_char(s_[p])) kw += s_[p++];
+    }
+    if (kw == "if") return do_if(pos, end, cur);
+    if (kw == "while") return do_while(pos, end, cur);
+    if (kw == "for") return do_for(pos, end, cur);
+    if (kw == "do") return do_do(pos, end, cur);
+    if (kw == "switch") return do_switch(pos, end, cur);
+    if (kw == "try") return do_try(pos, end, cur);
+    if (kw == "return" || kw == "co_return" || kw == "throw") {
+      const std::size_t begin = pos;
+      const std::size_t stop = scan_simple(pos, end);
+      carve_lambdas(begin, stop);
+      stmt(cur, begin, stop, kw == "throw" ? StmtKind::kThrow : StmtKind::kReturn);
+      edge(cur, cfg_.exit);
+      if (pos < end && s_[pos] == ';') ++pos;
+      return -1;
+    }
+    if (kw == "break" || kw == "continue") {
+      stmt(cur, pos, pos + kw.size(), StmtKind::kPlain);
+      int target = -1;
+      if (!loops_.empty()) {
+        if (kw == "break") {
+          target = loops_.back().brk;
+          loops_.back().brk_used = true;
+        } else {
+          target = loops_.back().cont;
+        }
+      }
+      edge(cur, target >= 0 ? target : cfg_.exit);
+      scan_simple(pos, end);
+      if (pos < end && s_[pos] == ';') ++pos;
+      return -1;
+    }
+    if (kw == "goto") {  // conservative: treat as an opaque exit
+      const std::size_t begin = pos;
+      const std::size_t stop = scan_simple(pos, end);
+      stmt(cur, begin, stop, StmtKind::kPlain);
+      edge(cur, cfg_.exit);
+      if (pos < end && s_[pos] == ';') ++pos;
+      return -1;
+    }
+    // Plain expression/declaration statement.
+    const std::size_t begin = pos;
+    const std::size_t stop = scan_simple(pos, end);
+    if (stop == begin && (pos >= end || s_[pos] != ';')) {
+      ++pos;  // stray close bracket: skip it rather than loop forever
+      return cur;
+    }
+    carve_lambdas(begin, stop);
+    const bool diverges = leading_noreturn_call(begin, stop);
+    stmt(cur, begin, stop, diverges ? StmtKind::kNoreturnCall : StmtKind::kPlain);
+    if (pos < end && s_[pos] == ';') ++pos;
+    if (diverges) {
+      edge(cur, cfg_.exit);
+      return -1;
+    }
+    return cur;
+  }
+
+  /// The `(...)` starting at `pos` (after skipping ws); returns false when
+  /// the expected paren is missing (malformed input degrades gracefully).
+  bool parens(std::size_t& pos, std::size_t end, std::size_t& open, std::size_t& close) {
+    pos = skip_ws(s_, pos);
+    if (pos >= end || s_[pos] != '(') return false;
+    open = pos;
+    close = match_bracket(s_, pos, end);
+    pos = close + 1;
+    return true;
+  }
+
+  bool cond_always_true(std::size_t b, std::size_t e) const {
+    std::size_t p = skip_ws(s_, b);
+    std::size_t q = e;
+    while (q > p && is_space(s_[q - 1])) --q;
+    const std::string text = s_.substr(p, q - p);
+    return text.empty() || text == "true" || text == "1";
+  }
+
+  int do_if(std::size_t& pos, std::size_t end, int cur) {
+    pos += 2;
+    pos = skip_ws(s_, pos);
+    if (s_.compare(pos, 9, "constexpr") == 0 &&
+        (pos + 9 >= end || !is_ident_char(s_[pos + 9]))) {
+      pos = skip_ws(s_, pos + 9);
+    }
+    std::size_t open = 0, close = 0;
+    if (!parens(pos, end, open, close)) return cur;
+    carve_lambdas(open, close);
+    stmt(cur, open, close + 1, StmtKind::kCond);
+    const int then_entry = node();
+    edge(cur, then_entry);
+    pos = skip_ws(s_, pos);
+    const int then_out = statement(pos, end, then_entry);
+    const int join = node();
+    bool reaches_join = false;
+    const std::size_t after = skip_ws(s_, pos);
+    if (after + 4 <= end && s_.compare(after, 4, "else") == 0 &&
+        (after + 4 >= end || !is_ident_char(s_[after + 4]))) {
+      pos = skip_ws(s_, after + 4);
+      const int else_entry = node();
+      edge(cur, else_entry);
+      const int else_out = statement(pos, end, else_entry);
+      if (else_out >= 0) {
+        edge(else_out, join);
+        reaches_join = true;
+      }
+    } else {
+      edge(cur, join);
+      reaches_join = true;
+    }
+    if (then_out >= 0) {
+      edge(then_out, join);
+      reaches_join = true;
+    }
+    return reaches_join ? join : -1;
+  }
+
+  int do_while(std::size_t& pos, std::size_t end, int cur) {
+    pos += 5;
+    std::size_t open = 0, close = 0;
+    if (!parens(pos, end, open, close)) return cur;
+    carve_lambdas(open, close);
+    const int head = node();
+    edge(cur, head);
+    stmt(head, open, close + 1, StmtKind::kCond);
+    const bool infinite = cond_always_true(open + 1, close);
+    const int body_entry = node();
+    const int join = node();
+    edge(head, body_entry);
+    if (!infinite) edge(head, join);
+    loops_.push_back({head, join, false});
+    pos = skip_ws(s_, pos);
+    const int body_out = statement(pos, end, body_entry);
+    const bool brk_used = loops_.back().brk_used;
+    loops_.pop_back();
+    edge(body_out, head);
+    return (infinite && !brk_used) ? -1 : join;
+  }
+
+  int do_for(std::size_t& pos, std::size_t end, int cur) {
+    pos += 3;
+    std::size_t open = 0, close = 0;
+    if (!parens(pos, end, open, close)) return cur;
+    carve_lambdas(open, close);
+    // Top-level ';' positions inside the parens split init/cond/step; a
+    // range-for header has none and is treated as one condition-ish text.
+    std::vector<std::size_t> semis;
+    int depth = 0;
+    for (std::size_t p = open + 1; p < close; ++p) {
+      const char ch = s_[p];
+      if (ch == '(' || ch == '[' || ch == '{') ++depth;
+      if (ch == ')' || ch == ']' || ch == '}') --depth;
+      if (ch == ';' && depth == 0) semis.push_back(p);
+    }
+    if (semis.size() < 2) {  // range-for
+      const int head = node();
+      edge(cur, head);
+      stmt(head, open, close + 1, StmtKind::kCond);
+      const int body_entry = node();
+      const int join = node();
+      edge(head, body_entry);
+      edge(head, join);
+      loops_.push_back({head, join, false});
+      pos = skip_ws(s_, pos);
+      const int body_out = statement(pos, end, body_entry);
+      loops_.pop_back();
+      edge(body_out, head);
+      return join;
+    }
+    stmt(cur, open + 1, semis[0], StmtKind::kPlain);
+    const int head = node();
+    edge(cur, head);
+    stmt(head, semis[0] + 1, semis[1], StmtKind::kCond);
+    const bool infinite = cond_always_true(semis[0] + 1, semis[1]);
+    const int body_entry = node();
+    const int step = node();
+    const int join = node();
+    edge(head, body_entry);
+    if (!infinite) edge(head, join);
+    loops_.push_back({step, join, false});
+    pos = skip_ws(s_, pos);
+    const int body_out = statement(pos, end, body_entry);
+    const bool brk_used = loops_.back().brk_used;
+    loops_.pop_back();
+    edge(body_out, step);
+    stmt(step, semis[1] + 1, close, StmtKind::kPlain);
+    edge(step, head);
+    return (infinite && !brk_used) ? -1 : join;
+  }
+
+  int do_do(std::size_t& pos, std::size_t end, int cur) {
+    pos += 2;
+    const int body_entry = node();
+    edge(cur, body_entry);
+    const int cond_node = node();
+    const int join = node();
+    loops_.push_back({cond_node, join, false});
+    pos = skip_ws(s_, pos);
+    const int body_out = statement(pos, end, body_entry);
+    loops_.pop_back();
+    edge(body_out, cond_node);
+    pos = skip_ws(s_, pos);
+    if (s_.compare(pos, 5, "while") == 0) {
+      pos += 5;
+      std::size_t open = 0, close = 0;
+      if (parens(pos, end, open, close)) {
+        carve_lambdas(open, close);
+        stmt(cond_node, open, close + 1, StmtKind::kCond);
+      }
+      pos = skip_ws(s_, pos);
+      if (pos < end && s_[pos] == ';') ++pos;
+    }
+    edge(cond_node, body_entry);
+    edge(cond_node, join);
+    return join;
+  }
+
+  int do_switch(std::size_t& pos, std::size_t end, int cur) {
+    pos += 6;
+    std::size_t open = 0, close = 0;
+    if (!parens(pos, end, open, close)) return cur;
+    carve_lambdas(open, close);
+    stmt(cur, open, close + 1, StmtKind::kCond);
+    pos = skip_ws(s_, pos);
+    if (pos >= end || s_[pos] != '{') return cur;  // braceless switch: skip
+    const std::size_t body_close = match_bracket(s_, pos, end);
+    const int join = node();
+    // continue inside a switch targets the enclosing loop, so propagate it.
+    loops_.push_back({loops_.empty() ? -1 : loops_.back().cont, join, false});
+    std::size_t p = pos + 1;
+    int sect = -1;
+    bool any_default = false;
+    while (true) {
+      p = skip_ws(s_, p);
+      if (p >= body_close) break;
+      std::string kw;
+      if (is_ident_char(s_[p])) {
+        std::size_t q = p;
+        while (q < body_close && is_ident_char(s_[q])) kw += s_[q++];
+      }
+      if (kw == "case" || kw == "default") {
+        // Scan to the label's ':' (skipping '::' and bracketed groups).
+        std::size_t q = p + kw.size();
+        int depth = 0;
+        while (q < body_close) {
+          const char ch = s_[q];
+          if (ch == '(' || ch == '[' || ch == '{') ++depth;
+          if (ch == ')' || ch == ']' || ch == '}') --depth;
+          if (ch == ':' && depth == 0) {
+            if (q + 1 < body_close && s_[q + 1] == ':') {
+              q += 2;
+              continue;
+            }
+            break;
+          }
+          ++q;
+        }
+        const int fresh = node();
+        edge(cur, fresh);   // dispatch from the switch head
+        edge(sect, fresh);  // fallthrough from the previous section
+        sect = fresh;
+        if (kw == "default") any_default = true;
+        p = q + 1;
+        continue;
+      }
+      if (sect < 0) sect = node();  // code before any label: unreachable
+      sect = statement(p, body_close, sect);
+      if (sect < 0) {
+        // Section diverged (break/return): code until the next label is
+        // unreachable; give it a fresh predecessor-less node.
+        sect = node();
+      }
+    }
+    edge(sect, join);  // last section falls out of the switch
+    if (!any_default) edge(cur, join);
+    loops_.pop_back();
+    pos = body_close + 1;
+    return join;
+  }
+
+  int do_try(std::size_t& pos, std::size_t end, int cur) {
+    pos = skip_ws(s_, pos + 3);
+    if (pos >= end || s_[pos] != '{') return cur;
+    const std::size_t close = match_bracket(s_, pos, end);
+    // The try body starts a fresh node so handlers can join both the
+    // before-try state (exception on the first statement) and the
+    // end-of-try state (exception after the last effect). Intermediate
+    // states are approximated by this pair — documented in DESIGN.md.
+    const int try_entry = node();
+    edge(cur, try_entry);
+    const int try_out = seq(pos + 1, close, try_entry);
+    pos = close + 1;
+    const int join = node();
+    bool reaches_join = false;
+    if (try_out >= 0) {
+      edge(try_out, join);
+      reaches_join = true;
+    }
+    for (;;) {
+      const std::size_t after = skip_ws(s_, pos);
+      if (!(after + 5 <= end && s_.compare(after, 5, "catch") == 0 &&
+            (after + 5 >= end || !is_ident_char(s_[after + 5])))) {
+        break;
+      }
+      pos = after + 5;
+      std::size_t copen = 0, cclose = 0;
+      const int centry = node();
+      edge(cur, centry);
+      if (try_out >= 0) edge(try_out, centry);
+      if (parens(pos, end, copen, cclose)) {
+        stmt(centry, copen, cclose + 1, StmtKind::kPlain);  // handler decl
+      }
+      pos = skip_ws(s_, pos);
+      const int cout = statement(pos, end, centry);
+      if (cout >= 0) {
+        edge(cout, join);
+        reaches_join = true;
+      }
+    }
+    return reaches_join ? join : -1;
+  }
+};
+
+}  // namespace
+
+std::set<std::string> collect_noreturn_names(const std::vector<Scanned>& files) {
+  std::set<std::string> names = {"abort", "terminate", "_Exit", "quick_exit"};
+  for (const Scanned& f : files) {
+    for (std::size_t at = find_word(f.clean, "noreturn", 0); at != npos;
+         at = find_word(f.clean, "noreturn", at + 1)) {
+      // Expect `[[noreturn]] <ret-type> name(`: the identifier run ending
+      // just before the first '(' after the attribute is the declarator.
+      std::size_t p = f.clean.find("]]", at);
+      if (p == npos) continue;
+      p += 2;
+      const std::size_t paren = f.clean.find('(', p);
+      if (paren == npos || paren > p + 200) continue;
+      std::size_t q = paren;
+      while (q > p && is_space(f.clean[q - 1])) --q;
+      std::size_t b = q;
+      while (b > p && is_ident_char(f.clean[b - 1])) --b;
+      if (q > b) names.insert(f.clean.substr(b, q - b));
+    }
+  }
+  return names;
+}
+
+std::vector<Cfg> build_cfgs(const std::string& clean, std::size_t body_begin,
+                            std::size_t body_end,
+                            const std::set<std::string>& noreturn_names) {
+  std::vector<Cfg> out;
+  std::vector<std::pair<std::size_t, std::size_t>> pending = {{body_begin, body_end}};
+  // The cap bounds pathological nesting; real functions hold a few lambdas.
+  for (std::size_t i = 0; i < pending.size() && i < 64; ++i) {
+    Builder b(clean, noreturn_names);
+    std::vector<std::pair<std::size_t, std::size_t>> lambdas;
+    out.push_back(b.build(pending[i].first, pending[i].second, lambdas));
+    pending.insert(pending.end(), lambdas.begin(), lambdas.end());
+  }
+  return out;
+}
+
+}  // namespace gpumip::lint

@@ -1,0 +1,50 @@
+#include "dataflow.hpp"
+
+#include <deque>
+
+namespace gpumip::lint {
+
+bool join_into(AbstractState& dst, const AbstractState& src) {
+  bool changed = false;
+  for (const auto& [key, bits] : src) {
+    std::uint32_t& slot = dst[key];
+    if ((slot | bits) != slot) {
+      slot |= bits;
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+std::vector<AbstractState> fixpoint(const Cfg& cfg, const AbstractState& entry_state,
+                                    const Transfer& transfer) {
+  std::vector<AbstractState> in(cfg.nodes.size());
+  if (cfg.nodes.empty()) return in;
+  in[static_cast<std::size_t>(cfg.entry)] = entry_state;
+
+  std::deque<int> work = {cfg.entry};
+  std::vector<char> queued(cfg.nodes.size(), 0);
+  queued[static_cast<std::size_t>(cfg.entry)] = 1;
+  // Monotone join over a finite lattice terminates on its own; the cap is
+  // a pure backstop against builder bugs, far above any real iteration
+  // count (each node can requeue at most keys*32 times).
+  std::size_t steps = 0;
+  const std::size_t cap = (cfg.nodes.size() + 1) * 1024;
+  while (!work.empty() && steps++ < cap) {
+    const int n = work.front();
+    work.pop_front();
+    queued[static_cast<std::size_t>(n)] = 0;
+    AbstractState out = in[static_cast<std::size_t>(n)];
+    for (const CfgStmt& s : cfg.nodes[static_cast<std::size_t>(n)].stmts) transfer(s, out);
+    for (int m : cfg.nodes[static_cast<std::size_t>(n)].succ) {
+      if (join_into(in[static_cast<std::size_t>(m)], out) &&
+          queued[static_cast<std::size_t>(m)] == 0) {
+        work.push_back(m);
+        queued[static_cast<std::size_t>(m)] = 1;
+      }
+    }
+  }
+  return in;
+}
+
+}  // namespace gpumip::lint

@@ -208,7 +208,27 @@ Scanned scan(const SourceFile& file, std::vector<Finding>& findings) {
   if (state == State::kLineComment) {
     parse_annotation(comment, line_of(out, token_start), out, findings);
   }
+  // Token index: one pass over the blanked text records every identifier
+  // token's offsets (numbers are skipped — no rule queries them). Offsets
+  // are naturally sorted, so extent-bounded queries binary-search.
+  for (std::size_t i = 0; i < out.clean.size();) {
+    if (!is_ident_char(out.clean[i])) {
+      ++i;
+      continue;
+    }
+    const std::size_t begin = i;
+    while (i < out.clean.size() && is_ident_char(out.clean[i])) ++i;
+    if (std::isdigit(static_cast<unsigned char>(out.clean[begin])) == 0) {
+      out.words[out.clean.substr(begin, i - begin)].push_back(begin);
+    }
+  }
   return out;
+}
+
+const std::vector<std::size_t>& word_positions(const Scanned& f, const std::string& word) {
+  static const std::vector<std::size_t> kEmpty;
+  auto it = f.words.find(word);
+  return it == f.words.end() ? kEmpty : it->second;
 }
 
 bool has_annotation(const Scanned& f, int line, const std::string& tag) {

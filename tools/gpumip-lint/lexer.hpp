@@ -46,6 +46,12 @@ struct Scanned {
   std::unordered_map<std::size_t, std::string> literals;  // opening-quote pos -> value
   std::map<int, std::vector<Annotation>> annotations;     // 1-based line
   std::vector<std::string> lines;                         // original text, 1-based via index+1
+  /// Token index: identifier token -> sorted occurrence offsets in `clean`.
+  /// Built once by scan() and shared by every rule family, so a rule's
+  /// whole-word query is a lookup + binary search instead of a rescan of
+  /// the text (the caching that keeps the dataflow rules' per-statement
+  /// occurrence checks linear).
+  std::unordered_map<std::string, std::vector<std::size_t>> words;
 };
 
 /// 1-based line number of byte offset `pos`.
@@ -63,6 +69,11 @@ bool has_annotation(const Scanned& f, int line, const std::string& tag);
 /// Finds the next whole-word occurrence of `word` in `s` at or after
 /// `from`; npos when absent.
 std::size_t find_word(const std::string& s, const std::string& word, std::size_t from);
+
+/// Sorted occurrence offsets of identifier token `word` from the token
+/// index built by scan(); an empty vector when absent. Prefer this over
+/// find_word for whole-file or extent-bounded queries on a Scanned.
+const std::vector<std::size_t>& word_positions(const Scanned& f, const std::string& word);
 
 /// The statement around `pos`: text between the previous and next
 /// `;`/`{`/`}` in the blanked source. Good enough to ask "does this copy

@@ -13,9 +13,11 @@
 #include <thread>
 
 #include "callgraph.hpp"
+#include "cfg.hpp"
 #include "hotpath.hpp"
 #include "index.hpp"
 #include "lexer.hpp"
+#include "lifetime.hpp"
 
 namespace gpumip::lint {
 namespace {
@@ -69,8 +71,7 @@ void check_r2(const Scanned& f, const Options& options, std::vector<Finding>& fi
   // (a) Untyped byte copies are invisible to the H2D/D2H ledger, so they
   // are banned everywhere outside the transfer engine.
   for (const char* prim : {"memcpy", "memmove", "memset"}) {
-    for (std::size_t at = find_word(f.clean, prim, 0); at != std::string::npos;
-         at = find_word(f.clean, prim, at + 1)) {
+    for (std::size_t at : word_positions(f, prim)) {
       const int line = line_of(f, at);
       if (has_annotation(f, line, "host-only")) continue;
       findings.push_back(
@@ -87,8 +88,7 @@ void check_r2(const Scanned& f, const Options& options, std::vector<Finding>& fi
   // device-resident data by design.
   if (in_device_context(path, options)) return;
   for (const char* algo : {"copy", "copy_n", "fill", "fill_n"}) {
-    for (std::size_t at = find_word(f.clean, algo, 0); at != std::string::npos;
-         at = find_word(f.clean, algo, at + 1)) {
+    for (std::size_t at : word_positions(f, algo)) {
       if (at < 2 || f.clean.compare(at - 2, 2, "::") != 0) continue;  // only std:: algorithms
       const std::string stmt = statement_around(f.clean, at);
       if (!mentions_device_span(stmt)) continue;
@@ -117,8 +117,7 @@ std::set<std::string> collect_error_classes(const std::vector<Scanned>& files) {
   std::vector<Decl> decls;
   for (const Scanned& f : files) {
     for (const char* kw : {"class", "struct"}) {
-      for (std::size_t at = find_word(f.clean, kw, 0); at != std::string::npos;
-           at = find_word(f.clean, kw, at + 1)) {
+      for (std::size_t at : word_positions(f, kw)) {
         std::size_t pos = skip_ws(f.clean, at + std::string(kw).size());
         std::string name;
         while (pos < f.clean.size() && is_ident_char(f.clean[pos])) name += f.clean[pos++];
@@ -184,8 +183,7 @@ std::set<std::string> collect_error_classes(const std::vector<Scanned>& files) {
 
 void check_r3(const Scanned& f, const std::set<std::string>& error_classes,
               std::vector<Finding>& findings) {
-  for (std::size_t at = find_word(f.clean, "throw", 0); at != std::string::npos;
-       at = find_word(f.clean, "throw", at + 1)) {
+  for (std::size_t at : word_positions(f, "throw")) {
     std::size_t pos = skip_ws(f.clean, at + 5);
     if (pos >= f.clean.size()) break;
     const int line = line_of(f, at);
@@ -246,18 +244,26 @@ bool valid_metric_name(const std::string& name) {
   return true;
 }
 
+/// One R4 call site: the macro/function name and which argument carries the
+/// exported name literal (0-based; GPUMIP_TRACE_SPAN_OPEN takes the guard
+/// first, so its name is argument 1).
+struct R4Site {
+  std::string name;
+  int name_arg = 0;
+};
+
 /// Shared engine for both R4 name families: metric names (GPUMIP_OBS_* /
 /// obs registry calls, documented in docs/METRICS.md) and trace event names
 /// (GPUMIP_TRACE_* sites, documented in docs/TRACING.md). Same grammar,
 /// separate catalogs.
-void check_r4_names(const Scanned& f, const std::vector<std::string>& sites,
+void check_r4_names(const Scanned& f, const std::vector<R4Site>& sites,
                     bool registry_needs_obs_prefix, const std::string& kind,
                     const std::string& doc_name, bool have_doc, const std::string& doc,
                     std::vector<Finding>& findings) {
-  for (const std::string& site : sites) {
+  for (const R4Site& site_entry : sites) {
+    const std::string& site = site_entry.name;
     const bool is_registry_call = site == "counter" || site == "gauge" || site == "histogram";
-    for (std::size_t at = find_word(f.clean, site, 0); at != std::string::npos;
-         at = find_word(f.clean, site, at + 1)) {
+    for (std::size_t at : word_positions(f, site)) {
       if (is_registry_call && registry_needs_obs_prefix) {
         // Only the obs registry lookups, not arbitrary identifiers.
         if (at < 5 || f.clean.compare(at - 5, 5, "obs::") != 0) continue;
@@ -265,6 +271,21 @@ void check_r4_names(const Scanned& f, const std::vector<std::string>& sites,
       std::size_t pos = skip_ws(f.clean, at + site.size());
       if (pos >= f.clean.size() || f.clean[pos] != '(') continue;
       pos = skip_ws(f.clean, pos + 1);
+      // Step over leading non-name arguments (depth-0 commas).
+      for (int skip = 0; skip < site_entry.name_arg && pos < f.clean.size(); ++skip) {
+        int depth = 0;
+        while (pos < f.clean.size()) {
+          const char c = f.clean[pos];
+          if (c == '(' || c == '[' || c == '{') ++depth;
+          if (c == ')' || c == ']' || c == '}') {
+            if (depth == 0) break;  // ran out of arguments
+            --depth;
+          }
+          ++pos;
+          if (c == ',' && depth == 0) break;
+        }
+        pos = skip_ws(f.clean, pos);
+      }
       if (pos >= f.clean.size() || f.clean[pos] != '"') continue;  // dynamic name: not checkable
       auto lit = f.literals.find(pos);
       if (lit == f.literals.end()) continue;
@@ -291,14 +312,15 @@ void check_r4_names(const Scanned& f, const std::vector<std::string>& sites,
 }
 
 void check_r4(const Scanned& f, const Options& options, std::vector<Finding>& findings) {
-  static const std::vector<std::string> kMetricSites = {
-      "GPUMIP_OBS_COUNT", "GPUMIP_OBS_ADD",    "GPUMIP_OBS_GAUGE_SET",
-      "GPUMIP_OBS_GAUGE_MAX", "GPUMIP_OBS_RECORD", "GPUMIP_OBS_SPAN",
-      "counter", "gauge", "histogram",
+  static const std::vector<R4Site> kMetricSites = {
+      {"GPUMIP_OBS_COUNT"}, {"GPUMIP_OBS_ADD"},    {"GPUMIP_OBS_GAUGE_SET"},
+      {"GPUMIP_OBS_GAUGE_MAX"}, {"GPUMIP_OBS_RECORD"}, {"GPUMIP_OBS_SPAN"},
+      {"counter"}, {"gauge"}, {"histogram"},
   };
-  static const std::vector<std::string> kTraceSites = {
-      "GPUMIP_TRACE_BEGIN",      "GPUMIP_TRACE_END",      "GPUMIP_TRACE_INSTANT",
-      "GPUMIP_TRACE_COMPLETE",   "GPUMIP_TRACE_FLOW_BEGIN", "GPUMIP_TRACE_FLOW_END",
+  static const std::vector<R4Site> kTraceSites = {
+      {"GPUMIP_TRACE_BEGIN"},      {"GPUMIP_TRACE_END"},      {"GPUMIP_TRACE_INSTANT"},
+      {"GPUMIP_TRACE_COMPLETE"},   {"GPUMIP_TRACE_FLOW_BEGIN"}, {"GPUMIP_TRACE_FLOW_END"},
+      {"GPUMIP_TRACE_SPAN_OPEN", 1}, {"GPUMIP_TRACE_SCOPE"},
   };
   check_r4_names(f, kMetricSites, /*registry_needs_obs_prefix=*/true, "metric",
                  "docs/METRICS.md", options.have_metrics_doc, options.metrics_doc, findings);
@@ -351,12 +373,24 @@ std::vector<Suppression> parse_suppressions(const std::string& text, const std::
 }
 
 std::vector<Finding> run_lint(const std::vector<SourceFile>& files, const Options& options,
-                              std::vector<Suppression>& suppressions) {
+                              std::vector<Suppression>& suppressions, RunStats* stats,
+                              std::vector<Finding>* waived_out) {
+  using Clock = std::chrono::steady_clock;
+  auto elapsed_ms = [](Clock::time_point since) {
+    return std::chrono::duration<double, std::milli>(Clock::now() - since).count();
+  };
+
   std::vector<Finding> findings;
+  auto t0 = Clock::now();
   std::vector<Scanned> scanned;
   scanned.reserve(files.size());
   for (const SourceFile& file : files) scanned.push_back(scan(file, findings));
+  if (stats != nullptr) {
+    stats->scan_ms = elapsed_ms(t0);
+    stats->files = files.size();
+  }
 
+  t0 = Clock::now();
   const std::set<std::string> error_classes = collect_error_classes(scanned);
   for (const Scanned& f : scanned) {
     check_r1(f, options, findings);
@@ -364,15 +398,37 @@ std::vector<Finding> run_lint(const std::vector<SourceFile>& files, const Option
     check_r3(f, error_classes, findings);
     check_r4(f, options, findings);
   }
+  if (stats != nullptr) stats->rules_ms = elapsed_ms(t0);
 
-  // Hot-path rules R6-R9: index every function definition, build the
-  // over-approximate call graph, and walk it from the manifest roots.
+  // The declaration index and call graph are built once and shared by the
+  // hot-path rules (R6-R9) and the lifetime rules (R10-R12).
+  std::vector<FunctionDecl> functions;
+  CallGraph graph;
+  if (options.have_hotpaths || options.lifetime_rules) {
+    t0 = Clock::now();
+    functions = index_functions(scanned);
+    graph = build_call_graph(scanned, functions);
+    if (stats != nullptr) {
+      stats->index_ms = elapsed_ms(t0);
+      stats->functions = functions.size();
+    }
+  }
+
+  // Hot-path rules R6-R9: walk the call graph from the manifest roots.
   if (options.have_hotpaths) {
+    t0 = Clock::now();
     const HotPathManifest manifest =
         parse_hotpaths(options.hotpaths, options.hotpaths_path, findings);
-    const std::vector<FunctionDecl> functions = index_functions(scanned);
-    const CallGraph graph = build_call_graph(scanned, functions);
     check_hotpaths(scanned, manifest, options.hotpaths_path, functions, graph, findings);
+    if (stats != nullptr) stats->hotpath_ms = elapsed_ms(t0);
+  }
+
+  // Lifetime rules R10-R12: per-function CFGs + forward dataflow.
+  if (options.lifetime_rules) {
+    t0 = Clock::now();
+    const std::set<std::string> noreturn_names = collect_noreturn_names(scanned);
+    check_lifetimes(scanned, functions, graph, noreturn_names, findings);
+    if (stats != nullptr) stats->lifetime_ms = elapsed_ms(t0);
   }
 
   // Apply the suppression file: a finding survives unless an entry matches
@@ -401,6 +457,7 @@ std::vector<Finding> run_lint(const std::vector<SourceFile>& files, const Option
         }
       }
     }
+    if (suppressed && waived_out != nullptr) waived_out->push_back(fi);
     if (!suppressed) kept.push_back(std::move(fi));
   }
   // Stale entries are findings too: a suppression must not outlive the
@@ -772,6 +829,125 @@ bool run_self_test(std::ostream& out) {
   expect(!fires_hot(complete, manifest, "HOT", options),
          "HOT quiet on a manifest that matches the code");
   mark("HOT");
+
+  // ---- lifetime dataflow rules R10-R12 (CFG + fixpoint, lifetime.hpp) ----
+
+  // R10: use-after-move on some path; reassignment kills; branches that
+  // divert (early return) keep moved and used paths apart.
+  expect(fires("src/lp/fixture.cpp",
+               "void f() { auto v = make(); sink(std::move(v)); use(v.size()); }\n", "R10",
+               options),
+         "R10 fires on a straight-line use after move");
+  expect(!fires("src/lp/fixture.cpp",
+                "void f() { auto v = make(); sink(std::move(v)); v = make(); use(v.size()); }\n",
+                "R10", options),
+         "R10 quiet when the local is reassigned after the move");
+  expect(!fires("src/lp/fixture.cpp",
+                "void f() {\n"
+                "  auto v = make();\n"
+                "  if (c) { sink(std::move(v)); return; }\n"
+                "  use(v.size());\n"
+                "}\n",
+                "R10", options),
+         "R10 quiet when an early return keeps the moved path apart");
+  expect(fires("src/lp/fixture.cpp",
+               "void f() { auto v = make(); while (go()) { use(v.size()); sink(std::move(v)); } }\n",
+               "R10", options),
+         "R10 fires through a loop back edge (moved last iteration)");
+  expect(fires("src/lp/fixture.cpp",
+               "void f() { auto v = make(); sink(std::move(v)); auto cb = [v]() { return 0; }; cb(); }\n",
+               "R10", options),
+         "R10 fires on a lambda capturing a moved-from local");
+  expect(!fires("src/lp/fixture.cpp",
+                "void f() { auto v = make(); sink(std::move(v));\n"
+                "  use(v.size());  // gpumip-lint: moved-ok(fixture: intentional reuse)\n"
+                "}\n",
+                "R10", options),
+         "R10 waived by moved-ok annotation");
+  mark("R10");
+
+  // R11: a derived arena block/span is stale after its source resets —
+  // directly, on only one branch (may-analysis), or through a call-graph-
+  // proven resetter. Re-deriving kills the stale bit.
+  expect(fires("src/lp/fixture.cpp",
+               "void f(Arena& arena) { auto blk = arena.allot(64); arena.reset(); use(blk); }\n",
+               "R11", options),
+         "R11 fires on use after a direct arena reset");
+  expect(!fires("src/lp/fixture.cpp",
+                "void f(Arena& arena) {\n"
+                "  auto blk = arena.allot(64);\n"
+                "  arena.reset();\n"
+                "  blk = arena.allot(64);\n"
+                "  use(blk);\n"
+                "}\n",
+                "R11", options),
+         "R11 quiet when the block is re-derived after the reset");
+  expect(fires("src/lp/fixture.cpp",
+               "void f(Arena& arena) { auto blk = arena.allot(64); if (c) arena.reset(); use(blk); }\n",
+               "R11", options),
+         "R11 fires when only one branch resets (may-analysis)");
+  expect(fires("src/lp/fixture.cpp",
+               "void shrink(Arena& a) { a.reset(); }\n"
+               "void f(Arena& arena) { auto blk = arena.allot(64); shrink(arena); use(blk); }\n",
+               "R11", options),
+         "R11 fires through a call-graph-proven resetter");
+  expect(!fires("src/lp/fixture.cpp",
+                "void f(Arena& arena) { auto blk = arena.allot(64); arena.reset();\n"
+                "  use(blk);  // gpumip-lint: arena-ok(fixture: slab persists)\n"
+                "}\n",
+                "R11", options),
+         "R11 waived by arena-ok annotation");
+  mark("R11");
+
+  // R12: raw GPUMIP_TRACE_BEGIN/END balance over every path. RAII forms
+  // are exempt; lambda bodies are separate graphs.
+  const std::string beg = "GPUMIP_TRACE_BEGIN(\"gpumip.test.documented.event\", 0);";
+  const std::string fin = "GPUMIP_TRACE_END(\"gpumip.test.documented.event\", 0);";
+  expect(fires("src/lp/fixture.cpp",
+               "void f() { " + beg + " if (c) return; " + fin + " }\n", "R12", options),
+         "R12 fires on an early return inside an open span");
+  expect(!fires("src/lp/fixture.cpp",
+                "void f() { if (c) return; " + beg + " work(); " + fin + " }\n", "R12", options),
+         "R12 quiet on a balanced span (early return before it opens)");
+  expect(fires("src/lp/fixture.cpp", "void f() { " + beg + " work(); }\n", "R12", options),
+         "R12 fires on a span left open when falling off the end");
+  expect(fires("src/lp/fixture.cpp",
+               "void f(int k) {\n"
+               "  switch (k) {\n"
+               "    case 0: " + beg + " case 1: " + fin + " break;\n"
+               "  }\n"
+               "}\n",
+               "R12", options),
+         "R12 fires on switch fallthrough unbalancing a span");
+  expect(fires("src/lp/fixture.cpp",
+               "void f() { " + beg + " if (bad) throw Error(); " + fin + " }\n", "R12", options),
+         "R12 fires on a throw escaping an open span");
+  expect(fires("src/lp/fixture.cpp",
+               "[[noreturn]] void die();\n"
+               "void f() { " + beg + " if (bad) die(); " + fin + " }\n",
+               "R12", options),
+         "R12 fires on a noreturn call escaping an open span");
+  expect(!fires("src/lp/fixture.cpp",
+                "void f() { GPUMIP_TRACE_SCOPE(\"gpumip.test.documented.event\", 0); work(); }\n",
+                "R12", options),
+         "R12 quiet on the RAII span forms");
+  expect(!fires("src/lp/fixture.cpp",
+                "void f() {\n"
+                "  auto cb = []() { " + beg + " work(); " + fin + " };\n"
+                "  " + beg + " cb(); " + fin + "\n"
+                "}\n",
+                "R12", options),
+         "R12 quiet when function and lambda each balance their own span");
+  expect(fires("src/lp/fixture.cpp",
+               "void f() { auto cb = []() { " + beg + " }; cb(); }\n", "R12", options),
+         "R12 fires on a span left open inside a lambda body");
+  expect(!fires("src/lp/fixture.cpp",
+                "void f() { " + beg + "\n"
+                "  if (c) return;  // gpumip-lint: span-ok(fixture: caller closes)\n"
+                "  " + fin + " }\n",
+                "R12", options),
+         "R12 waived by span-ok annotation");
+  mark("R12");
 
   out << (failed == 0 ? "    self-test: all fixtures behaved\n"
                       : "    self-test: FIXTURE FAILURES\n");

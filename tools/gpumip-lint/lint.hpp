@@ -13,7 +13,11 @@
 // hot-path rules R6-R9 (hotpath.hpp): no heap allocation, no by-value
 // payload copies, no blocking calls, and mandatory instrumentation on the
 // paths reachable from the roots declared in the checked-in manifest
-// (tools/gpumip-lint/hotpaths.txt). Implemented as a lexer plus lightweight
+// (tools/gpumip-lint/hotpaths.txt). A third layer builds per-function
+// control-flow graphs (cfg.hpp) and runs forward dataflow over them
+// (dataflow.hpp) for the path-sensitive lifetime rules R10-R12
+// (lifetime.hpp): use-after-move, arena use-after-reset, and unbalanced
+// trace spans. Implemented as a lexer plus lightweight
 // semantic matching — deliberately no libclang dependency, so the tool
 // builds everywhere the library builds and runs in milliseconds over src/.
 //
@@ -28,7 +32,7 @@
 
 namespace gpumip::lint {
 
-/// One diagnostic. `rule` is "R1".."R9", "SUP" (suppression-file problems:
+/// One diagnostic. `rule` is "R1".."R12", "SUP" (suppression-file problems:
 /// syntax errors, missing justification, stale entries), or "HOT"
 /// (hot-path manifest problems: syntax errors, entries matching no indexed
 /// function). SUP and HOT findings are not themselves suppressible.
@@ -102,6 +106,25 @@ struct Options {
   std::string hotpaths;
   bool have_hotpaths = false;
   std::string hotpaths_path = "(hotpaths)";
+
+  /// The path-sensitive lifetime rules R10-R12 (lifetime.hpp): per-function
+  /// CFGs + forward dataflow over them. On by default; a test can switch
+  /// them off to isolate the token rules.
+  bool lifetime_rules = true;
+};
+
+/// Wall-time and size accounting for one run_lint call, filled when the
+/// caller passes a RunStats. The scan (lex + token index) happens once and
+/// every rule family reads from it; `index_ms` likewise covers the one
+/// declaration-indexer + call-graph build shared by R6-R9 and R10-R12.
+struct RunStats {
+  double scan_ms = 0.0;      ///< lex + token-index build, all files
+  double rules_ms = 0.0;     ///< token rules R1-R4
+  double index_ms = 0.0;     ///< declaration indexer + call graph (shared)
+  double hotpath_ms = 0.0;   ///< R6-R9 traversal
+  double lifetime_ms = 0.0;  ///< CFG build + dataflow R10-R12
+  std::size_t files = 0;
+  std::size_t functions = 0;
 };
 
 /// Parses the suppression file text. Syntax problems (missing fields,
@@ -109,12 +132,18 @@ struct Options {
 std::vector<Suppression> parse_suppressions(const std::string& text, const std::string& path,
                                             std::vector<Finding>& findings);
 
-/// Runs rules R1-R4 — and, when `options.have_hotpaths` is set, the
-/// call-graph hot-path rules R6-R9 — over `files`, consuming
+/// Runs rules R1-R4, the lifetime dataflow rules R10-R12 (unless
+/// `options.lifetime_rules` is off) — and, when `options.have_hotpaths` is
+/// set, the call-graph hot-path rules R6-R9 — over `files`, consuming
 /// `suppressions` (marking used entries) and appending stale-suppression
 /// findings. Returns all unsuppressed findings, ordered by file then line.
+/// When `stats` is non-null it receives per-phase wall times; when
+/// `waived_out` is non-null it receives the findings a suppression entry
+/// silenced (for --format=json reporting).
 std::vector<Finding> run_lint(const std::vector<SourceFile>& files, const Options& options,
-                              std::vector<Suppression>& suppressions);
+                              std::vector<Suppression>& suppressions,
+                              RunStats* stats = nullptr,
+                              std::vector<Finding>* waived_out = nullptr);
 
 /// R5: compiles one translation unit `#include "<header>"` per header with
 /// `compiler -std=c++20 -fsyntax-only -I include_dir`, using `scratch_dir`
@@ -128,10 +157,12 @@ std::vector<Finding> check_headers_standalone(const std::vector<std::string>& he
                                               const std::string& scratch_dir,
                                               std::size_t jobs = 0);
 
-/// Built-in seeded-violation fixtures: one per rule R1-R4 and R6-R9
+/// Built-in seeded-violation fixtures: one per rule R1-R4 and R6-R12
 /// proving the rule fires, one clean fixture per rule proving it stays
 /// quiet, the suppression/annotation round trips, call-graph transitivity
-/// and stop-pruning, and manifest staleness (HOT). Prints a report to
+/// and stop-pruning, CFG edge cases for the dataflow rules (early return,
+/// loop back edges, switch fallthrough, lambda carving), and manifest
+/// staleness (HOT). Prints a report to
 /// `out` with per-rule wall time; returns true when every expectation
 /// holds. (R5 is exercised by tests/test_lint.cpp and the gate itself,
 /// since it needs a compiler.)

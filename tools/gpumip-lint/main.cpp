@@ -12,6 +12,7 @@
 // Exit status: 0 clean, 1 unsuppressed findings (or failed self-test),
 // 2 usage/environment error. Findings print as `file:line: [Rn] message`,
 // one per line, so editors and CI logs can jump straight to the site.
+#include <cstdio>
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
@@ -39,6 +40,56 @@ void print_findings(const std::vector<gpumip::lint::Finding>& findings) {
   }
 }
 
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", static_cast<unsigned>(c) & 0xFF);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Machine-readable report, schema `gpumip.lint.v1`: every finding
+/// (including suppression-waived ones, flagged `"waived": true`) plus the
+/// per-phase wall times. Stable field set; consumers must ignore unknown
+/// fields.
+void print_json(std::ostream& out, const std::vector<gpumip::lint::Finding>& findings,
+                const std::vector<gpumip::lint::Finding>& waived,
+                const gpumip::lint::RunStats& stats) {
+  out << "{\n  \"schema\": \"gpumip.lint.v1\",\n"
+      << "  \"clean\": " << (findings.empty() ? "true" : "false") << ",\n"
+      << "  \"findings\": [";
+  bool first = true;
+  auto emit = [&](const gpumip::lint::Finding& f, bool is_waived) {
+    out << (first ? "" : ",") << "\n    {\"rule\": \"" << json_escape(f.rule)
+        << "\", \"file\": \"" << json_escape(f.file) << "\", \"line\": " << f.line
+        << ", \"waived\": " << (is_waived ? "true" : "false") << ", \"message\": \""
+        << json_escape(f.message) << "\"}";
+    first = false;
+  };
+  for (const auto& f : findings) emit(f, false);
+  for (const auto& f : waived) emit(f, true);
+  out << (first ? "" : "\n  ") << "],\n"
+      << "  \"stats\": {\"files\": " << stats.files << ", \"functions\": " << stats.functions
+      << ", \"scan_ms\": " << stats.scan_ms << ", \"rules_ms\": " << stats.rules_ms
+      << ", \"index_ms\": " << stats.index_ms << ", \"hotpath_ms\": " << stats.hotpath_ms
+      << ", \"lifetime_ms\": " << stats.lifetime_ms << "}\n}\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -54,6 +105,7 @@ int main(int argc, char** argv) {
   std::size_t jobs = 0;  // 0 = hardware concurrency (capped in the engine)
   bool header_check = false;
   bool self_test = false;
+  std::string format = "text";
   std::vector<std::string> paths;
 
   for (int i = 1; i < argc; ++i) {
@@ -85,10 +137,22 @@ int main(int argc, char** argv) {
       compiler = value("--compiler");
     } else if (arg == "--scratch") {
       scratch = value("--scratch");
+    } else if (arg == "--format") {
+      format = value("--format");
+      if (format != "text" && format != "json") {
+        std::cerr << "gpumip-lint: --format must be 'text' or 'json'\n";
+        return 2;
+      }
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+      if (format != "text" && format != "json") {
+        std::cerr << "gpumip-lint: --format must be 'text' or 'json'\n";
+        return 2;
+      }
     } else if (arg == "--help" || arg == "-h") {
       std::cout << "usage: gpumip-lint [--self-test] [--metrics-doc FILE] "
                    "[--tracing-doc FILE] [--suppressions FILE]\n"
-                   "                   [--hotpaths FILE] [--jobs N]\n"
+                   "                   [--hotpaths FILE] [--jobs N] [--format text|json]\n"
                    "                   [--header-check --include-dir DIR [--compiler CXX] "
                    "[--scratch DIR]]\n"
                    "                   files...\n";
@@ -163,7 +227,9 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  std::vector<Finding> lint_findings = run_lint(files, options, suppressions);
+  RunStats stats;
+  std::vector<Finding> waived;
+  std::vector<Finding> lint_findings = run_lint(files, options, suppressions, &stats, &waived);
   findings.insert(findings.end(), lint_findings.begin(), lint_findings.end());
 
   if (header_check) {
@@ -177,6 +243,16 @@ int main(int argc, char** argv) {
   }
 
   print_findings(findings);
+  if (format == "json") {
+    // Findings went to stderr above; stdout carries only the JSON document
+    // so scripts can redirect it whole.
+    print_json(std::cout, findings, waived, stats);
+    return findings.empty() ? 0 : 1;
+  }
+  std::cout << "gpumip-lint: timing scan " << stats.scan_ms << "ms, token rules "
+            << stats.rules_ms << "ms, index+graph " << stats.index_ms << "ms, hotpath "
+            << stats.hotpath_ms << "ms, lifetime " << stats.lifetime_ms << "ms ("
+            << stats.files << " files, " << stats.functions << " functions)\n";
   if (findings.empty()) {
     std::cout << "gpumip-lint: " << files.size() << " files clean"
               << (suppressions.empty()
