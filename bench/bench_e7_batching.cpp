@@ -146,6 +146,40 @@ void whole_relaxations() {
   bench::note("per problem — fewer, fatter launches.");
 }
 
+void first_order_lockstep() {
+  bench::title("E7-d", "lockstep backends on sparse sibling relaxations: simplex vs PDHG");
+  bench::row("  %-7s %-14s %-14s %-12s %-12s %-18s", "K", "spx-lockstep", "pdhg-lockstep",
+             "spx-waves", "pdhg-waves", "kernels(spx/pdhg)");
+  Rng rng(404);
+  lp::PdhgOptions popts;
+  popts.tol = 1e-4;
+  lp::LpModel base = problems::sparse_lp(48, 72, 0.05, rng);
+  const lp::StandardForm base_form = lp::build_standard_form(base);
+  for (int k : {16, 64, 192}) {
+    std::vector<std::unique_ptr<lp::StandardForm>> storage;
+    std::vector<const lp::StandardForm*> views;
+    for (int i = 0; i < k; ++i) {
+      auto form = std::make_unique<lp::StandardForm>(base_form);
+      const std::size_t j = rng.index(static_cast<std::size_t>(base.num_cols()));
+      if (form->ub[j] > form->lb[j]) {
+        form->ub[j] = form->lb[j] + 0.8 * (form->ub[j] - form->lb[j]);
+      }
+      storage.push_back(std::move(form));
+      views.push_back(storage.back().get());
+    }
+    gpu::Device d1, d2;
+    const auto spx = lp::solve_batched(views, d1, lp::BatchMode::Lockstep);
+    const auto pdhg = lp::solve_batched_pdhg(views, d2, popts);
+    bench::row("  %-7d %-14s %-14s %-12ld %-12ld %llu/%llu", k,
+               human_seconds(spx.sim_seconds).c_str(), human_seconds(pdhg.sim_seconds).c_str(),
+               spx.waves, pdhg.waves, static_cast<unsigned long long>(spx.kernels),
+               static_cast<unsigned long long>(pdhg.kernels));
+  }
+  bench::note("PDHG runs several times more waves, but each wave is ONE fused sparse");
+  bench::note("launch moving K*nnz bytes; a simplex wave is four dense launches moving K*m^2.");
+  bench::note("bench_e9_methods E9-d places this trade on the full method-crossover surface.");
+}
+
 void BM_mode(benchmark::State& state) {
   Rng rng(402);
   auto mats = make_batch(static_cast<int>(state.range(1)), 24, rng);
@@ -168,5 +202,6 @@ int main(int argc, char** argv) {
   print_experiment();
   memory_ceiling();
   whole_relaxations();
+  first_order_lockstep();
   return gpumip::bench::run_benchmarks(argc, argv);
 }

@@ -1,13 +1,20 @@
 // E9 — solution methods head-to-head (paper sections 2.3 / 4):
-//   (a) exterior point (revised simplex) vs interior point (Mehrotra)
-//       across size and density, priced on the device cost model,
+//   (a) three-way LP tournament — exterior point (revised simplex) vs
+//       interior point (Mehrotra) vs restarted PDHG — cold sequential
+//       solves across size and density, priced on the device cost model,
 //   (b) entirely-GPU IVM branch-and-bound vs explicit-node CPU DFS on
 //       permutation flow-shop (the Gmys et al. comparison),
-//   (c) frontier-batched GPU knapsack B&B vs host DFS.
+//   (c) frontier-batched GPU knapsack B&B vs host DFS,
+//   (d) the tournament batched: K co-resident relaxations in lockstep
+//       waves, where the method-crossover surface gains its third axis
+//       (batch occupancy). docs/METHODS.md narrates the committed output.
 #include "bench/common.hpp"
 #include "ivm/gpu_bnb.hpp"
 #include "ivm/knapsack_bnb.hpp"
+#include "lp/batched_lp.hpp"
 #include "lp/interior_point.hpp"
+#include "lp/path_chooser.hpp"
+#include "lp/pdhg.hpp"
 #include "lp/simplex.hpp"
 #include "problems/generators.hpp"
 #include "support/strings.hpp"
@@ -17,40 +24,136 @@ namespace {
 
 using namespace gpumip;
 
-void simplex_vs_ipm() {
-  bench::title("E9-a", "simplex (exterior) vs interior point across density");
-  bench::row("  %-12s %-9s %-9s %-9s %-13s %-13s %-10s", "size", "density", "spx-iter",
-             "ipm-iter", "spx-sim", "ipm-sim", "agree");
+const char* short_method(lp::LpMethod m) {
+  switch (m) {
+    case lp::LpMethod::Simplex: return "spx";
+    case lp::LpMethod::InteriorPoint: return "ipm";
+    case lp::LpMethod::Pdhg: return "pdhg";
+  }
+  return "?";
+}
+
+void three_way_sequential() {
+  bench::title("E9-a", "three-way LP tournament: cold sequential solves");
+  bench::row("  %-12s %-9s %-8s %-8s %-8s %-11s %-11s %-11s %-7s %-8s %-6s", "size", "density",
+             "spx-it", "ipm-it", "pdhg-it", "spx-sim", "ipm-sim", "pdhg-sim", "winner",
+             "chooser", "agree");
   Rng rng(601);
-  for (int size : {40, 100}) {
-    for (double density : {0.05, 0.3, 1.0}) {
+  lp::PdhgOptions popts;
+  popts.tol = 1e-6;
+  for (int size : {64, 256}) {
+    for (double density : {0.02, 0.30}) {
       lp::LpModel model = problems::sparse_lp(size, size * 3 / 2, density, rng);
       const lp::StandardForm form = lp::build_standard_form(model);
       lp::SimplexSolver spx(form);
       lp::LpResult rs = spx.solve_default();
       lp::InteriorPointSolver ipm(form);
       lp::LpResult ri = ipm.solve_default();
-      double spx_sim = 0, ipm_sim = 0;
-      {
+      lp::PdhgSolver pdhg(form, popts);
+      lp::LpResult rp = pdhg.solve_default();
+      auto replay = [&](const lp::LpOpStats& ops) {
         gpu::Device device;
-        lp::charge_to_device(device, 0, rs.ops, density < 0.3);
-        spx_sim = device.synchronize();
-      }
-      {
-        gpu::Device device;
-        lp::charge_to_device(device, 0, ri.ops, density < 0.3);
-        ipm_sim = device.synchronize();
-      }
-      const bool agree = rs.status == lp::LpStatus::Optimal &&
-                         ri.status == lp::LpStatus::Optimal &&
-                         std::abs(rs.objective - ri.objective) < 1e-4 * (1 + std::abs(rs.objective));
-      bench::row("  %4dx%-6d %-9.2f %-9ld %-9ld %-13s %-13s %-10s", size, size * 3 / 2, density,
-                 rs.iterations, ri.iterations, human_seconds(spx_sim).c_str(),
-                 human_seconds(ipm_sim).c_str(), agree ? "yes" : "NO");
+        lp::charge_to_device(device, 0, ops, density < 0.3);
+        return device.synchronize();
+      };
+      const double s_spx = replay(rs.ops), s_ipm = replay(ri.ops), s_pdhg = replay(rp.ops);
+      const lp::LpMethod winner = s_spx <= s_ipm && s_spx <= s_pdhg ? lp::LpMethod::Simplex
+                                  : s_ipm <= s_pdhg               ? lp::LpMethod::InteriorPoint
+                                                                  : lp::LpMethod::Pdhg;
+      lp::MethodContext ctx;
+      ctx.tol = popts.tol;
+      const lp::LpMethod predicted = lp::choose_method(form.a_rows, ctx);
+      const bool agree =
+          rs.status == lp::LpStatus::Optimal && ri.status == lp::LpStatus::Optimal &&
+          rp.status == lp::LpStatus::Optimal &&
+          std::abs(rs.objective - ri.objective) < 1e-4 * (1 + std::abs(rs.objective)) &&
+          std::abs(rs.objective - rp.objective) < 1e-3 * (1 + std::abs(rs.objective));
+      bench::row("  %4dx%-7d %-9.2f %-8ld %-8ld %-8ld %-11s %-11s %-11s %-7s %-8s %-6s", size,
+                 size * 3 / 2, density, rs.iterations, ri.iterations, rp.iterations,
+                 human_seconds(s_spx).c_str(), human_seconds(s_ipm).c_str(),
+                 human_seconds(s_pdhg).c_str(), short_method(winner), short_method(predicted),
+                 agree ? "yes" : "NO");
     }
   }
-  bench::note("expected shape: IPM needs far fewer (but heavier, m^3-Cholesky) iterations;");
-  bench::note("simplex iterations grow with size. Both certify identical objectives.");
+  bench::note("expected shape: one small LP at a time cannot pay PDHG's per-iteration kernel");
+  bench::note("launches — simplex takes small instances, IPM (few heavy Cholesky iterations)");
+  bench::note("takes large ones. Sequential PDHG never wins a cell; it needs E9-d's batching.");
+}
+
+void three_way_batched() {
+  bench::title("E9-d", "three-way tournament, batched: K sibling relaxations in lockstep");
+  bench::row("  %-12s %-9s %-5s %-8s %-11s %-11s %-11s %-7s %-8s", "size", "density", "K",
+             "pdhg-it", "spx-lock", "ipm-seq", "pdhg-lock", "winner", "chooser");
+  Rng rng(611);
+  lp::PdhgOptions popts;
+  popts.tol = 1e-4;  // relaxation-grade: B&B pads bounds by the tol anyway
+  struct Cell {
+    int size;
+    double density;
+    int batch;
+  };
+  for (const Cell& cell : {Cell{96, 0.30, 8}, Cell{96, 0.02, 8}, Cell{96, 0.30, 192},
+                           Cell{96, 0.02, 192}}) {
+    // A realistic device batch is K sibling node relaxations: the same LP
+    // under K different bound tightenings (so per-instance iteration counts
+    // cluster and the lockstep tail stays short).
+    lp::LpModel base = problems::sparse_lp(cell.size, cell.size * 3 / 2, cell.density, rng);
+    const lp::StandardForm base_form = lp::build_standard_form(base);
+    std::vector<std::unique_ptr<lp::StandardForm>> storage;
+    std::vector<const lp::StandardForm*> views;
+    for (int i = 0; i < cell.batch; ++i) {
+      auto form = std::make_unique<lp::StandardForm>(base_form);
+      const int tighten = 1 + static_cast<int>(rng.index(4));
+      for (int t = 0; t < tighten; ++t) {
+        const std::size_t j = rng.index(static_cast<std::size_t>(base.num_cols()));
+        if (form->ub[j] > form->lb[j]) {
+          form->ub[j] = form->lb[j] + 0.8 * (form->ub[j] - form->lb[j]);
+        }
+      }
+      storage.push_back(std::move(form));
+      views.push_back(storage.back().get());
+    }
+    double s_spx = 0, s_ipm = 0, s_pdhg = 0;
+    long pdhg_iters = 0;
+    {
+      gpu::Device device;
+      s_spx = lp::solve_batched(views, device, lp::BatchMode::Lockstep).sim_seconds;
+    }
+    {
+      // No batched IPM exists: its contender is the per-instance recipe
+      // replayed back-to-back on one stream (each Cholesky already fills
+      // the device reasonably well; batching buys IPM the least).
+      gpu::Device device;
+      for (const lp::StandardForm* form : views) {
+        lp::InteriorPointSolver ipm(*form);
+        lp::charge_to_device(device, 0, ipm.solve_default().ops, cell.density < 0.3);
+      }
+      s_ipm = device.synchronize();
+    }
+    {
+      gpu::Device device;
+      lp::BatchedLpReport r = lp::solve_batched_pdhg(views, device, popts);
+      s_pdhg = r.sim_seconds;
+      for (const lp::LpResult& res : r.results) {
+        pdhg_iters = std::max(pdhg_iters, res.ops.iterations);
+      }
+    }
+    const lp::LpMethod winner = s_spx <= s_ipm && s_spx <= s_pdhg ? lp::LpMethod::Simplex
+                                : s_ipm <= s_pdhg               ? lp::LpMethod::InteriorPoint
+                                                                : lp::LpMethod::Pdhg;
+    lp::MethodContext ctx;
+    ctx.batch_size = cell.batch;
+    ctx.tol = popts.tol;
+    const lp::LpMethod predicted = lp::choose_method(views[0]->a_rows, ctx);
+    bench::row("  %4dx%-7d %-9.2f %-5d %-8ld %-11s %-11s %-11s %-7s %-8s", cell.size,
+               cell.size * 3 / 2, cell.density, cell.batch, pdhg_iters,
+               human_seconds(s_spx).c_str(), human_seconds(s_ipm).c_str(),
+               human_seconds(s_pdhg).c_str(), short_method(winner), short_method(predicted));
+  }
+  bench::note("expected shape: a simplex lockstep wave moves K*m^2 dense bytes, a PDHG wave");
+  bench::note("K*nnz sparse bytes; at high occupancy on sparse instances PDHG's cheap waves");
+  bench::note("overtake both the dense waves and IPM's serialized Cholesky chain — the");
+  bench::note("(density x size x occupancy) crossover cell docs/METHODS.md walks through.");
 }
 
 void ivm_comparison() {
@@ -137,11 +240,25 @@ void BM_ipm(benchmark::State& state) {
 }
 BENCHMARK(BM_ipm)->Arg(40)->Arg(80)->Unit(benchmark::kMillisecond);
 
+void BM_pdhg(benchmark::State& state) {
+  Rng rng(606);
+  lp::LpModel model = problems::sparse_lp(static_cast<int>(state.range(0)),
+                                          static_cast<int>(state.range(0)) * 3 / 2, 0.05, rng);
+  const lp::StandardForm form = lp::build_standard_form(model);
+  for (auto _ : state) {
+    lp::PdhgSolver solver(form);
+    lp::LpResult r = solver.solve_default();
+    benchmark::DoNotOptimize(r.objective);
+  }
+}
+BENCHMARK(BM_pdhg)->Arg(40)->Arg(80)->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  simplex_vs_ipm();
+  three_way_sequential();
   ivm_comparison();
   knapsack_comparison();
+  three_way_batched();
   return gpumip::bench::run_benchmarks(argc, argv);
 }

@@ -1,7 +1,7 @@
 #!/usr/bin/env bash
 # Full correctness sweep for the analysis toolchain (DESIGN.md, "Checked
 # builds & invariants", "simmpi concurrency model", "Static analysis", and
-# "Tracing"). Runs nine independent gates and exits nonzero if any of them
+# "Tracing"). Runs ten independent gates and exits nonzero if any of them
 # finds a problem:
 #
 #   1. sanitize   — ASan+UBSan build (-DGPUMIP_SANITIZE=ON) + full ctest.
@@ -27,6 +27,11 @@
 #                   with -DGPUMIP_OBS=OFF and asserts the hot-path metric
 #                   AND trace-event name literals are absent from the binary
 #                   (the macros compile to parsed-but-unevaluated no-ops).
+#   6b. methods   — LP-method doc cross-check: every method name string the
+#                   lp_method_name switch in src/lp/path_chooser.cpp can
+#                   return must appear backticked in docs/METHODS.md, so the
+#                   chooser cannot grow a backend the method contract never
+#                   documents.
 #   7. lint       — gpumip-lint (tools/gpumip-lint, docs/LINT.md): repo-
 #                   native rules clang-tidy cannot express. R1 confines raw
 #                   DeviceBuffer::as<T>() access to kernel/transfer files,
@@ -134,7 +139,7 @@ timed tsan run_gate tsan build-tsan -DGPUMIP_SANITIZE=thread
 # determinism sweep (test_schedule) already ran in every gate above.
 schedule_gate() {
   local build_dir="build-checked"
-  local filter='SimMpi|Supervisor\.(MatchesSequentialOptimum|CheckpointAndResume)'
+  local filter='SimMpi|Supervisor\.(MatchesSequentialOptimum|CheckpointAndResume)|BatchedPdhg'
   if [ ! -d "$build_dir" ]; then
     echo "==> [schedule] SKIPPED: no $build_dir (checked gate did not configure)"
     return
@@ -239,7 +244,8 @@ PY
   fi
   local name
   for name in gpumip.gpu.xfer.h2d.bytes gpumip.lp.ops.refactor gpumip.lp.batch.occupancy \
-              gpumip.lp.batch.wave gpumip.mip.cuts.round gpumip.simmpi.recv.wait; do
+              gpumip.lp.batch.wave gpumip.lp.pdhg.solve gpumip.lp.method.choice \
+              gpumip.mip.cuts.round gpumip.simmpi.recv.wait; do
     if grep -qa "$name" "$off_dir/bench/bench_e7_batching"; then
       echo "==> [obs] OFF build still contains metric/trace string '$name'"
       FAILURES=$((FAILURES + 1))
@@ -249,6 +255,42 @@ PY
   echo "==> [obs] OK"
 }
 timed obs obs_gate
+
+# Gate 6b: LP-method documentation cross-check. Parses the return-string
+# literals of lp_method_name in src/lp/path_chooser.cpp (the authoritative
+# name mapping the GPUMIP_LP_METHOD parser mirrors) and requires each to be
+# documented — backticked — in docs/METHODS.md. Pure text analysis: no
+# build, runs in milliseconds, and fails the sweep the moment someone adds
+# an LpMethod enumerator without extending the method contract.
+methods_gate() {
+  echo "==> [methods] docs/METHODS.md covers every lp_method_name string"
+  if ! python3 - <<'PY'
+import re, sys
+
+src = open("src/lp/path_chooser.cpp").read()
+m = re.search(r"lp_method_name\s*\([^)]*\)[^{]*\{(.*?)\n\}", src, re.S)
+if not m:
+    sys.exit("src/lp/path_chooser.cpp: lp_method_name definition not found")
+# One name per LpMethod case; the post-switch "unknown" fallback is
+# unreachable for valid enumerators and deliberately not required.
+names = re.findall(r'case\s+LpMethod::\w+:\s*return\s+"([a-z_]+)"', m.group(1))
+if len(names) < 3:
+    sys.exit(f"lp_method_name: expected >= 3 method names, parsed {names}")
+doc = open("docs/METHODS.md").read()
+missing = [n for n in names if f"`{n}`" not in doc]
+if missing:
+    sys.exit("method names missing from docs/METHODS.md (backticked): "
+             + ", ".join(missing))
+print(f"    documented: {', '.join(names)}")
+PY
+  then
+    echo "==> [methods] DOC CHECK FAILED (see docs/METHODS.md)"
+    FAILURES=$((FAILURES + 1))
+    return
+  fi
+  echo "==> [methods] OK"
+}
+timed methods methods_gate
 
 # Gate 7: gpumip-lint. A dedicated small Release tree builds just the tool
 # (it has no solver dependencies, so this is cheap even from scratch). The

@@ -150,4 +150,112 @@ BatchedLpReport solve_batched(const std::vector<const StandardForm*>& problems,
   return solve_batched(problems, device, arena, mode, options, streams);
 }
 
+namespace {
+
+/// Batched sparse kernel covering one SpMV-shaped operation across the
+/// active problems: nnz_total nonzeros touched, vec_total output elements.
+gpu::KernelCost sparse_wave_cost(double nnz_total, double vec_total) {
+  gpu::KernelCost cost = gpu::KernelCost::sparse_irregular(2.0 * nnz_total,
+                                                           1.5 * nnz_total + vec_total);
+  cost.occupancy = linalg::occupancy_for_elements(static_cast<std::size_t>(nnz_total));
+  return cost;
+}
+
+}  // namespace
+
+BatchedLpReport solve_batched_pdhg(const std::vector<const StandardForm*>& problems,
+                                   gpu::Device& device, gpu::DeviceArena& arena,
+                                   const PdhgOptions& options) {
+  check_arg(!problems.empty(), "solve_batched_pdhg: empty batch");
+  BatchedLpReport report;
+  GPUMIP_OBS_COUNT("gpumip.lp.batch.solves");
+  GPUMIP_OBS_RECORD("gpumip.lp.batch.size", static_cast<double>(problems.size()));
+
+  // Residency: the CSR image plus iterate vectors per instance — no basis
+  // inverse, no dense expansion, which is why far more PDHG instances
+  // co-reside than simplex ones (pdhg_lp_device_bytes vs dense_lp_device_bytes).
+  arena.reset();
+  std::size_t residency_bytes = 0;
+  for (const StandardForm* form : problems) {
+    check_arg(form != nullptr, "solve_batched_pdhg: null problem");
+    residency_bytes += gpu::DeviceArena::aligned_size(static_cast<std::size_t>(
+        pdhg_lp_device_bytes(form->num_rows, form->num_vars,
+                             static_cast<long>(form->a_rows.nnz()))));
+  }
+  // gpumip-lint: hot-alloc(arena reserve: at most one amortized slab allocation, zero once warm)
+  arena.reserve(residency_bytes);
+  for (const StandardForm* form : problems) {
+    (void)arena.allot(static_cast<std::size_t>(
+        pdhg_lp_device_bytes(form->num_rows, form->num_vars,
+                             static_cast<long>(form->a_rows.nnz()))));
+  }
+
+  // Host numerics: the batched path is exact — bit-identical to sequential
+  // PdhgSolver calls (tests assert this under the schedule fuzzer).
+  for (const StandardForm* form : problems) {
+    PdhgSolver solver(*form, options);
+    // gpumip-lint: hot-alloc(one result slot per problem in the batch report; sized by the batch, not the iteration count)
+    report.results.push_back(solver.solve_default());
+  }
+
+  device.synchronize();
+  device.reset_stats();
+  const std::uint64_t kernels_before = device.stats().kernels;
+
+  // Wave w executes iteration w of every still-active instance as four
+  // batched kernels: SpMVᵀ (Aᵀy), primal update/project, SpMV (A·x̄), dual
+  // update. Every check_interval waves, two more batched SpMV-shaped
+  // kernels score the KKT candidates.
+  long max_iters = 0;
+  for (const LpResult& r : report.results) {
+    max_iters = std::max(max_iters, r.ops.iterations);
+  }
+  for (long w = 0; w < max_iters; ++w) {
+    int active = 0;
+    double nnz_sum = 0, m_sum = 0, n_sum = 0;
+    for (std::size_t p = 0; p < problems.size(); ++p) {
+      if (report.results[p].ops.iterations > w) {
+        ++active;
+        nnz_sum += problems[p]->a_rows.nnz();
+        m_sum += problems[p]->num_rows;
+        n_sum += problems[p]->num_vars;
+      }
+    }
+    if (active == 0) break;
+    ++report.waves;
+    GPUMIP_OBS_COUNT("gpumip.lp.batch.waves");
+    GPUMIP_TRACE_BEGIN("gpumip.lp.batch.wave", active);
+    GPUMIP_OBS_RECORD("gpumip.lp.batch.occupancy",
+                      static_cast<double>(active) / static_cast<double>(problems.size()));
+    // The whole iteration fuses into ONE batched launch: unlike a simplex
+    // pivot, whose ratio test feeds the host's choice of the next entering
+    // column, a PDHG iteration has no host-side decision in it — SpMVᵀ,
+    // primal update/project, SpMV and dual update chain on-device with
+    // fixed shapes. The host only intervenes at the periodic KKT check.
+    // This is the launch-amortization half of the crossover argument; the
+    // K·nnz-vs-K·m² bytes asymmetry is the other half (docs/METHODS.md).
+    gpu::KernelCost fused = gpu::KernelCost::sparse_irregular(
+        4.0 * nnz_sum + 4.0 * n_sum + 3.0 * m_sum,
+        3.0 * nnz_sum + 4.0 * n_sum + 3.0 * m_sum);
+    fused.occupancy = linalg::occupancy_for_elements(static_cast<std::size_t>(nnz_sum));
+    device.launch(0, fused, {});
+    if (options.check_interval > 0 && w > 0 && w % options.check_interval == 0) {
+      // Batched KKT scoring (a host sync point: the restart/termination
+      // verdict is read back), two SpMV-shaped launches.
+      device.launch(0, sparse_wave_cost(nnz_sum, m_sum), {});
+      device.launch(0, sparse_wave_cost(nnz_sum, n_sum), {});
+    }
+    GPUMIP_TRACE_END("gpumip.lp.batch.wave");
+  }
+  report.sim_seconds = device.synchronize();
+  report.kernels = device.stats().kernels - kernels_before;
+  return report;
+}
+
+BatchedLpReport solve_batched_pdhg(const std::vector<const StandardForm*>& problems,
+                                   gpu::Device& device, const PdhgOptions& options) {
+  gpu::DeviceArena arena(device, "batch.lp");
+  return solve_batched_pdhg(problems, device, arena, options);
+}
+
 }  // namespace gpumip::lp

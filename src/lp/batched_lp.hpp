@@ -19,6 +19,7 @@
 
 #include "gpu/arena.hpp"
 #include "gpu/device.hpp"
+#include "lp/pdhg.hpp"
 #include "lp/simplex.hpp"
 
 namespace gpumip::lp {
@@ -53,5 +54,27 @@ struct BatchedLpReport {
 [[nodiscard]] BatchedLpReport solve_batched(const std::vector<const StandardForm*>& problems,
                               gpu::Device& device, BatchMode mode,
                               const SimplexOptions& options = {}, int streams = 16);
+
+/// The first-order contender (Blin et al., paper claims C6/C7): every
+/// instance is solved by restarted PDHG (exact host numerics, identical
+/// results to sequential PdhgSolver calls), and the device timeline is
+/// replayed as lockstep iteration waves. Each wave — SpMVᵀ, primal
+/// update/project, SpMV, dual update across all active instances — fuses
+/// into a single batched launch, because a PDHG iteration contains no
+/// host-side decision (a simplex pivot does: the ratio test feeds the next
+/// pivot's structure, so its waves cannot fuse). The host only syncs at the
+/// periodic batched KKT check. A wave moves K·nnz sparse bytes where the
+/// simplex lockstep wave moves K·m² dense bytes; launch amortization plus
+/// that byte asymmetry is the crossover argument of docs/METHODS.md.
+/// Residency is pdhg_lp_device_bytes per instance from `arena` (reset on
+/// entry).
+[[nodiscard]] BatchedLpReport solve_batched_pdhg(
+    const std::vector<const StandardForm*>& problems, gpu::Device& device,
+    gpu::DeviceArena& arena, const PdhgOptions& options = {});
+
+/// Convenience overload owning a throwaway arena.
+[[nodiscard]] BatchedLpReport solve_batched_pdhg(
+    const std::vector<const StandardForm*>& problems, gpu::Device& device,
+    const PdhgOptions& options = {});
 
 }  // namespace gpumip::lp

@@ -17,8 +17,9 @@ double cpu_seconds(const LpOpStats& stats, const CpuCostModel& cpu) {
   seconds += stats.refactor * ((2.0 / 3.0 + 1.0) * m * m * m / cpu.flops);
   seconds += stats.cholesky * ((1.0 / 3.0) * m * m * m / cpu.flops);
   seconds += stats.matvec_n * (2.0 * n / cpu.flops);
+  seconds += stats.spmv * (2.0 * static_cast<double>(stats.nnz) / cpu.sparse_flops);
   const long ops = stats.ftran + stats.btran + stats.price_full + stats.eta_updates +
-                   stats.refactor + stats.cholesky + stats.matvec_n;
+                   stats.refactor + stats.cholesky + stats.matvec_n + stats.spmv;
   seconds += static_cast<double>(ops) * cpu.per_op_overhead;
   return seconds;
 }
@@ -34,6 +35,8 @@ void publish_op_stats(const LpOpStats& stats) {
   GPUMIP_OBS_ADD("gpumip.lp.ops.bound_flips", as_u64(stats.bound_flips));
   GPUMIP_OBS_ADD("gpumip.lp.ops.cholesky", as_u64(stats.cholesky));
   GPUMIP_OBS_ADD("gpumip.lp.ops.matvec_n", as_u64(stats.matvec_n));
+  GPUMIP_OBS_ADD("gpumip.lp.ops.spmv", as_u64(stats.spmv));
+  GPUMIP_OBS_ADD("gpumip.lp.ops.restarts", as_u64(stats.restarts));
 }
 
 void charge_to_device(gpu::Device& device, gpu::StreamId stream, const LpOpStats& stats,
@@ -73,6 +76,14 @@ void charge_to_device(gpu::Device& device, gpu::StreamId stream, const LpOpStats
   KernelCost vec_cost = KernelCost::dense(2.0 * n, n);
   vec_cost.occupancy = linalg::occupancy_for_elements(static_cast<std::size_t>(stats.n));
   launch_many(stats.matvec_n, vec_cost);
+
+  // Matrix-free SpMV passes (PDHG): always sparse-irregular — the whole
+  // point of the first-order backend is that it never densifies A.
+  KernelCost spmv_cost = KernelCost::sparse_irregular(
+      2.0 * static_cast<double>(stats.nnz), 1.5 * static_cast<double>(stats.nnz) + n);
+  spmv_cost.occupancy =
+      linalg::occupancy_for_elements(static_cast<std::size_t>(stats.nnz < 0 ? 0 : stats.nnz));
+  launch_many(stats.spmv, spmv_cost);
 }
 
 std::uint64_t dense_lp_device_bytes(int m, int n) {
@@ -80,6 +91,18 @@ std::uint64_t dense_lp_device_bytes(int m, int n) {
   const std::uint64_t binv = static_cast<std::uint64_t>(m) * m;
   const std::uint64_t vectors = 4ull * (static_cast<std::uint64_t>(m) + n);
   return (a + binv + vectors) * sizeof(double);
+}
+
+std::uint64_t pdhg_lp_device_bytes(int m, int n, long nnz) {
+  const std::uint64_t z = static_cast<std::uint64_t>(nnz < 0 ? 0 : nnz);
+  const std::uint64_t csr = z * (sizeof(double) + sizeof(int)) +
+                            (static_cast<std::uint64_t>(m) + 1) * sizeof(int);
+  // x, x̄, Aᵀy, running x-sum, per-column steps + bounds on the primal side;
+  // y, Ax̄, running y-sum, per-row steps + rhs on the dual side.
+  const std::uint64_t vectors =
+      (6ull * static_cast<std::uint64_t>(n) + 5ull * static_cast<std::uint64_t>(m)) *
+      sizeof(double);
+  return csr + vectors;
 }
 
 }  // namespace gpumip::lp

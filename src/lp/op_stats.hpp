@@ -26,10 +26,12 @@ struct LpOpStats {
   long price_full = 0;   ///< reduced-cost passes over the matrix (nnz work)
   long eta_updates = 0;  ///< rank-1 PFI updates of B⁻¹ (dense m x m)
   long refactor = 0;     ///< basis refactorizations (LU, 2/3 m³ + inverse m³)
-  long iterations = 0;   ///< simplex iterations (or IPM iterations)
+  long iterations = 0;   ///< simplex iterations (or IPM/PDHG iterations)
   long bound_flips = 0;
   long cholesky = 0;     ///< normal-equation factorizations (IPM), m³/3
   long matvec_n = 0;     ///< assorted n-sized vector ops
+  long spmv = 0;         ///< matrix-free Ax / Aᵀy passes (PDHG), nnz work each
+  long restarts = 0;     ///< PDHG average-iterate restarts
 
   void add(const LpOpStats& other) {
     ftran += other.ftran;
@@ -41,6 +43,8 @@ struct LpOpStats {
     bound_flips += other.bound_flips;
     cholesky += other.cholesky;
     matvec_n += other.matvec_n;
+    spmv += other.spmv;
+    restarts += other.restarts;
   }
 };
 
@@ -69,5 +73,11 @@ void charge_to_device(gpu::Device& device, gpu::StreamId stream, const LpOpStats
 /// standard form of shape (m, n, nnz): dense A (m*n), B⁻¹ (m*m), and
 /// work vectors. Used for capacity accounting by the strategies.
 std::uint64_t dense_lp_device_bytes(int m, int n);
+
+/// Device memory (bytes) a matrix-free PDHG instance keeps resident: the
+/// CSR image (values + column indices + row offsets) and the iterate /
+/// average / scratch vectors. No basis inverse, no factorization — this is
+/// the footprint argument for batching many instances per device.
+std::uint64_t pdhg_lp_device_bytes(int m, int n, long nnz);
 
 }  // namespace gpumip::lp

@@ -1,6 +1,11 @@
 #include "lp/path_chooser.hpp"
 
 #include <algorithm>
+#include <cstdlib>
+#include <string_view>
+
+#include "obs/obs.hpp"
+#include "obs/trace.hpp"
 
 namespace gpumip::lp {
 
@@ -16,6 +21,89 @@ CodePath choose_path(const sparse::Csr& a, const PathChooserOptions& options) {
   if (std::min(a.rows, a.cols) <= options.small_dimension) return CodePath::DenseGpu;
   return a.density() >= options.density_threshold ? CodePath::DenseGpu
                                                   : CodePath::SparseHybrid;
+}
+
+const char* lp_method_name(LpMethod method) noexcept {
+  switch (method) {
+    case LpMethod::Simplex: return "simplex";
+    case LpMethod::InteriorPoint: return "interior_point";
+    case LpMethod::Pdhg: return "pdhg";
+  }
+  return "unknown";
+}
+
+std::optional<LpMethod> lp_method_override() {
+  const char* raw = std::getenv("GPUMIP_LP_METHOD");
+  if (raw == nullptr) return std::nullopt;
+  const std::string_view name(raw);
+  if (name == "simplex") return LpMethod::Simplex;
+  if (name == "interior_point") return LpMethod::InteriorPoint;
+  if (name == "pdhg") return LpMethod::Pdhg;
+  return std::nullopt;
+}
+
+namespace {
+
+void record_choice(LpMethod method, bool forced) {
+  switch (method) {
+    case LpMethod::Simplex:
+      GPUMIP_OBS_COUNT("gpumip.lp.method.simplex");
+      break;
+    case LpMethod::InteriorPoint:
+      GPUMIP_OBS_COUNT("gpumip.lp.method.interior_point");
+      break;
+    case LpMethod::Pdhg:
+      GPUMIP_OBS_COUNT("gpumip.lp.method.pdhg");
+      break;
+  }
+  if (forced) GPUMIP_OBS_COUNT("gpumip.lp.method.forced");
+  // arg encodes the method ordinal so the trace shows the flips themselves.
+  GPUMIP_TRACE_INSTANT("gpumip.lp.method.choice", static_cast<int>(method));
+}
+
+}  // namespace
+
+LpMethod choose_method(const sparse::Csr& a, const MethodContext& ctx,
+                       const MethodChoiceOptions& options) {
+  if (const auto forced = lp_method_override()) {
+    record_choice(*forced, /*forced=*/true);
+    return *forced;
+  }
+  if (ctx.forced) {
+    record_choice(*ctx.forced, /*forced=*/true);
+    return *ctx.forced;
+  }
+
+  const double density = a.density();
+  const bool sparse_enough = density <= options.pdhg_density_max;
+  const bool accuracy_ok = ctx.tol >= options.pdhg_tol_min;
+  LpMethod method = LpMethod::Simplex;
+
+  if (ctx.warm_basis) {
+    // Dual simplex from the parent basis is a handful of cheap iterations;
+    // nothing beats it regardless of shape (paper section 5.3).
+    method = LpMethod::Simplex;
+  } else if (ctx.batch_size >= options.batch_occupancy_min && sparse_enough &&
+             accuracy_ok && a.rows >= options.pdhg_batched_min_rows) {
+    // Lockstep waves amortize the launch latency over the whole batch and
+    // move K·nnz bytes where simplex waves move K·m² — PDHG's home turf.
+    method = LpMethod::Pdhg;
+  } else if (sparse_enough && accuracy_ok &&
+             a.rows >= (ctx.warm_iterates ? options.pdhg_batched_min_rows
+                                          : options.pdhg_min_rows)) {
+    // Sequential PDHG still wins when the instance is large and sparse
+    // enough that factorizations dominate; parent iterates lower the bar.
+    method = LpMethod::Pdhg;
+  } else if (a.rows >= options.ipm_min_rows) {
+    // Cold, large, not sparse enough for PDHG: few heavy IPM kernels beat
+    // thousands of simplex iterations.
+    method = LpMethod::InteriorPoint;
+  } else {
+    method = LpMethod::Simplex;
+  }
+
+  record_choice(method, /*forced=*/false);
+  return method;
 }
 
 }  // namespace gpumip::lp

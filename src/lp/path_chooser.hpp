@@ -1,7 +1,20 @@
-// Runtime dense-vs-sparse code-path decision (paper section 5.4): the
-// "super-MIP-solver" inspects the user's matrix at solve time and routes to
-// the dense-GPU or sparse-hybrid linear algebra path.
+// Runtime method- and code-path decisions (paper sections 2.3, 5.4 and
+// claims C6/C7): the "super-MIP-solver" inspects the instance at solve time
+// and routes it twice —
+//
+//   1. choose_method(): WHICH LP algorithm solves it (dual simplex,
+//      interior point, or restarted PDHG). The three-way decision table
+//      lives in docs/METHODS.md; it keys on warm-start availability, batch
+//      occupancy, matrix density, and size.
+//   2. choose_path(): WHERE the chosen method's linear algebra runs
+//      (dense-GPU kernels vs sparse-hybrid).
+//
+// Every choose_method() decision is exported as gpumip.lp.method.* counters
+// and a gpumip.lp.method.choice trace instant so bench_e9_methods can show
+// the crossover surface rather than assert it.
 #pragma once
+
+#include <optional>
 
 #include "sparse/formats.hpp"
 
@@ -26,5 +39,72 @@ struct PathChooserOptions {
 
 /// Decides the code path for a constraint matrix.
 CodePath choose_path(const sparse::Csr& a, const PathChooserOptions& options = {});
+
+// ---- three-way LP method selection -----------------------------------------
+
+enum class LpMethod {
+  Simplex,        ///< (dual) simplex: exact vertex + basis, warm-start king
+  InteriorPoint,  ///< Mehrotra predictor-corrector: few heavy iterations
+  Pdhg,           ///< restarted PDHG: matrix-free, batches into lockstep waves
+};
+
+/// Stable lowercase names ("simplex", "interior_point", "pdhg") — the values
+/// of GPUMIP_LP_METHOD and the vocabulary of docs/METHODS.md (check.sh's
+/// methods-doc gate asserts every name below appears there).
+const char* lp_method_name(LpMethod method) noexcept;
+
+/// Per-solve facts the decision keys on, beyond the matrix itself.
+struct MethodContext {
+  bool warm_basis = false;     ///< a parent basis is available (dual simplex)
+  bool warm_iterates = false;  ///< parent primal/dual iterates (PDHG warm start)
+  int batch_size = 1;          ///< instances solved together in lockstep
+  double tol = 1e-6;           ///< accuracy the caller needs
+  /// Programmatic pin (e.g. mip::MipOptions::lp_method). Routing it through
+  /// choose_method instead of branching at the caller keeps the
+  /// every-decision-is-recorded contract: the pin still emits the
+  /// gpumip.lp.method.* counters (as forced) and the choice trace instant.
+  /// GPUMIP_LP_METHOD outranks it.
+  std::optional<LpMethod> forced;
+};
+
+struct MethodChoiceOptions {
+  /// PDHG is only competitive when its per-wave nnz traffic undercuts the
+  /// competition; above this density the SpMV advantage is gone.
+  double pdhg_density_max = 0.05;
+  /// Sequential PDHG pays thousands of kernel launches, so a cold
+  /// single-instance solve only prefers it at the scale where IPM's dense
+  /// factorization stops fitting/paying (bench_e9_methods E9-a: IPM wins
+  /// every cold sequential cell up to hundreds of rows).
+  int pdhg_min_rows = 4096;
+  /// Batched lockstep amortizes launches across the batch; with at least
+  /// this many instances in flight PDHG's bar drops to pdhg_batched_min_rows.
+  int batch_occupancy_min = 16;
+  int pdhg_batched_min_rows = 48;
+  /// Above this row count a cold solve prefers interior point: ~10 heavy
+  /// Cholesky iterations launch two orders of magnitude fewer kernels than
+  /// the pivot-by-pivot simplex, and the crossover arrives early
+  /// (bench_e9_methods E9-a). Tiny instances stay on simplex, whose warm
+  /// restarts dominate real branch-and-bound work anyway.
+  int ipm_min_rows = 48;
+  /// Accuracy below which first-order methods are ruled out entirely.
+  double pdhg_tol_min = 1e-8;
+};
+
+/// Decides which LP method solves an instance of matrix `a` under `ctx`.
+/// Decision table (docs/METHODS.md, "Choosing a method"):
+///   1. GPUMIP_LP_METHOD env var ("simplex"/"interior_point"/"pdhg") wins,
+///      then a ctx.forced programmatic pin; both are counted as forced.
+///   2. warm basis -> Simplex (dual simplex reuse beats everything).
+///   3. batched (>= batch_occupancy_min) and sparse and not tiny -> Pdhg.
+///   4. large and sparse (>= pdhg_min_rows, <= pdhg_density_max) -> Pdhg
+///      (warm iterates lower the size bar to pdhg_batched_min_rows).
+///   5. large (>= ipm_min_rows) -> InteriorPoint.
+///   6. otherwise -> Simplex.
+/// Tolerances tighter than pdhg_tol_min disqualify Pdhg at steps 3-4.
+LpMethod choose_method(const sparse::Csr& a, const MethodContext& ctx,
+                       const MethodChoiceOptions& options = {});
+
+/// The GPUMIP_LP_METHOD override if set to a valid method name.
+std::optional<LpMethod> lp_method_override();
 
 }  // namespace gpumip::lp

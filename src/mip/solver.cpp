@@ -122,6 +122,11 @@ MipResult BnbSolver::run(const ConsistentSnapshot* snapshot) {
     form_ = std::make_unique<lp::StandardForm>(lp::build_standard_form(model_.lp()));
     lp_solver_ = std::make_unique<lp::SimplexSolver>(*form_, options_.lp);
   }
+  // The alternative relaxation backends work on the same (cut-strengthened)
+  // form. Root cut separation itself stays on the simplex path: the GMI
+  // separator needs a basis, which the basis-free methods cannot supply.
+  ipm_solver_ = std::make_unique<lp::InteriorPointSolver>(*form_, options_.ipm);
+  pdhg_solver_ = std::make_unique<lp::PdhgSolver>(*form_, options_.pdhg);
   pool_ = std::make_unique<NodePool>(options_.node_selection, options_.locality_slack);
   pseudocosts_.init(form_->num_vars, form_->c);
 
@@ -202,11 +207,43 @@ MipResult BnbSolver::run(const ConsistentSnapshot* snapshot) {
       continue;
     }
 
-    // Evaluate: dual simplex from the parent basis when available.
-    lp::LpResult lp_result =
-        node.warm_basis.empty()
-            ? lp_solver_->solve(node.lb, node.ub, nullptr)
-            : lp_solver_->resolve_dual(node.lb, node.ub, node.warm_basis);
+    // Evaluate: the three-way method policy of docs/METHODS.md picks the
+    // relaxation backend per node (options_.lp_method forces one;
+    // GPUMIP_LP_METHOD overrides both).
+    lp::MethodContext method_ctx;
+    method_ctx.warm_basis = !node.warm_basis.empty();
+    method_ctx.warm_iterates = !node.warm_x.empty() || !node.warm_y.empty();
+    method_ctx.batch_size = 1;
+    method_ctx.tol = options_.pdhg.tol;
+    method_ctx.forced = options_.lp_method;
+    const lp::LpMethod method =
+        lp::choose_method(form_->a_rows, method_ctx, options_.method_choice);
+    lp::LpResult lp_result;
+    switch (method) {
+      case lp::LpMethod::Simplex:
+        lp_result = node.warm_basis.empty()
+                        ? lp_solver_->solve(node.lb, node.ub, nullptr)
+                        : lp_solver_->resolve_dual(node.lb, node.ub, node.warm_basis);
+        break;
+      case lp::LpMethod::InteriorPoint:
+        lp_result = ipm_solver_->solve(node.lb, node.ub);
+        break;
+      case lp::LpMethod::Pdhg: {
+        const lp::PdhgWarmStart warm{node.warm_x, node.warm_y};
+        lp_result = pdhg_solver_->solve(node.lb, node.ub,
+                                        method_ctx.warm_iterates ? &warm : nullptr);
+        break;
+      }
+    }
+    // First-order / interior-point bounds are tol-approximate, not
+    // vertex-exact: pad every pruning comparison so an approximate bound
+    // can never cut off the true optimum (docs/METHODS.md, accuracy
+    // contracts).
+    const double bound_pad =
+        method == lp::LpMethod::Simplex
+            ? 0.0
+            : (method == lp::LpMethod::Pdhg ? options_.pdhg.tol : options_.ipm.tol) *
+                  (1.0 + std::fabs(lp_result.objective));
 
     NodeTrace tr;
     tr.node_id = id;
@@ -254,7 +291,7 @@ MipResult BnbSolver::run(const ConsistentSnapshot* snapshot) {
       pseudocosts_.update(node.branch_var, node.branch_up, delta, 0.5);
     }
 
-    if (lp_result.objective >= incumbent_obj_ - 1e-9) {
+    if (lp_result.objective - bound_pad >= incumbent_obj_ - 1e-9) {
       pool_->set_state(id, NodeState::PrunedLeaf);
       GPUMIP_TRACE_INSTANT("gpumip.mip.node.pruned", id);
       continue;
@@ -281,9 +318,11 @@ MipResult BnbSolver::run(const ConsistentSnapshot* snapshot) {
     }
     if (node.parent < 0) stats_.root_bound = lp_result.objective;
 
-    // Branch.
+    // Branch. Strong branching probes need a basis to dual-resolve from;
+    // basis-free methods fall back to the score-only rules inside
+    // select_branch_var.
     std::function<double(int, bool)> strong_probe;
-    if (options_.branching == BranchRule::Strong) {
+    if (options_.branching == BranchRule::Strong && !lp_result.basis.empty()) {
       strong_probe = [&](int var, bool up) {
         linalg::Vector lb2 = node.lb, ub2 = node.ub;
         const double v = lp_result.x[static_cast<std::size_t>(var)];
@@ -314,11 +353,17 @@ MipResult BnbSolver::run(const ConsistentSnapshot* snapshot) {
     down.depth = node.depth + 1;
     down.branch_var = var;
     down.branch_up = false;
-    down.bound = lp_result.objective;
+    down.bound = lp_result.objective - bound_pad;
     down.lb = node.lb;
     down.ub = node.ub;
     down.ub[static_cast<std::size_t>(var)] = std::floor(value);
     down.warm_basis = lp_result.basis;
+    if (method == lp::LpMethod::Pdhg) {
+      // Basis-free warm-start currency: children restart PDHG from the
+      // parent's primal/dual iterates (projected into their bounds).
+      down.warm_x = lp_result.x;
+      down.warm_y = lp_result.duals;
+    }
 
     BnbNode up = down;
     up.branch_up = true;

@@ -11,7 +11,11 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 
+#include "lp/interior_point.hpp"
+#include "lp/path_chooser.hpp"
+#include "lp/pdhg.hpp"
 #include "lp/simplex.hpp"
 #include "mip/branching.hpp"
 #include "mip/cuts.hpp"
@@ -43,6 +47,13 @@ struct MipOptions {
   CutOptions cuts;
   bool enable_heuristics = true;
   lp::SimplexOptions lp;
+  /// Force every node relaxation onto one LP method. Unset: lp::choose_method
+  /// picks per node (warm basis -> dual simplex, etc.; see docs/METHODS.md).
+  /// The GPUMIP_LP_METHOD env var overrides both.
+  std::optional<lp::LpMethod> lp_method;
+  lp::InteriorPointOptions ipm;
+  lp::PdhgOptions pdhg;
+  lp::MethodChoiceOptions method_choice;
   /// Emit a consistent snapshot every N evaluated nodes (0 = never).
   int snapshot_interval = 0;
   std::function<void(const ConsistentSnapshot&)> on_snapshot;
@@ -118,6 +129,8 @@ class BnbSolver {
   MipOptions options_;
   std::unique_ptr<lp::StandardForm> form_;
   std::unique_ptr<lp::SimplexSolver> lp_solver_;
+  std::unique_ptr<lp::InteriorPointSolver> ipm_solver_;
+  std::unique_ptr<lp::PdhgSolver> pdhg_solver_;
   std::unique_ptr<NodePool> pool_;
   std::vector<NodeTrace> trace_;
   MipStats stats_;

@@ -32,6 +32,9 @@ struct BnbNode {
   double bound = -1e300;   ///< parent LP objective (min form): lower bound
   linalg::Vector lb, ub;   ///< full standard-form bound vectors of this node
   lp::Basis warm_basis;    ///< parent's optimal basis for warm starting
+  /// Parent's primal/dual iterates when the parent was solved by PDHG
+  /// (basis-free): the first-order warm-start currency. Empty otherwise.
+  linalg::Vector warm_x, warm_y;
   NodeState state = NodeState::Active;
   double lp_objective = 0.0;  ///< set when evaluated
 };

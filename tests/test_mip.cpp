@@ -398,6 +398,52 @@ TEST(Cuts, GomoryCutsAreValidAndViolated) {
   EXPECT_GT(checked, 0) << "no trial produced cuts; generator too easy";
 }
 
+TEST(Bnb, ForcedLpMethodsAgreeWithEnumeration) {
+  // Every node relaxation forced onto one LP backend; all three must land
+  // on the enumeration optimum. IPM/PDHG objectives are tol-approximate, so
+  // the engine pads prune comparisons (docs/METHODS.md) — agreement here is
+  // the end-to-end check that the padding keeps the tree exact.
+  Rng rng(4242);
+  RandomMipConfig cfg;
+  cfg.rows = 6;
+  cfg.cols = 7;
+  cfg.density = 0.5;
+  cfg.integer_fraction = 0.7;
+  cfg.bound = 3.0;
+  MipModel m = problems::random_mip(cfg, rng);
+  MipResult exact = solve_by_enumeration(m);
+  ASSERT_EQ(exact.status, MipStatus::Optimal);
+  for (lp::LpMethod method :
+       {lp::LpMethod::Simplex, lp::LpMethod::InteriorPoint, lp::LpMethod::Pdhg}) {
+    MipOptions opts;
+    opts.lp_method = method;
+    opts.pdhg.tol = 1e-8;
+    MipResult r = solve(m, opts);
+    ASSERT_EQ(r.status, MipStatus::Optimal) << lp::lp_method_name(method);
+    EXPECT_NEAR(r.objective, exact.objective, 1e-4) << lp::lp_method_name(method);
+  }
+}
+
+TEST(Bnb, EnvOverrideForcesPdhgNodes) {
+  Rng rng(4243);
+  RandomMipConfig cfg;
+  cfg.rows = 5;
+  cfg.cols = 6;
+  cfg.density = 0.5;
+  cfg.integer_fraction = 0.8;
+  cfg.bound = 2.0;
+  MipModel m = problems::random_mip(cfg, rng);
+  MipResult exact = solve_by_enumeration(m);
+  ASSERT_EQ(exact.status, MipStatus::Optimal);
+  ASSERT_EQ(::setenv("GPUMIP_LP_METHOD", "pdhg", 1), 0);
+  MipOptions opts;
+  opts.pdhg.tol = 1e-8;
+  MipResult r = solve(m, opts);
+  ::unsetenv("GPUMIP_LP_METHOD");
+  ASSERT_EQ(r.status, MipStatus::Optimal);
+  EXPECT_NEAR(r.objective, exact.objective, 1e-4);
+}
+
 TEST(Cuts, CoverCutsOnKnapsack) {
   Rng rng(81);
   MipModel m = problems::knapsack(12, rng, 0.4);
