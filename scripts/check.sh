@@ -294,13 +294,16 @@ timed methods methods_gate
 
 # Gate 7: gpumip-lint. A dedicated small Release tree builds just the tool
 # (it has no solver dependencies, so this is cheap even from scratch). The
-# self-test proves each rule R1-R4, the call-graph rules R6-R9, and the
-# CFG/dataflow lifetime rules R10-R12 still fire on their seeded-violation
-# fixtures and that the suppression round trip holds; the sweep then
+# self-test proves each rule R1-R4, the call-graph rules R6-R9, the
+# CFG/dataflow lifetime rules R10-R12, and the protocol/determinism rules
+# R13-R16 still fire on their seeded-violation fixtures and that the
+# suppression round trip holds; the sweep then
 # requires src/ to be clean modulo the justified entries in
 # tools/gpumip-lint/suppressions.txt, with R5 compiling every header under
 # src/ standalone and R6-R9 walking the hot-path manifest
-# tools/gpumip-lint/hotpaths.txt. The sweep runs with --format=json:
+# tools/gpumip-lint/hotpaths.txt. The per-file scan phase fans out over
+# --jobs $JOBS worker threads (findings merge back in input order, so the
+# report is thread-count independent). The sweep runs with --format=json:
 # findings stay on stderr for the console, and the machine-readable
 # document (schema gpumip.lint.v1, including the waived findings and the
 # per-phase wall times) is archived next to the gate logs as
@@ -322,7 +325,7 @@ lint_gate() {
     FAILURES=$((FAILURES + 1))
     return
   fi
-  echo "==> [lint] R1-R12 over src/ (suppressions: tools/gpumip-lint/suppressions.txt, hot paths: tools/gpumip-lint/hotpaths.txt)"
+  echo "==> [lint] R1-R16 over src/ (suppressions: tools/gpumip-lint/suppressions.txt, hot paths: tools/gpumip-lint/hotpaths.txt, jobs: $JOBS)"
   mapfile -t lint_sources < <(find src -name '*.cpp' -o -name '*.hpp' | sort)
   local lint_status=0
   "$tool" --metrics-doc docs/METRICS.md --tracing-doc docs/TRACING.md \
@@ -330,6 +333,7 @@ lint_gate() {
        --hotpaths tools/gpumip-lint/hotpaths.txt \
        --header-check --include-dir src --compiler "${CXX:-c++}" \
        --scratch "$build_dir/lint-scratch" --format=json \
+       --jobs "$JOBS" \
        "${lint_sources[@]}" >"$build_dir.lint.json" || lint_status=$?
   # Surface the analyzer's per-phase wall times from the archived JSON so
   # a slow rule family is visible without re-running by hand.
@@ -337,10 +341,14 @@ lint_gate() {
     python3 - "$build_dir.lint.json" <<'PY' || true
 import json, sys
 s = json.load(open(sys.argv[1]))["stats"]
-print("==> [lint] phases: scan %.1fms, token rules %.1fms, index+graph %.1fms, "
-      "hotpath %.1fms, lifetime %.1fms (%d files, %d functions)"
-      % (s["scan_ms"], s["rules_ms"], s["index_ms"], s["hotpath_ms"],
-         s["lifetime_ms"], s["files"], s["functions"]))
+speedup = s["scan_serial_ms"] / s["scan_ms"] if s["scan_ms"] > 0 else 1.0
+print("==> [lint] phases: scan %.1fms (%d jobs, %.1fx over serial %.1fms), "
+      "token rules %.1fms, index+graph %.1fms, hotpath %.1fms, "
+      "lifetime %.1fms, protocol %.1fms, determinism %.1fms "
+      "(%d files, %d functions)"
+      % (s["scan_ms"], s["scan_jobs"], speedup, s["scan_serial_ms"],
+         s["rules_ms"], s["index_ms"], s["hotpath_ms"], s["lifetime_ms"],
+         s["protocol_ms"], s["determinism_ms"], s["files"], s["functions"]))
 PY
   fi
   if [ "$lint_status" -ne 0 ]; then

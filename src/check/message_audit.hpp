@@ -14,9 +14,9 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 namespace gpumip::check {
@@ -58,7 +58,10 @@ class MessageAuditor {
   };
 
   mutable std::mutex mutex_;
-  std::unordered_map<std::uint64_t, Entry> entries_;
+  // Ordered by tracking id so report()/finalize() list lost or duplicated
+  // subproblems deterministically — the audit text is part of the
+  // replay-identical diagnostic surface (gpumip-lint R15).
+  std::map<std::uint64_t, Entry> entries_;
   std::uint64_t next_id_ = 1;
   std::vector<std::string> anomalies_;
 };

@@ -16,11 +16,11 @@
 #include <cstddef>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <memory>
 #include <queue>
 #include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "gpu/cost_model.hpp"
@@ -193,7 +193,10 @@ class Device {
   int id_ = 0;
   DeviceStats stats_;
   double clock_ = 0.0;
-  std::unordered_map<std::uint64_t, LedgerEntry> ledger_;
+  // Ordered by allocation id so the leak report (destructor warning,
+  // reset_stats error) lists blocks deterministically — replay-identical
+  // runs must produce byte-identical diagnostics (gpumip-lint R15).
+  std::map<std::uint64_t, LedgerEntry> ledger_;
   std::uint64_t next_alloc_id_ = 1;
 
   std::vector<double> streams_;  // per-stream completion frontier

@@ -112,7 +112,7 @@ BatchedLpReport solve_batched(const std::vector<const StandardForm*>& problems,
         n_avg /= active;
         ++report.waves;
         GPUMIP_OBS_COUNT("gpumip.lp.batch.waves");
-        GPUMIP_TRACE_BEGIN("gpumip.lp.batch.wave", active);
+        GPUMIP_TRACE_SCOPE("gpumip.lp.batch.wave", active);
         // Paper C7: fraction of the batch still pivoting in this wave.
         GPUMIP_OBS_RECORD("gpumip.lp.batch.occupancy",
                           static_cast<double>(active) / static_cast<double>(problems.size()));
@@ -133,7 +133,6 @@ BatchedLpReport solve_batched(const std::vector<const StandardForm*>& problems,
                                      (2.0 / 3.0 + 1.0) * m_avg * m_avg * m_avg, m_avg * m_avg),
                         {});
         }
-        GPUMIP_TRACE_END("gpumip.lp.batch.wave");
       }
       break;
     }
@@ -224,7 +223,7 @@ BatchedLpReport solve_batched_pdhg(const std::vector<const StandardForm*>& probl
     if (active == 0) break;
     ++report.waves;
     GPUMIP_OBS_COUNT("gpumip.lp.batch.waves");
-    GPUMIP_TRACE_BEGIN("gpumip.lp.batch.wave", active);
+    GPUMIP_TRACE_SCOPE("gpumip.lp.batch.wave", active);
     GPUMIP_OBS_RECORD("gpumip.lp.batch.occupancy",
                       static_cast<double>(active) / static_cast<double>(problems.size()));
     // The whole iteration fuses into ONE batched launch: unlike a simplex
@@ -245,7 +244,6 @@ BatchedLpReport solve_batched_pdhg(const std::vector<const StandardForm*>& probl
       device.launch(0, sparse_wave_cost(nnz_sum, m_sum), {});
       device.launch(0, sparse_wave_cost(nnz_sum, n_sum), {});
     }
-    GPUMIP_TRACE_END("gpumip.lp.batch.wave");
   }
   report.sim_seconds = device.synchronize();
   report.kernels = device.stats().kernels - kernels_before;

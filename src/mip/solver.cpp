@@ -47,14 +47,13 @@ void BnbSolver::root_cut_loop() {
     // Each round is a traced span: its duration IS the device→host→device
     // round-trip latency the paper's C4 tension is about (gpumip-trace
     // aggregates these into the cut-latency report).
-    GPUMIP_TRACE_BEGIN("gpumip.mip.cuts.round", round);
+    GPUMIP_TRACE_SCOPE("gpumip.mip.cuts.round", round);
     form_ = std::make_unique<lp::StandardForm>(lp::build_standard_form(model_.lp()));
     lp_solver_ = std::make_unique<lp::SimplexSolver>(*form_, options_.lp);
     lp::LpResult root = lp_solver_->solve_default();
     stats_.total_ops.add(root.ops);
     stats_.lp_iterations += root.iterations;
     if (root.status != lp::LpStatus::Optimal || model_.is_integral(root.x, options_.int_tol)) {
-      GPUMIP_TRACE_END("gpumip.mip.cuts.round");
       return;
     }
 
@@ -70,7 +69,6 @@ void BnbSolver::root_cut_loop() {
       cut_payload += cut.terms.size() * (sizeof(int) + sizeof(double)) + 2 * sizeof(double);
     }
     if (added == 0) {
-      GPUMIP_TRACE_END("gpumip.mip.cuts.round");
       return;
     }
     stats_.cuts_added += added;
@@ -82,7 +80,6 @@ void BnbSolver::root_cut_loop() {
     GPUMIP_OBS_ADD("gpumip.mip.cuts.bytes_d2h",
                    static_cast<std::uint64_t>(root.x.size() * sizeof(double)));
     GPUMIP_OBS_ADD("gpumip.mip.cuts.bytes_h2d", cut_payload);
-    GPUMIP_TRACE_END("gpumip.mip.cuts.round");
   }
   // Rebuild once more so the form includes the last round's cuts.
   form_ = std::make_unique<lp::StandardForm>(lp::build_standard_form(model_.lp()));

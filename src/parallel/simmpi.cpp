@@ -459,7 +459,11 @@ void ByteWriter::write_ints(std::span<const int> values) {
 
 std::vector<double> ByteReader::read_doubles() {
   const auto count = read<std::uint64_t>();
-  check_arg(pos_ + count * sizeof(double) <= data_.size(), "read_doubles: out of data");
+  // Division form so a corrupt count header cannot overflow the bound
+  // check (count * 8 wraps u64 for count >= 2^61); corruption is a
+  // protocol error, not a caller bug.
+  check_protocol(count <= (data_.size() - pos_) / sizeof(double),
+                 "read_doubles: out of data");
   // gpumip-lint: hot-alloc(decode materializes the vector the caller keeps; sized exactly, allocated once)
   std::vector<double> out(count);
   if (count == 0) return out;
@@ -470,7 +474,8 @@ std::vector<double> ByteReader::read_doubles() {
 
 std::vector<int> ByteReader::read_ints() {
   const auto count = read<std::uint64_t>();
-  check_arg(pos_ + count * sizeof(int) <= data_.size(), "read_ints: out of data");
+  check_protocol(count <= (data_.size() - pos_) / sizeof(int),
+                 "read_ints: out of data");
   std::vector<int> out(count);
   if (count == 0) return out;
   std::memcpy(out.data(), data_.data() + pos_, count * sizeof(int));

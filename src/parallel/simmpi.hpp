@@ -189,7 +189,10 @@ class ByteReader {
   template <typename T>
     requires std::is_trivially_copyable_v<T>
   T read() {
-    check_arg(pos_ + sizeof(T) <= data_.size(), "ByteReader: out of data");
+    // Subtraction form: pos_ <= size() always holds, so this cannot wrap —
+    // unlike `pos_ + sizeof(T) <= size()`, which overflows for adversarial
+    // inputs. A short buffer is wire corruption, hence kProtocolError.
+    check_protocol(sizeof(T) <= data_.size() - pos_, "ByteReader: out of data");
     T value;
     std::memcpy(&value, data_.data() + pos_, sizeof(T));
     pos_ += sizeof(T);

@@ -54,6 +54,7 @@ WorkItem decode_subproblem(std::span<const std::byte> payload) {
   item.sub.depth = r.read<int>();
   item.sub.lb = r.read_doubles();
   item.sub.ub = r.read_doubles();
+  check_protocol(r.exhausted(), "decode_subproblem: trailing bytes after payload");
   return item;
 }
 
@@ -103,6 +104,7 @@ WorkerReport decode_report(std::span<const std::byte> payload) {
     sub.lb = r.read_doubles();
     sub.ub = r.read_doubles();
   }
+  check_protocol(r.exhausted(), "decode_report: trailing bytes after payload");
   return report;
 }
 

@@ -11,6 +11,7 @@ const char* error_code_name(ErrorCode code) noexcept {
     case ErrorCode::kNumericalFailure: return "NumericalFailure";
     case ErrorCode::kLimitExceeded: return "LimitExceeded";
     case ErrorCode::kIoError: return "IoError";
+    case ErrorCode::kProtocolError: return "ProtocolError";
     case ErrorCode::kInternal: return "Internal";
   }
   return "Unknown";
@@ -28,6 +29,10 @@ void check_arg(bool cond, const std::string& message, std::source_location loc) 
 
 void check_internal(bool cond, const std::string& message, std::source_location loc) {
   if (!cond) throw Error(ErrorCode::kInternal, with_location(message, loc));
+}
+
+void check_protocol(bool cond, const std::string& message, std::source_location loc) {
+  if (!cond) throw Error(ErrorCode::kProtocolError, with_location(message, loc));
 }
 
 namespace detail {

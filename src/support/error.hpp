@@ -18,6 +18,7 @@ enum class ErrorCode {
   kNumericalFailure,  ///< singular matrix, factorization breakdown, ...
   kLimitExceeded,     ///< iteration/node/time budget exhausted unexpectedly
   kIoError,           ///< file parse/write failure
+  kProtocolError,     ///< malformed wire payload (truncated/trailing bytes)
   kInternal,          ///< invariant broken inside the library (a bug)
 };
 
@@ -58,6 +59,13 @@ void check_arg(bool cond, const std::string& message,
 /// Throws Error(kInternal) with location info when `cond` is false.
 /// Used for invariants that indicate a library bug, not misuse.
 void check_internal(bool cond, const std::string& message,
+                    std::source_location loc = std::source_location::current());
+
+/// Throws Error(kProtocolError) with location info when `cond` is false.
+/// Used by wire deserializers: a payload that fails structural validation
+/// (trailing bytes, impossible length header) is a protocol error, not a
+/// caller bug — it signals version skew or corruption between ranks.
+void check_protocol(bool cond, const std::string& message,
                     std::source_location loc = std::source_location::current());
 
 }  // namespace gpumip

@@ -18,6 +18,10 @@ class WallTimer {
   }
 
  private:
+  // The one sanctioned wall-clock read: WallTimer feeds benchmark reports
+  // and busy-time accounting only, never solver decisions or the sim lane,
+  // so its readings cannot diverge a replayed schedule.
+  // gpumip-lint: determinism-ok(host-lane wall timer; readings go to reports, never into solve-path decisions or the replayed schedule)
   using clock = std::chrono::steady_clock;
   clock::time_point start_;
 };

@@ -982,3 +982,289 @@ TEST(LintLexer, WordIndexMatchesWholeWordSearch) {
   EXPECT_EQ(lint::find_word(scanned.clean, "move", 0), positions[0]);
   EXPECT_TRUE(lint::word_positions(scanned, "absent_word").empty());
 }
+
+// ---- R13: wire-format symmetry ---------------------------------------------
+
+namespace {
+
+// Shared deserializer fixture: reads double, int, then proves exhaustion.
+const char* const kDecodeItem =
+    "Item decode_item(std::span<const std::byte> p) {\n"
+    "  ByteReader r(p);\n"
+    "  Item it;\n"
+    "  it.a = r.read<double>();\n"
+    "  it.b = r.read<int>();\n"
+    "  check_arg(r.exhausted(), \"trailing bytes\");\n"
+    "  return it;\n"
+    "}\n";
+
+}  // namespace
+
+TEST(LintR13, TypedOpMismatchFires) {
+  const auto findings = lint_one("src/parallel/fixture.cpp",
+                                 "void encode_item(const Item& it, ByteWriter& w) {\n"
+                                 "  w.write<double>(it.a);\n"
+                                 "  w.write<double>(it.b);\n"
+                                 "}\n" +
+                                     std::string(kDecodeItem),
+                                 doc_options());
+  ASSERT_TRUE(has_rule(findings, "R13"));
+}
+
+TEST(LintR13, FieldCountMismatchFires) {
+  const auto findings = lint_one("src/parallel/fixture.cpp",
+                                 "void encode_item(const Item& it, ByteWriter& w) {\n"
+                                 "  w.write<double>(it.a);\n"
+                                 "}\n" +
+                                     std::string(kDecodeItem),
+                                 doc_options());
+  EXPECT_TRUE(has_rule(findings, "R13"));
+}
+
+TEST(LintR13, MatchingPairIsQuietAndDeducedWriteIsWildcard) {
+  // The second write has a deduced template argument -- it must match the
+  // typed read<int> on the other side instead of firing.
+  const auto findings = lint_one("src/parallel/fixture.cpp",
+                                 "void encode_item(const Item& it, ByteWriter& w) {\n"
+                                 "  w.write<double>(it.a);\n"
+                                 "  w.write(it.b);\n"
+                                 "}\n" +
+                                     std::string(kDecodeItem),
+                                 doc_options());
+  EXPECT_FALSE(has_rule(findings, "R13"));
+}
+
+TEST(LintR13, BranchAsymmetryFires) {
+  // Writer has a conditional extra field; reader decodes unconditionally.
+  const auto findings = lint_one("src/parallel/fixture.cpp",
+                                 "void encode_item(const Item& it, ByteWriter& w) {\n"
+                                 "  w.write<double>(it.a);\n"
+                                 "  if (it.extended) { w.write<int>(it.b); }\n"
+                                 "}\n" +
+                                     std::string(kDecodeItem),
+                                 doc_options());
+  EXPECT_TRUE(has_rule(findings, "R13"));
+}
+
+TEST(LintR13, MirroredCountPrefixedLoopsAreQuiet) {
+  const auto findings = lint_one(
+      "src/parallel/fixture.cpp",
+      "void encode_list(const L& l, ByteWriter& w) {\n"
+      "  w.write<std::uint64_t>(l.count);\n"
+      "  for (const auto& v : l.items) { w.write_doubles(v); }\n"
+      "}\n"
+      "L decode_list(std::span<const std::byte> p) {\n"
+      "  ByteReader r(p);\n"
+      "  L l;\n"
+      "  l.count = r.read<std::uint64_t>();\n"
+      "  for (std::uint64_t i = 0; i < l.count; ++i) { l.items.push_back(r.read_doubles()); }\n"
+      "  check_arg(r.exhausted(), \"trailing bytes\");\n"
+      "  return l;\n"
+      "}\n",
+      doc_options());
+  EXPECT_FALSE(has_rule(findings, "R13"));
+}
+
+TEST(LintR13, WireOkAnnotationWaives) {
+  const auto findings =
+      lint_one("src/parallel/fixture.cpp",
+               "// gpumip-lint: wire-ok(versioned decode accepts the legacy layout)\n"
+               "void encode_item(const Item& it, ByteWriter& w) {\n"
+               "  w.write<double>(it.a);\n"
+               "}\n" +
+                   std::string(kDecodeItem),
+               doc_options());
+  EXPECT_FALSE(has_rule(findings, "R13"));
+}
+
+// ---- R14: tag-protocol coverage --------------------------------------------
+
+TEST(LintR14, UnhandledSentTagFires) {
+  const auto findings = lint_one(
+      "src/parallel/fixture.cpp", "void p(Comm& c) { c.send(1, kTagPing, payload); }\n",
+      doc_options());
+  ASSERT_TRUE(has_rule(findings, "R14"));
+}
+
+TEST(LintR14, ComparedOrCaseHandledTagIsQuiet) {
+  const std::string send_site = "void p(Comm& c) { c.send(1, kTagPing, payload); }\n";
+  EXPECT_FALSE(has_rule(
+      lint_one("src/parallel/fixture.cpp",
+               send_site +
+                   "void q(Comm& c) { Message m = c.recv(); if (m.tag == kTagPing) { on(m); } }\n",
+               doc_options()),
+      "R14"));
+  EXPECT_FALSE(has_rule(
+      lint_one("src/parallel/fixture.cpp",
+               send_site + "void q(int t) { switch (t) { case kTagPing: on(); break; } }\n",
+               doc_options()),
+      "R14"));
+}
+
+TEST(LintR14, DeserializerWithoutExhaustedCheckFires) {
+  const auto findings = lint_one(
+      "src/parallel/fixture.cpp",
+      "int decode_one(std::span<const std::byte> p) { ByteReader r(p); return r.read<int>(); }\n",
+      doc_options());
+  EXPECT_TRUE(has_rule(findings, "R14"));
+}
+
+TEST(LintR14, ExhaustedCheckOrWireOkQuiets) {
+  EXPECT_FALSE(has_rule(lint_one("src/parallel/fixture.cpp",
+                                 "int decode_one(std::span<const std::byte> p) {\n"
+                                 "  ByteReader r(p);\n"
+                                 "  int v = r.read<int>();\n"
+                                 "  check_protocol(r.exhausted(), \"trailing bytes\");\n"
+                                 "  return v;\n"
+                                 "}\n",
+                                 doc_options()),
+                        "R14"));
+  EXPECT_FALSE(has_rule(lint_one("src/parallel/fixture.cpp",
+                                 "int decode_one(std::span<const std::byte> p) {\n"
+                                 "  // gpumip-lint: wire-ok(framing layer validates length)\n"
+                                 "  ByteReader r(p);\n"
+                                 "  return r.read<int>();\n"
+                                 "}\n",
+                                 doc_options()),
+                        "R14"));
+}
+
+TEST(LintProtocol, FlagDisablesR13AndR14) {
+  lint::Options options = doc_options();
+  options.protocol_rules = false;
+  const auto findings = lint_one(
+      "src/parallel/fixture.cpp",
+      "void p(Comm& c) { c.send(1, kTagPing, payload); }\n"
+      "void encode_item(const Item& it, ByteWriter& w) { w.write<double>(it.a); }\n" +
+          std::string(kDecodeItem),
+      options);
+  EXPECT_FALSE(has_rule(findings, "R13"));
+  EXPECT_FALSE(has_rule(findings, "R14"));
+}
+
+// ---- R15: replay-determinism hazards ---------------------------------------
+
+TEST(LintR15, WallClockInScopeFires) {
+  const std::string code =
+      "double now_s() { return std::chrono::steady_clock::now().time_since_epoch().count(); }\n";
+  EXPECT_TRUE(has_rule(lint_one("src/lp/fixture.cpp", code, doc_options()), "R15"));
+  // bench/ is outside the default determinism scope (src/).
+  EXPECT_FALSE(has_rule(lint_one("bench/fixture.cpp", code, doc_options()), "R15"));
+}
+
+TEST(LintR15, UnorderedIterationFiresOrderedMapIsQuiet) {
+  EXPECT_TRUE(has_rule(lint_one("src/lp/fixture.cpp",
+                                "std::unordered_map<int, double> table_;\n"
+                                "void dump() { for (const auto& kv : table_) { emit(kv); } }\n",
+                                doc_options()),
+                       "R15"));
+  EXPECT_FALSE(has_rule(lint_one("src/lp/fixture.cpp",
+                                 "std::map<int, double> table_;\n"
+                                 "void dump() { for (const auto& kv : table_) { emit(kv); } }\n",
+                                 doc_options()),
+                        "R15"));
+}
+
+TEST(LintR15, CustomDeterminismScopeIsHonored) {
+  lint::Options options = doc_options();
+  options.determinism_scope = {"tools/"};
+  const std::string code = "void f() { std::random_device rd; use(rd()); }\n";
+  EXPECT_FALSE(has_rule(lint_one("src/lp/fixture.cpp", code, options), "R15"));
+  EXPECT_TRUE(has_rule(lint_one("tools/fixture.cpp", code, options), "R15"));
+}
+
+TEST(LintR15, DeterminismOkAnnotationWaives) {
+  const auto findings = lint_one(
+      "src/lp/fixture.cpp",
+      "std::unordered_map<int, double> table_;\n"
+      "void dump() {\n"
+      "  // gpumip-lint: determinism-ok(debug dump, never feeds the solve)\n"
+      "  for (const auto& kv : table_) { emit(kv); }\n"
+      "}\n",
+      doc_options());
+  EXPECT_FALSE(has_rule(findings, "R15"));
+}
+
+// ---- R16: seed plumbing ----------------------------------------------------
+
+TEST(LintR16, DefaultConstructedEngineFires) {
+  EXPECT_TRUE(has_rule(lint_one("src/lp/fixture.cpp",
+                                "void f() { std::mt19937_64 gen; use(gen()); }\n", doc_options()),
+                       "R16"));
+  EXPECT_TRUE(has_rule(lint_one("src/lp/fixture.cpp",
+                                "void f() { Rng rng; use(rng.uniform(0.0, 1.0)); }\n",
+                                doc_options()),
+                       "R16"));
+}
+
+TEST(LintR16, SeededEngineAndCtorInitMemberAreQuiet) {
+  EXPECT_FALSE(has_rule(
+      lint_one("src/lp/fixture.cpp",
+               "void f(std::uint64_t seed) { std::mt19937_64 gen(seed); use(gen()); }\n",
+               doc_options()),
+      "R16"));
+  EXPECT_FALSE(has_rule(lint_one("src/lp/fixture.cpp",
+                                 "struct S {\n"
+                                 "  explicit S(std::uint64_t seed) : engine_(seed) {}\n"
+                                 "  std::mt19937_64 engine_;\n"
+                                 "};\n",
+                                 doc_options()),
+                        "R16"));
+}
+
+TEST(LintDeterminism, FlagDisablesR15AndR16) {
+  lint::Options options = doc_options();
+  options.determinism_rules = false;
+  const auto findings =
+      lint_one("src/lp/fixture.cpp",
+               "void f() { std::random_device rd; std::mt19937_64 gen; use(rd(), gen()); }\n",
+               options);
+  EXPECT_FALSE(has_rule(findings, "R15"));
+  EXPECT_FALSE(has_rule(findings, "R16"));
+}
+
+// ---- parallel scan (--jobs) -------------------------------------------------
+
+TEST(LintJobs, ParallelScanMatchesSerialFindingsInOrder) {
+  // The scan pool merges per-file slots back in input order: findings must
+  // be byte-identical to a serial run, whatever the thread interleaving.
+  std::vector<lint::SourceFile> files;
+  for (int i = 0; i < 12; ++i) {
+    const std::string tag = std::to_string(i);
+    files.push_back({"src/gen/fixture" + tag + ".cpp",
+                     "void f" + tag + "() { std::mt19937_64 gen; use(gen()); }\n"
+                     "double t" + tag + "() { return std::chrono::steady_clock::now().time_since_epoch().count(); }\n"});
+  }
+  std::vector<lint::Suppression> none;
+
+  lint::Options serial = doc_options();
+  serial.jobs = 1;
+  lint::RunStats serial_stats;
+  const auto serial_findings = lint::run_lint(files, serial, none, &serial_stats);
+
+  lint::Options pooled = doc_options();
+  pooled.jobs = 4;
+  lint::RunStats pooled_stats;
+  const auto pooled_findings = lint::run_lint(files, pooled, none, &pooled_stats);
+
+  EXPECT_EQ(serial_stats.scan_jobs, 1u);
+  EXPECT_EQ(pooled_stats.scan_jobs, 4u);
+  ASSERT_EQ(serial_findings.size(), pooled_findings.size());
+  for (std::size_t i = 0; i < serial_findings.size(); ++i) {
+    EXPECT_EQ(serial_findings[i].rule, pooled_findings[i].rule) << i;
+    EXPECT_EQ(serial_findings[i].file, pooled_findings[i].file) << i;
+    EXPECT_EQ(serial_findings[i].line, pooled_findings[i].line) << i;
+    EXPECT_EQ(serial_findings[i].message, pooled_findings[i].message) << i;
+  }
+}
+
+TEST(LintJobs, StatsRecordPhaseTimings) {
+  lint::RunStats stats;
+  std::vector<lint::Suppression> none;
+  (void)lint::run_lint({{"src/fix.cpp", "void f() { g(); }\n"}}, doc_options(), none, &stats);
+  // Serial-equivalent scan time is the sum of per-file times, so it can
+  // never undercut the pooled wall time.
+  EXPECT_GE(stats.scan_serial_ms, 0.0);
+  EXPECT_GE(stats.protocol_ms, 0.0);
+  EXPECT_GE(stats.determinism_ms, 0.0);
+}

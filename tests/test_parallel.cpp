@@ -140,6 +140,118 @@ TEST(SimMpi, SerializationRoundTrip) {
   EXPECT_THROW(bad.read<double>(), Error);
 }
 
+namespace {
+
+// A representative wire payload: the same field mix the supervisor's
+// subproblem/report messages use (scalars + counted arrays).
+std::vector<std::byte> fuzz_payload() {
+  ByteWriter w;
+  w.write<std::uint64_t>(42);
+  w.write<double>(-1.5);
+  w.write<int>(7);
+  w.write_doubles(std::vector<double>{0.5, 1.5, 2.5});
+  w.write_ints(std::vector<int>{3, 1, 4, 1, 5});
+  return std::move(w).take();
+}
+
+// Decodes the fuzz_payload field sequence and enforces full consumption,
+// mirroring how decode_subproblem/decode_report end with check_protocol.
+void decode_all(std::span<const std::byte> bytes) {
+  ByteReader r(bytes);
+  (void)r.read<std::uint64_t>();
+  (void)r.read<double>();
+  (void)r.read<int>();
+  (void)r.read_doubles();
+  (void)r.read_ints();
+  check_protocol(r.exhausted(), "decode_all: trailing bytes after payload");
+}
+
+}  // namespace
+
+TEST(SimMpi, TruncatedPayloadRaisesProtocolError) {
+  // Every strict prefix of a valid payload must fail decoding with the
+  // typed wire error -- never an unchecked read past the buffer.
+  const std::vector<std::byte> bytes = fuzz_payload();
+  for (std::size_t len = 0; len < bytes.size(); ++len) {
+    try {
+      decode_all(std::span<const std::byte>(bytes.data(), len));
+      FAIL() << "decode succeeded on a " << len << "-byte prefix of "
+             << bytes.size() << " bytes";
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kProtocolError) << "prefix length " << len;
+    }
+  }
+}
+
+TEST(SimMpi, OverlongPayloadRaisesProtocolError) {
+  // Trailing garbage after a well-formed payload must trip the
+  // exhausted() check, not be silently ignored (version-skew detector).
+  std::vector<std::byte> bytes = fuzz_payload();
+  bytes.push_back(std::byte{0xAB});
+  try {
+    decode_all(bytes);
+    FAIL() << "decode accepted trailing bytes";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kProtocolError);
+  }
+}
+
+TEST(SimMpi, CorruptCountHeaderRaisesProtocolError) {
+  // A count header of 2^61 makes `count * sizeof(double)` wrap to 8 in
+  // u64 arithmetic; the overflow-safe bound check must still reject it
+  // with the typed error instead of attempting a huge allocation.
+  ByteWriter w;
+  w.write<std::uint64_t>((std::uint64_t{1} << 61) + 1);
+  w.write<double>(0.0);
+  const std::vector<std::byte> bytes = std::move(w).take();
+  ByteReader r(bytes);
+  try {
+    (void)r.read_doubles();
+    FAIL() << "read_doubles accepted an impossible count header";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kProtocolError);
+  }
+
+  ByteWriter wi;
+  wi.write<std::uint64_t>((std::uint64_t{1} << 62) + 3);
+  wi.write<int>(0);
+  const std::vector<std::byte> ibytes = std::move(wi).take();
+  ByteReader ri(ibytes);
+  try {
+    (void)ri.read_ints();
+    FAIL() << "read_ints accepted an impossible count header";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kProtocolError);
+  }
+}
+
+TEST(SimMpi, MutationFuzzOnlyRaisesTypedErrors) {
+  // Seeded byte-flip fuzzing: whatever a corrupted payload decodes to,
+  // the only acceptable failure mode is the typed protocol error. Any
+  // other exception (std::length_error from a wild vector size, ASan
+  // aborts from reads past the span) is a decoder bug.
+  const std::vector<std::byte> original = fuzz_payload();
+  Rng rng(0xFACEu);
+  int typed_failures = 0;
+  for (int trial = 0; trial < 512; ++trial) {
+    std::vector<std::byte> bytes = original;
+    const int flips = 1 + static_cast<int>(rng.index(4));
+    for (int f = 0; f < flips; ++f) {
+      const std::size_t at = rng.index(bytes.size());
+      bytes[at] = static_cast<std::byte>(rng.index(256));
+    }
+    try {
+      decode_all(bytes);
+    } catch (const Error& e) {
+      EXPECT_EQ(e.code(), ErrorCode::kProtocolError) << "trial " << trial;
+      ++typed_failures;
+    }
+  }
+  // The count headers are easy to corrupt, so a healthy fraction of
+  // trials must have exercised the failure path.
+  EXPECT_GT(typed_failures, 0);
+}
+
 // ---------------- supervisor-worker ----------------
 
 mip::MipModel test_mip(std::uint64_t seed, int rows = 10, int cols = 18) {

@@ -14,10 +14,12 @@
 
 #include "callgraph.hpp"
 #include "cfg.hpp"
+#include "determinism.hpp"
 #include "hotpath.hpp"
 #include "index.hpp"
 #include "lexer.hpp"
 #include "lifetime.hpp"
+#include "protocol.hpp"
 
 namespace gpumip::lint {
 namespace {
@@ -382,11 +384,48 @@ std::vector<Finding> run_lint(const std::vector<SourceFile>& files, const Option
 
   std::vector<Finding> findings;
   auto t0 = Clock::now();
-  std::vector<Scanned> scanned;
-  scanned.reserve(files.size());
-  for (const SourceFile& file : files) scanned.push_back(scan(file, findings));
+  // The per-file scan (lex + token index) is embarrassingly parallel: a
+  // small pool pulls file indices off a shared counter (same shape as the
+  // R5 header probes). Per-file finding slots and per-file timings keep
+  // the output and the serial-equivalent cost deterministic at any job
+  // count; everything downstream reads the shared Scanned array.
+  std::size_t jobs = options.jobs;
+  if (jobs == 0) {
+    jobs = std::max<std::size_t>(1, std::min<std::size_t>(8, std::thread::hardware_concurrency()));
+  }
+  jobs = std::min(jobs, std::max<std::size_t>(1, files.size()));
+  std::vector<Scanned> scanned(files.size());
+  std::vector<std::vector<Finding>> scan_slots(files.size());
+  std::vector<double> scan_times(files.size(), 0.0);
+  auto scan_one = [&](std::size_t idx) {
+    const auto file_t0 = Clock::now();
+    scanned[idx] = scan(files[idx], scan_slots[idx]);
+    scan_times[idx] = elapsed_ms(file_t0);
+  };
+  if (jobs == 1) {
+    for (std::size_t i = 0; i < files.size(); ++i) scan_one(i);
+  } else {
+    std::atomic<std::size_t> next{0};
+    auto worker = [&]() {
+      for (;;) {
+        const std::size_t idx = next.fetch_add(1);
+        if (idx >= files.size()) return;
+        scan_one(idx);
+      }
+    };
+    std::vector<std::thread> pool;
+    pool.reserve(jobs);
+    for (std::size_t t = 0; t < jobs; ++t) pool.emplace_back(worker);
+    for (std::thread& t : pool) t.join();
+  }
+  for (std::vector<Finding>& slot : scan_slots) {
+    findings.insert(findings.end(), std::make_move_iterator(slot.begin()),
+                    std::make_move_iterator(slot.end()));
+  }
   if (stats != nullptr) {
     stats->scan_ms = elapsed_ms(t0);
+    stats->scan_jobs = jobs;
+    for (double ms : scan_times) stats->scan_serial_ms += ms;
     stats->files = files.size();
   }
 
@@ -401,10 +440,11 @@ std::vector<Finding> run_lint(const std::vector<SourceFile>& files, const Option
   if (stats != nullptr) stats->rules_ms = elapsed_ms(t0);
 
   // The declaration index and call graph are built once and shared by the
-  // hot-path rules (R6-R9) and the lifetime rules (R10-R12).
+  // hot-path rules (R6-R9), the lifetime rules (R10-R12), and the
+  // protocol rules (R13-R14).
   std::vector<FunctionDecl> functions;
   CallGraph graph;
-  if (options.have_hotpaths || options.lifetime_rules) {
+  if (options.have_hotpaths || options.lifetime_rules || options.protocol_rules) {
     t0 = Clock::now();
     functions = index_functions(scanned);
     graph = build_call_graph(scanned, functions);
@@ -423,12 +463,33 @@ std::vector<Finding> run_lint(const std::vector<SourceFile>& files, const Option
     if (stats != nullptr) stats->hotpath_ms = elapsed_ms(t0);
   }
 
+  // The noreturn set feeds both CFG consumers (lifetime and protocol).
+  std::set<std::string> noreturn_names;
+  if (options.lifetime_rules || options.protocol_rules) {
+    noreturn_names = collect_noreturn_names(scanned);
+  }
+
   // Lifetime rules R10-R12: per-function CFGs + forward dataflow.
   if (options.lifetime_rules) {
     t0 = Clock::now();
-    const std::set<std::string> noreturn_names = collect_noreturn_names(scanned);
     check_lifetimes(scanned, functions, graph, noreturn_names, findings);
     if (stats != nullptr) stats->lifetime_ms = elapsed_ms(t0);
+  }
+
+  // Protocol rules R13-R14: serializer/deserializer symmetry per CFG path,
+  // tag-protocol coverage, exhausted() checks.
+  if (options.protocol_rules) {
+    t0 = Clock::now();
+    check_protocol(scanned, functions, graph, noreturn_names, findings);
+    if (stats != nullptr) stats->protocol_ms = elapsed_ms(t0);
+  }
+
+  // Determinism rules R15-R16: replay-relevant nondeterminism sources and
+  // seed plumbing.
+  if (options.determinism_rules) {
+    t0 = Clock::now();
+    check_determinism(scanned, options, findings);
+    if (stats != nullptr) stats->determinism_ms = elapsed_ms(t0);
   }
 
   // Apply the suppression file: a finding survives unless an entry matches
@@ -948,6 +1009,175 @@ bool run_self_test(std::ostream& out) {
                 "R12", options),
          "R12 waived by span-ok annotation");
   mark("R12");
+
+  // ---- protocol rules R13-R14 (wire-format + tags, protocol.hpp) ----
+
+  // R13: a serializer/deserializer pair (encode_/decode_ convention) whose
+  // typed op sequences disagree fires; matching sequences (deduced-type
+  // writes are wildcards), mirrored loops, and the wire-ok waiver behave.
+  const std::string decode_ok =
+      "Item decode_item(std::span<const std::byte> p) {\n"
+      "  ByteReader r(p);\n"
+      "  Item it;\n"
+      "  it.a = r.read<double>();\n"
+      "  it.b = r.read<int>();\n"
+      "  check_arg(r.exhausted(), \"trailing bytes\");\n"
+      "  return it;\n"
+      "}\n";
+  expect(fires("src/lp/fixture.cpp",
+               "void encode_item(const Item& it, ByteWriter& w) {\n"
+               "  w.write<double>(it.a);\n"
+               "  w.write<double>(it.b);\n"
+               "}\n" + decode_ok,
+               "R13", options),
+         "R13 fires on a write<double>/read<int> type mismatch");
+  expect(fires("src/lp/fixture.cpp",
+               "void encode_item(const Item& it, ByteWriter& w) {\n"
+               "  w.write<double>(it.a);\n"
+               "}\n" + decode_ok,
+               "R13", options),
+         "R13 fires on a field-count mismatch");
+  expect(!fires("src/lp/fixture.cpp",
+                "void encode_item(const Item& it, ByteWriter& w) {\n"
+                "  w.write<double>(it.a);\n"
+                "  w.write(it.b);\n"
+                "}\n" + decode_ok,
+                "R13", options),
+         "R13 quiet on matching sequences (deduced write matches any scalar)");
+  expect(fires("src/lp/fixture.cpp",
+               "void encode_item(const Item& it, ByteWriter& w) {\n"
+               "  w.write<double>(it.a);\n"
+               "  if (it.extended) { w.write<int>(it.b); }\n"
+               "}\n" + decode_ok,
+               "R13", options),
+         "R13 fires on branch asymmetry (writer branches, reader does not)");
+  expect(!fires("src/lp/fixture.cpp",
+                "void encode_list(const L& l, ByteWriter& w) {\n"
+                "  w.write<std::uint64_t>(l.count);\n"
+                "  for (const auto& v : l.items) { w.write_doubles(v); }\n"
+                "}\n"
+                "L decode_list(std::span<const std::byte> p) {\n"
+                "  ByteReader r(p);\n"
+                "  L l;\n"
+                "  l.count = r.read<std::uint64_t>();\n"
+                "  for (std::uint64_t i = 0; i < l.count; ++i) { l.items.push_back(r.read_doubles()); }\n"
+                "  check_arg(r.exhausted(), \"trailing bytes\");\n"
+                "  return l;\n"
+                "}\n",
+                "R13", options),
+         "R13 quiet on mirrored count-prefixed loops");
+  expect(!fires("src/lp/fixture.cpp",
+                "// gpumip-lint: wire-ok(fixture: versioned decode accepts the legacy layout)\n"
+                "void encode_item(const Item& it, ByteWriter& w) {\n"
+                "  w.write<double>(it.a);\n"
+                "}\n" + decode_ok,
+                "R13", options),
+         "R13 waived by wire-ok annotation");
+  mark("R13");
+
+  // R14a: a tag only ever sent fires; an ==/case/filtered-recv handler
+  // anywhere in the set satisfies it. R14b: constructing a ByteReader
+  // without an exhausted() check fires.
+  const std::string send_site = "void p(Comm& c) { c.send(1, kTagPing, payload); }\n";
+  expect(fires("src/lp/fixture.cpp", send_site, "R14", options),
+         "R14 fires on a tag no handler examines");
+  expect(!fires("src/lp/fixture.cpp",
+                send_site +
+                    "void q(Comm& c) { Message m = c.recv(); if (m.tag == kTagPing) { on(m); } }\n",
+                "R14", options),
+         "R14 quiet when a dispatch site compares the tag");
+  expect(!fires("src/lp/fixture.cpp",
+                send_site + "void q(int t) { switch (t) { case kTagPing: on(); break; } }\n",
+                "R14", options),
+         "R14 quiet when a case label matches the tag");
+  expect(!fires("src/lp/fixture.cpp",
+                "// gpumip-lint: wire-ok(fixture: peer handles it in another repo)\n" + send_site,
+                "R14", options),
+         "R14 tag finding waived by wire-ok annotation");
+  expect(fires("src/lp/fixture.cpp",
+               "int decode_one(std::span<const std::byte> p) { ByteReader r(p); return r.read<int>(); }\n",
+               "R14", options),
+         "R14 fires on a deserializer that never checks exhausted()");
+  expect(!fires("src/lp/fixture.cpp",
+                "int decode_one(std::span<const std::byte> p) {\n"
+                "  ByteReader r(p);\n"
+                "  int v = r.read<int>();\n"
+                "  check_arg(r.exhausted(), \"trailing bytes\");\n"
+                "  return v;\n"
+                "}\n",
+                "R14", options),
+         "R14 quiet when the deserializer checks exhausted()");
+  expect(!fires("src/lp/fixture.cpp",
+                "int decode_one(std::span<const std::byte> p) {\n"
+                "  // gpumip-lint: wire-ok(fixture: framing layer validates length)\n"
+                "  ByteReader r(p);\n"
+                "  return r.read<int>();\n"
+                "}\n",
+                "R14", options),
+         "R14 exhausted finding waived by wire-ok annotation");
+  mark("R14");
+
+  // ---- determinism rules R15-R16 (determinism.hpp) ----
+
+  // R15: wall clocks, unseeded randomness, and unordered iteration fire
+  // inside the determinism scope; out-of-scope files and ordered
+  // containers stay quiet; determinism-ok waives.
+  const std::string clock_use =
+      "double now_s() { return std::chrono::steady_clock::now().time_since_epoch().count(); }\n";
+  expect(fires("src/lp/fixture.cpp", clock_use, "R15", options),
+         "R15 fires on a wall-clock read in replay-relevant code");
+  expect(!fires("bench/fixture.cpp", clock_use, "R15", options),
+         "R15 quiet outside the determinism scope");
+  expect(fires("src/lp/fixture.cpp", "void f() { std::random_device rd; use(rd()); }\n", "R15",
+               options),
+         "R15 fires on random_device entropy");
+  expect(fires("src/lp/fixture.cpp",
+               "std::unordered_map<int, double> table_;\n"
+               "void dump() { for (const auto& kv : table_) { emit(kv); } }\n",
+               "R15", options),
+         "R15 fires on iteration over an unordered container");
+  expect(!fires("src/lp/fixture.cpp",
+                "std::map<int, double> table_;\n"
+                "void dump() { for (const auto& kv : table_) { emit(kv); } }\n",
+                "R15", options),
+         "R15 quiet on iteration over an ordered map");
+  expect(!fires("src/lp/fixture.cpp",
+                "std::unordered_map<int, double> table_;\n"
+                "void dump() {\n"
+                "  // gpumip-lint: determinism-ok(fixture: debug dump, never feeds the solve)\n"
+                "  for (const auto& kv : table_) { emit(kv); }\n"
+                "}\n",
+                "R15", options),
+         "R15 waived by determinism-ok annotation");
+  mark("R15");
+
+  // R16: default-constructed engines fire; explicitly seeded engines and
+  // ctor-init-seeded members stay quiet; determinism-ok waives.
+  expect(fires("src/lp/fixture.cpp", "void f() { std::mt19937_64 gen; use(gen()); }\n", "R16",
+               options),
+         "R16 fires on a default-constructed std engine");
+  expect(fires("src/lp/fixture.cpp", "void f() { Rng rng; use(rng.uniform(0.0, 1.0)); }\n",
+               "R16", options),
+         "R16 fires on a default-constructed Rng wrapper");
+  expect(!fires("src/lp/fixture.cpp",
+                "void f(std::uint64_t seed) { std::mt19937_64 gen(seed); use(gen()); }\n", "R16",
+                options),
+         "R16 quiet on an explicitly seeded engine");
+  expect(!fires("src/lp/fixture.cpp",
+                "struct S {\n"
+                "  explicit S(std::uint64_t seed) : engine_(seed) {}\n"
+                "  std::mt19937_64 engine_;\n"
+                "};\n",
+                "R16", options),
+         "R16 quiet on a member seeded in the constructor init list");
+  expect(!fires("src/lp/fixture.cpp",
+                "void f() {\n"
+                "  std::mt19937_64 gen;  // gpumip-lint: determinism-ok(fixture: self-test only)\n"
+                "  use(gen());\n"
+                "}\n",
+                "R16", options),
+         "R16 waived by determinism-ok annotation");
+  mark("R16");
 
   out << (failed == 0 ? "    self-test: all fixtures behaved\n"
                       : "    self-test: FIXTURE FAILURES\n");

@@ -17,7 +17,14 @@
 // control-flow graphs (cfg.hpp) and runs forward dataflow over them
 // (dataflow.hpp) for the path-sensitive lifetime rules R10-R12
 // (lifetime.hpp): use-after-move, arena use-after-reset, and unbalanced
-// trace spans. Implemented as a lexer plus lightweight
+// trace spans. A fourth layer reuses the same CFGs for the protocol rules
+// R13-R14 (protocol.hpp): wire-format symmetry between each
+// ByteWriter serializer and its ByteReader deserializer compared per CFG
+// path, send-tag handler coverage, and mandatory exhausted() checks — and
+// runs the replay-determinism rules R15-R16 (determinism.hpp): no
+// wall-clock, unseeded randomness, or unordered-container iteration in
+// replay-relevant code, and explicit seed plumbing for every RNG engine.
+// Implemented as a lexer plus lightweight
 // semantic matching — deliberately no libclang dependency, so the tool
 // builds everywhere the library builds and runs in milliseconds over src/.
 //
@@ -32,7 +39,7 @@
 
 namespace gpumip::lint {
 
-/// One diagnostic. `rule` is "R1".."R12", "SUP" (suppression-file problems:
+/// One diagnostic. `rule` is "R1".."R16", "SUP" (suppression-file problems:
 /// syntax errors, missing justification, stale entries), or "HOT"
 /// (hot-path manifest problems: syntax errors, entries matching no indexed
 /// function). SUP and HOT findings are not themselves suppressible.
@@ -111,6 +118,23 @@ struct Options {
   /// CFGs + forward dataflow over them. On by default; a test can switch
   /// them off to isolate the token rules.
   bool lifetime_rules = true;
+
+  /// The protocol rules R13-R14 (protocol.hpp): wire-format symmetry per
+  /// CFG path, tag-protocol coverage, and mandatory exhausted() checks.
+  bool protocol_rules = true;
+
+  /// The replay-determinism rules R15-R16 (determinism.hpp).
+  bool determinism_rules = true;
+
+  /// Path prefixes (also matched after any '/') inside which R15-R16
+  /// apply. Defaults to all of src/: the repo's replay invariant covers
+  /// the whole solve, so exceptions are waivers, not scope carve-outs.
+  std::vector<std::string> determinism_scope = {"src/"};
+
+  /// Worker threads for the per-file scan phase (lex + token index):
+  /// 0 = hardware_concurrency capped at 8. Findings and their order are
+  /// identical at any job count (per-file slots, merged in input order).
+  std::size_t jobs = 0;
 };
 
 /// Wall-time and size accounting for one run_lint call, filled when the
@@ -118,11 +142,15 @@ struct Options {
 /// every rule family reads from it; `index_ms` likewise covers the one
 /// declaration-indexer + call-graph build shared by R6-R9 and R10-R12.
 struct RunStats {
-  double scan_ms = 0.0;      ///< lex + token-index build, all files
-  double rules_ms = 0.0;     ///< token rules R1-R4
-  double index_ms = 0.0;     ///< declaration indexer + call graph (shared)
-  double hotpath_ms = 0.0;   ///< R6-R9 traversal
-  double lifetime_ms = 0.0;  ///< CFG build + dataflow R10-R12
+  double scan_ms = 0.0;         ///< lex + token-index build, all files (wall)
+  double scan_serial_ms = 0.0;  ///< sum of per-file scan times (serial equivalent)
+  std::size_t scan_jobs = 1;    ///< threads the scan phase actually used
+  double rules_ms = 0.0;        ///< token rules R1-R4
+  double index_ms = 0.0;        ///< declaration indexer + call graph (shared)
+  double hotpath_ms = 0.0;      ///< R6-R9 traversal
+  double lifetime_ms = 0.0;     ///< CFG build + dataflow R10-R12
+  double protocol_ms = 0.0;     ///< wire-format + tag rules R13-R14
+  double determinism_ms = 0.0;  ///< replay-determinism rules R15-R16
   std::size_t files = 0;
   std::size_t functions = 0;
 };
@@ -132,8 +160,9 @@ struct RunStats {
 std::vector<Suppression> parse_suppressions(const std::string& text, const std::string& path,
                                             std::vector<Finding>& findings);
 
-/// Runs rules R1-R4, the lifetime dataflow rules R10-R12 (unless
-/// `options.lifetime_rules` is off) — and, when `options.have_hotpaths` is
+/// Runs rules R1-R4, the lifetime dataflow rules R10-R12, the protocol
+/// rules R13-R14, the determinism rules R15-R16 (each family has an
+/// Options toggle) — and, when `options.have_hotpaths` is
 /// set, the call-graph hot-path rules R6-R9 — over `files`, consuming
 /// `suppressions` (marking used entries) and appending stale-suppression
 /// findings. Returns all unsuppressed findings, ordered by file then line.
@@ -157,7 +186,7 @@ std::vector<Finding> check_headers_standalone(const std::vector<std::string>& he
                                               const std::string& scratch_dir,
                                               std::size_t jobs = 0);
 
-/// Built-in seeded-violation fixtures: one per rule R1-R4 and R6-R12
+/// Built-in seeded-violation fixtures: one per rule R1-R4 and R6-R16
 /// proving the rule fires, one clean fixture per rule proving it stays
 /// quiet, the suppression/annotation round trips, call-graph transitivity
 /// and stop-pruning, CFG edge cases for the dataflow rules (early return,

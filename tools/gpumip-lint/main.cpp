@@ -83,11 +83,16 @@ void print_json(std::ostream& out, const std::vector<gpumip::lint::Finding>& fin
   };
   for (const auto& f : findings) emit(f, false);
   for (const auto& f : waived) emit(f, true);
+  // The scan phase reports its parallelism: scan_serial_ms is the sum of
+  // per-file scan times (what one thread would have paid), so
+  // scan_serial_ms / scan_ms is the realized speedup at scan_jobs threads.
   out << (first ? "" : "\n  ") << "],\n"
       << "  \"stats\": {\"files\": " << stats.files << ", \"functions\": " << stats.functions
-      << ", \"scan_ms\": " << stats.scan_ms << ", \"rules_ms\": " << stats.rules_ms
+      << ", \"scan_ms\": " << stats.scan_ms << ", \"scan_serial_ms\": " << stats.scan_serial_ms
+      << ", \"scan_jobs\": " << stats.scan_jobs << ", \"rules_ms\": " << stats.rules_ms
       << ", \"index_ms\": " << stats.index_ms << ", \"hotpath_ms\": " << stats.hotpath_ms
-      << ", \"lifetime_ms\": " << stats.lifetime_ms << "}\n}\n";
+      << ", \"lifetime_ms\": " << stats.lifetime_ms << ", \"protocol_ms\": " << stats.protocol_ms
+      << ", \"determinism_ms\": " << stats.determinism_ms << "}\n}\n";
 }
 
 }  // namespace
@@ -171,6 +176,7 @@ int main(int argc, char** argv) {
   }
 
   Options options;
+  options.jobs = jobs;
   if (!metrics_doc_path.empty()) {
     if (!read_file(metrics_doc_path, options.metrics_doc)) {
       std::cerr << "gpumip-lint: cannot read metrics doc " << metrics_doc_path << "\n";
@@ -249,10 +255,13 @@ int main(int argc, char** argv) {
     print_json(std::cout, findings, waived, stats);
     return findings.empty() ? 0 : 1;
   }
-  std::cout << "gpumip-lint: timing scan " << stats.scan_ms << "ms, token rules "
-            << stats.rules_ms << "ms, index+graph " << stats.index_ms << "ms, hotpath "
-            << stats.hotpath_ms << "ms, lifetime " << stats.lifetime_ms << "ms ("
-            << stats.files << " files, " << stats.functions << " functions)\n";
+  std::cout << "gpumip-lint: timing scan " << stats.scan_ms << "ms ("
+            << stats.scan_jobs << " jobs, serial-equivalent " << stats.scan_serial_ms
+            << "ms), token rules " << stats.rules_ms << "ms, index+graph " << stats.index_ms
+            << "ms, hotpath " << stats.hotpath_ms << "ms, lifetime " << stats.lifetime_ms
+            << "ms, protocol " << stats.protocol_ms << "ms, determinism "
+            << stats.determinism_ms << "ms (" << stats.files << " files, " << stats.functions
+            << " functions)\n";
   if (findings.empty()) {
     std::cout << "gpumip-lint: " << files.size() << " files clean"
               << (suppressions.empty()
