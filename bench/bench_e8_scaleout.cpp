@@ -4,8 +4,11 @@
 // count, ramp-up share, load-balance quality, message volume, and the cost
 // of periodic checkpointing.
 #include <cmath>
+#include <memory>
 
 #include "bench/common.hpp"
+#include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
 #include "parallel/supervisor.hpp"
 #include "problems/generators.hpp"
 #include "support/strings.hpp"
@@ -47,8 +50,30 @@ void print_experiment() {
     opts.worker_node_budget = 15;
     opts.ramp_up_nodes = 4L * workers;
     opts.mip.enable_cuts = false;
+    opts.model_worker_device = true;  // arena-backed per-node LP residency
+    // The tree-growth-over-time curve for EXPERIMENTS.md: at one
+    // representative worker count, attach a sampler ticked on the
+    // supervisor rank's sim clock (bit-identical under schedule replay)
+    // and export it when GPUMIP_TIMESERIES_OUT is set. Constructed here —
+    // after the smaller worker counts have registered every supervisor
+    // and simmpi family — so the default registry-wide columns are
+    // complete. The period scales off the single-worker makespan.
+    std::unique_ptr<obs::Sampler> sampler;
+    if (workers == 8 && base > 0.0) {
+      obs::SamplerOptions sopts;
+      sopts.period = base / 128.0;
+      sampler = std::make_unique<obs::Sampler>(sopts);
+      opts.sampler = sampler.get();
+    }
     parallel::SupervisorResult r = parallel::solve_supervised(model, opts);
     if (workers == 1) base = r.makespan;
+    if (sampler) {
+      const std::string path = sampler->export_if_requested();
+      if (!path.empty()) {
+        bench::row("  time series (workers=8): %zu rows -> %s", sampler->rows().size(),
+                   path.c_str());
+      }
+    }
     bench::row("  %-9d %-10.3f %-12s %-9.2f %-10.1f %-10.2f %-9llu %-10s", workers,
                r.result.objective, human_seconds(r.makespan).c_str(), base / r.makespan,
                100.0 * r.ramp_up_seconds / r.makespan, balance_cv(r.worker_nodes),
@@ -101,6 +126,30 @@ void budget_sweep() {
   bench::note("late-arriving workers — the supervisor's classic granularity trade-off.");
 }
 
+void arena_ablation() {
+  bench::title("E8-d", "per-node device allocs: naive alloc/free vs worker arena");
+  mip::MipModel model = instance(505);
+  bench::row("  %-9s %-12s %-14s %-12s", "arena", "makespan", "alloc-calls", "nodes");
+  for (bool arena : {false, true}) {
+    parallel::SupervisorOptions opts;
+    opts.workers = 8;
+    opts.worker_node_budget = 15;
+    opts.ramp_up_nodes = 32;
+    opts.mip.enable_cuts = false;
+    opts.model_worker_device = true;
+    opts.worker_arena = arena;
+    const double before = obs::counter("gpumip.gpu.alloc.calls").value();
+    parallel::SupervisorResult r = parallel::solve_supervised(model, opts);
+    const double allocs = obs::counter("gpumip.gpu.alloc.calls").value() - before;
+    long nodes = 0;
+    for (long n : r.worker_nodes) nodes += n;
+    bench::row("  %-9s %-12s %-14.0f %-12ld", arena ? "on" : "off",
+               human_seconds(r.makespan).c_str(), allocs, nodes);
+  }
+  bench::note("the arena path reserves one slab per worker and suballocates node LPs from");
+  bench::note("it (ROADMAP item 4): alloc calls collapse from O(nodes) to O(workers).");
+}
+
 void BM_supervised(benchmark::State& state) {
   mip::MipModel model = instance(504);
   parallel::SupervisorOptions opts;
@@ -123,5 +172,6 @@ int main(int argc, char** argv) {
   print_experiment();
   checkpoint_overhead();
   budget_sweep();
+  arena_ablation();
   return gpumip::bench::run_benchmarks(argc, argv);
 }

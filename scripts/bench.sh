@@ -73,13 +73,15 @@ out_path, metrics_dir, benches = sys.argv[1], sys.argv[2], sys.argv[3:]
 
 merged = {
     "schema": "gpumip.bench-baseline.v1",
-    "metrics_schema": "gpumip.metrics.v1",
+    "metrics_schema": "gpumip.metrics.v2",
     "benches": {},
 }
 for b in benches:
     with open(f"{metrics_dir}/{b}.json") as f:
         doc = json.load(f)
-    if doc.get("schema") != "gpumip.metrics.v1":
+    # v2 adds labeled names + a "families" index; the per-kind maps are
+    # shape-compatible with v1, so both merge identically.
+    if doc.get("schema") not in ("gpumip.metrics.v1", "gpumip.metrics.v2"):
         sys.exit(f"bench {b}: unexpected metrics schema {doc.get('schema')!r}")
     if not doc.get("enabled", False):
         sys.exit(f"bench {b}: metrics export says observability is disabled; "
@@ -102,8 +104,10 @@ required = [
     ("counters", r"gpumip\.gpu\.xfer\.d2h\.bytes"),
     ("counters", r"gpumip\.lp\.ops\.refactor"),
     ("gauges", r"gpumip\.mip\.reuse\.hit_rate"),
-    ("histograms", r"gpumip\.lp\.batch\.occupancy"),
-    ("counters", r"gpumip\.simmpi\.rank\d+\.sent\.bytes"),
+    ("histograms", r"gpumip\.lp\.batch\.occupancy(\{[^}]*\})?"),
+    ("counters", r"gpumip\.simmpi\.sent\.bytes\{rank=\d+\}"),
+    ("counters", r"gpumip\.lp\.solves\{method=[a-z_]+\}"),
+    ("counters", r"gpumip\.gpu\.alloc\.calls"),
 ]
 missing = [pat for kind, pat in required if not present(kind, pat)]
 if missing:
@@ -120,7 +124,16 @@ PY
 
 if [ "$MODE" = compare ]; then
   echo "==> [bench] compare against $BASELINE"
-  python3 scripts/bench_compare.py "$BASELINE" "$OUT"
+  if ! python3 scripts/bench_compare.py "$BASELINE" "$OUT"; then
+    # A regression: before failing, say WHICH paper-claim category moved.
+    # gpumip-report ranks claim categories (transfer, C3..C8) by the
+    # labeled-metric deltas between the two runs (docs/TRACING.md).
+    echo "==> [bench] regression — attributing with gpumip-report"
+    cmake --build "$BUILD" -j "$JOBS" --target gpumip-report \
+      >>"$BUILD.build.log" 2>&1
+    "./$BUILD/tools/gpumip-report/gpumip-report" --attribute "$BASELINE" "$OUT" || true
+    exit 1
+  fi
 fi
 
 echo "==> [bench] OK ($OUT)"

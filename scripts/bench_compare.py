@@ -11,12 +11,14 @@ that produced the baseline) and are not compared at all.
 
 Tolerance classes, first match wins:
   * skipped — values that are host-timing noise, not solver work:
-      gpumip.obs.*                    trace-ring drop counts depend on how
-                                      much tracing ran
-      gpumip.simmpi.rank<r>.*         per-rank traffic split depends on
-                                      which worker won each dispatch race
+      gpumip.obs.*                    trace-ring drops and sampler-row
+                                      counts depend on how much tracing
+                                      and sampling ran, never on the solver
+      *{...rank=<r>...}               per-rank splits (simmpi traffic,
+                                      supervisor dispatch) depend on which
+                                      worker won each dispatch race
                                       (the world-total counters are compared)
-      *.idle_seconds                  wall-clock blocking time
+      *.idle_seconds / *.idle_seconds{...}  wall-clock blocking time
       gpumip.supervisor.checkpoints   quiesced-point hits depend on timing
   * gpumip.gpu.* / gpumip.lp.* /      2% — the paper-claim ledgers (transfer
     gpumip.mip.*                      bytes, refactor counts, node counts)
@@ -41,8 +43,8 @@ import re
 import sys
 
 SKIP = re.compile(r"gpumip\.obs\."
-                  r"|gpumip\.simmpi\.rank\d+\."
-                  r"|.*\.idle_seconds$"
+                  r"|.*\{[^}]*\brank=\d+"
+                  r"|.*\.idle_seconds(\{[^}]*\})?$"
                   r"|gpumip\.supervisor\.checkpoints$")
 TIGHT = re.compile(r"gpumip\.(gpu|lp|mip)\.")
 TIGHT_REL = 0.02

@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Full correctness sweep for the analysis toolchain (DESIGN.md, "Checked
 # builds & invariants", "simmpi concurrency model", "Static analysis", and
-# "Tracing"). Runs ten independent gates and exits nonzero if any of them
-# finds a problem:
+# "Tracing"). Runs eleven independent gates and exits nonzero if any of
+# them finds a problem:
 #
 #   1. sanitize   — ASan+UBSan build (-DGPUMIP_SANITIZE=ON) + full ctest.
 #   2. checked    — GPUMIP_CHECKED build (invariant validators live) + ctest.
@@ -63,6 +63,12 @@
 #                   the committed supervised-solve trace and requires it to
 #                   be non-trivial (>= 2 ranks, every cross-rank flow
 #                   matched, a multi-hop critical path, positive makespan).
+#   10. report    — regression attribution: gpumip-report --self-check runs
+#                   the report engine's embedded known-answer fixtures, then
+#                   the committed fixture pair (a baseline and a doubled-H2D
+#                   regression of it) must attribute with the transfer
+#                   category ranked first — proof the claim-category mapping
+#                   and the delta ranking still point at the right culprit.
 #
 # Both build gates compile with -Werror (GPUMIP_WERROR=ON), so warnings
 # promoted in the top-level CMakeLists (-Wall -Wextra -Wpedantic -Wshadow)
@@ -214,13 +220,22 @@ glossary = open("docs/METRICS.md").read()
 bad = []
 for path in sys.argv[1:]:
     doc = json.load(open(path))
-    if doc.get("schema") != "gpumip.metrics.v1" or not doc.get("enabled"):
+    if doc.get("schema") not in ("gpumip.metrics.v1", "gpumip.metrics.v2") \
+            or not doc.get("enabled"):
         sys.exit(f"{path}: bad schema or observability disabled")
     names = list(doc["counters"]) + list(doc["gauges"]) + list(doc["histograms"])
     if not names:
         sys.exit(f"{path}: export contains no metrics")
     for name in names:
-        documented = re.sub(r"rank\d+", "rank<r>", name)
+        # Labeled names are documented once per family in key-only form:
+        # gpumip.lp.solves{method=pdhg} -> gpumip.lp.solves{method}. Legacy
+        # rank-suffixed names normalize to the rank<r> placeholder.
+        documented = re.sub(
+            r"\{([^}]*)\}",
+            lambda m: "{" + ",".join(kv.split("=", 1)[0]
+                                     for kv in m.group(1).split(",")) + "}",
+            name)
+        documented = re.sub(r"rank\d+", "rank<r>", documented)
         if f"`{documented}`" not in glossary:
             bad.append(f"{name} (from {path})")
 if bad:
@@ -245,7 +260,9 @@ PY
   local name
   for name in gpumip.gpu.xfer.h2d.bytes gpumip.lp.ops.refactor gpumip.lp.batch.occupancy \
               gpumip.lp.batch.wave gpumip.lp.pdhg.solve gpumip.lp.method.choice \
-              gpumip.mip.cuts.round gpumip.simmpi.recv.wait; do
+              gpumip.mip.cuts.round gpumip.simmpi.recv.wait \
+              gpumip.lp.solves gpumip.lp.solve.seconds \
+              gpumip.obs.sampler.samples gpumip.obs.sampler.dropped; do
     if grep -qa "$name" "$off_dir/bench/bench_e7_batching"; then
       echo "==> [obs] OFF build still contains metric/trace string '$name'"
       FAILURES=$((FAILURES + 1))
@@ -401,7 +418,20 @@ PY
     FAILURES=$((FAILURES + 1))
     return
   fi
-  echo "==> [bench] OK (compare clean; seeded regression caught)"
+  # The attribution leg of the drill: gpumip-report must not just see the
+  # seeded regression, it must blame the right claim category (transfer).
+  echo "==> [bench] seeded-regression attribution (gpumip-report must rank transfer first)"
+  if ! { cmake --build build-bench -j "$JOBS" --target gpumip-report \
+           >>build-bench.build.log 2>&1 &&
+         ./build-bench/tools/gpumip-report/gpumip-report \
+           --attribute "$baseline" build-bench/tampered.json \
+           --expect-top transfer >build-bench.attribute.log 2>&1; }; then
+    echo "==> [bench] ATTRIBUTION FAILED (see build-bench.attribute.log)"
+    tail -n 20 build-bench.attribute.log
+    FAILURES=$((FAILURES + 1))
+    return
+  fi
+  echo "==> [bench] OK (compare clean; seeded regression caught and attributed)"
 }
 timed bench bench_gate
 
@@ -430,6 +460,41 @@ trace_gate() {
   echo "==> [trace] OK"
 }
 timed trace trace_gate
+
+# Gate 10: regression-attribution engine. Reuses the gate-7 Release tree
+# (gpumip-report is solver-independent). --self-check proves the embedded
+# known-answer fixtures (parsing, claim-category mapping, exclusions, the
+# doubled-H2D ranking) still hold; then the committed fixture pair — a
+# baseline and a regression of it with doubled H2D volume plus decoy moves
+# on excluded metrics — must attribute with transfer ranked first.
+report_gate() {
+  local build_dir=build-lint
+  local base=tools/gpumip-report/testdata/fixture_baseline.json
+  local regr=tools/gpumip-report/testdata/fixture_regression.json
+  echo "==> [report] build ($build_dir, gpumip-report)"
+  if ! { cmake -B "$build_dir" -S . -DCMAKE_BUILD_TYPE=Release \
+           >"$build_dir.report-configure.log" 2>&1 &&
+         cmake --build "$build_dir" -j "$JOBS" --target gpumip-report \
+           >"$build_dir.report-build.log" 2>&1; }; then
+    echo "==> [report] BUILD FAILED (see $build_dir.report-*.log)"
+    FAILURES=$((FAILURES + 1))
+    return
+  fi
+  local tool="./$build_dir/tools/gpumip-report/gpumip-report"
+  if ! "$tool" --self-check; then
+    echo "==> [report] SELF-CHECK FAILED (an embedded fixture expectation broke)"
+    FAILURES=$((FAILURES + 1))
+    return
+  fi
+  echo "==> [report] committed fixture pair must attribute to transfer"
+  if ! "$tool" --attribute "$base" "$regr" --expect-top transfer; then
+    echo "==> [report] ATTRIBUTION FAILED (transfer not ranked first)"
+    FAILURES=$((FAILURES + 1))
+    return
+  fi
+  echo "==> [report] OK"
+}
+timed report report_gate
 
 echo
 echo "==> gate wall-time summary"

@@ -4,6 +4,7 @@
 
 #include "linalg/device_blas.hpp"
 #include "obs/obs.hpp"
+#include "obs/sampler.hpp"
 #include "obs/trace.hpp"
 
 namespace gpumip::lp {
@@ -38,8 +39,9 @@ BatchedLpReport solve_batched(const std::vector<const StandardForm*>& problems,
   check_arg(!problems.empty(), "solve_batched: empty batch");
   check_arg(streams >= 1, "solve_batched: need at least one stream");
   BatchedLpReport report;
-  GPUMIP_OBS_COUNT("gpumip.lp.batch.solves");
-  GPUMIP_OBS_RECORD("gpumip.lp.batch.size", static_cast<double>(problems.size()));
+  GPUMIP_OBS_COUNT_L("gpumip.lp.batch.solves", {"method", "simplex"});
+  GPUMIP_OBS_RECORD_L("gpumip.lp.batch.size", static_cast<double>(problems.size()),
+                      {"method", "simplex"});
 
   // Device residency for the whole batch, served from the caller's arena
   // (capacity is still checked for real: arena growth goes through
@@ -111,11 +113,12 @@ BatchedLpReport solve_batched(const std::vector<const StandardForm*>& problems,
         m_avg /= active;
         n_avg /= active;
         ++report.waves;
-        GPUMIP_OBS_COUNT("gpumip.lp.batch.waves");
+        GPUMIP_OBS_COUNT_L("gpumip.lp.batch.waves", {"method", "simplex"});
         GPUMIP_TRACE_SCOPE("gpumip.lp.batch.wave", active);
         // Paper C7: fraction of the batch still pivoting in this wave.
-        GPUMIP_OBS_RECORD("gpumip.lp.batch.occupancy",
-                          static_cast<double>(active) / static_cast<double>(problems.size()));
+        GPUMIP_OBS_RECORD_L("gpumip.lp.batch.occupancy",
+                            static_cast<double>(active) / static_cast<double>(problems.size()),
+                            {"method", "simplex"});
         const double mm = 2.0 * m_avg * m_avg;
         // BTRAN + FTRAN + eta update (dense m x m each).
         device.launch(0, wave_cost(active, static_cast<int>(m_avg), static_cast<int>(n_avg),
@@ -133,6 +136,9 @@ BatchedLpReport solve_batched(const std::vector<const StandardForm*>& problems,
                                      (2.0 / 3.0 + 1.0) * m_avg * m_avg * m_avg, m_avg * m_avg),
                         {});
         }
+        // Time-series hook: a bound sampler sees the occupancy curve wave
+        // by wave on the device stream clock (no-op when unbound).
+        GPUMIP_OBS_SAMPLE_TICK(device.stream_clock(0));
       }
       break;
     }
@@ -167,8 +173,9 @@ BatchedLpReport solve_batched_pdhg(const std::vector<const StandardForm*>& probl
                                    const PdhgOptions& options) {
   check_arg(!problems.empty(), "solve_batched_pdhg: empty batch");
   BatchedLpReport report;
-  GPUMIP_OBS_COUNT("gpumip.lp.batch.solves");
-  GPUMIP_OBS_RECORD("gpumip.lp.batch.size", static_cast<double>(problems.size()));
+  GPUMIP_OBS_COUNT_L("gpumip.lp.batch.solves", {"method", "pdhg"});
+  GPUMIP_OBS_RECORD_L("gpumip.lp.batch.size", static_cast<double>(problems.size()),
+                      {"method", "pdhg"});
 
   // Residency: the CSR image plus iterate vectors per instance — no basis
   // inverse, no dense expansion, which is why far more PDHG instances
@@ -222,10 +229,11 @@ BatchedLpReport solve_batched_pdhg(const std::vector<const StandardForm*>& probl
     }
     if (active == 0) break;
     ++report.waves;
-    GPUMIP_OBS_COUNT("gpumip.lp.batch.waves");
+    GPUMIP_OBS_COUNT_L("gpumip.lp.batch.waves", {"method", "pdhg"});
     GPUMIP_TRACE_SCOPE("gpumip.lp.batch.wave", active);
-    GPUMIP_OBS_RECORD("gpumip.lp.batch.occupancy",
-                      static_cast<double>(active) / static_cast<double>(problems.size()));
+    GPUMIP_OBS_RECORD_L("gpumip.lp.batch.occupancy",
+                        static_cast<double>(active) / static_cast<double>(problems.size()),
+                        {"method", "pdhg"});
     // The whole iteration fuses into ONE batched launch: unlike a simplex
     // pivot, whose ratio test feeds the host's choice of the next entering
     // column, a PDHG iteration has no host-side decision in it — SpMVᵀ,
@@ -244,6 +252,7 @@ BatchedLpReport solve_batched_pdhg(const std::vector<const StandardForm*>& probl
       device.launch(0, sparse_wave_cost(nnz_sum, m_sum), {});
       device.launch(0, sparse_wave_cost(nnz_sum, n_sum), {});
     }
+    GPUMIP_OBS_SAMPLE_TICK(device.stream_clock(0));
   }
   report.sim_seconds = device.synchronize();
   report.kernels = device.stats().kernels - kernels_before;

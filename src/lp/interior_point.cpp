@@ -5,6 +5,7 @@
 
 #include "linalg/blas.hpp"
 #include "linalg/cholesky.hpp"
+#include "obs/obs.hpp"
 #include "sparse/ops.hpp"
 #include "sparse/sparse_cholesky.hpp"
 
@@ -204,6 +205,8 @@ InteriorPointSolver::InteriorPointSolver(const StandardForm& form, InteriorPoint
     : form_(&form), options_(options) {}
 
 LpResult InteriorPointSolver::solve(std::span<const double> lb, std::span<const double> ub) {
+  GPUMIP_OBS_COUNT_L("gpumip.lp.solves", {"method", "interior_point"});
+  GPUMIP_OBS_SPAN_L("gpumip.lp.solve.seconds", {"method", "interior_point"});
   const NonnegForm nf = to_nonneg(*form_, lb, ub);
   const int m = nf.a.rows;
   const int n = nf.a.cols;

@@ -45,15 +45,18 @@ std::optional<LpMethod> lp_method_override() {
 namespace {
 
 void record_choice(LpMethod method, bool forced) {
+  // One counter family with a method dimension (rather than a name per
+  // method): the switch keeps each site's labels literal so the macro can
+  // cache the lookup.
   switch (method) {
     case LpMethod::Simplex:
-      GPUMIP_OBS_COUNT("gpumip.lp.method.simplex");
+      GPUMIP_OBS_COUNT_L("gpumip.lp.method.chosen", {"method", "simplex"});
       break;
     case LpMethod::InteriorPoint:
-      GPUMIP_OBS_COUNT("gpumip.lp.method.interior_point");
+      GPUMIP_OBS_COUNT_L("gpumip.lp.method.chosen", {"method", "interior_point"});
       break;
     case LpMethod::Pdhg:
-      GPUMIP_OBS_COUNT("gpumip.lp.method.pdhg");
+      GPUMIP_OBS_COUNT_L("gpumip.lp.method.chosen", {"method", "pdhg"});
       break;
   }
   if (forced) GPUMIP_OBS_COUNT("gpumip.lp.method.forced");

@@ -327,7 +327,7 @@ LpResult PdhgSolver::finish(Workspace& ws, LpStatus status) const {
   result.ops = ws.ops;
   // No basis: PDHG is basis-free; result.basis stays empty and consumers
   // that need one (cut separators) must not be routed here (path_chooser).
-  GPUMIP_OBS_COUNT("gpumip.lp.pdhg.solves");
+  GPUMIP_OBS_COUNT_L("gpumip.lp.solves", {"method", "pdhg"});
   if (ws.warm) GPUMIP_OBS_COUNT("gpumip.lp.pdhg.warm_starts");
   publish_op_stats(result.ops);
   return result;
@@ -335,7 +335,7 @@ LpResult PdhgSolver::finish(Workspace& ws, LpStatus status) const {
 
 LpResult PdhgSolver::solve(std::span<const double> lb, std::span<const double> ub,
                            const PdhgWarmStart* warm) {
-  GPUMIP_OBS_SPAN("gpumip.lp.pdhg.solve");
+  GPUMIP_OBS_SPAN_L("gpumip.lp.solve.seconds", {"method", "pdhg"});
   Workspace ws;
   init_workspace(ws, lb, ub, warm);
   const LpStatus status = iterate_loop(ws);

@@ -430,7 +430,7 @@ SimplexSolver::PhaseResult SimplexSolver::primal_loop(Workspace& ws,
 }
 
 LpResult SimplexSolver::finish(Workspace& ws, LpStatus status) const {
-  GPUMIP_OBS_COUNT("gpumip.lp.simplex.solves");
+  GPUMIP_OBS_COUNT_L("gpumip.lp.solves", {"method", "simplex"});
   GPUMIP_OBS_RECORD("gpumip.lp.simplex.eta_length", static_cast<double>(ws.etas_since_refactor));
   publish_op_stats(ws.ops);
   LpResult result;
@@ -531,13 +531,13 @@ LpResult SimplexSolver::run_primal(std::span<const double> lb, std::span<const d
 
 LpResult SimplexSolver::solve(std::span<const double> lb, std::span<const double> ub,
                               const Basis* warm) {
-  GPUMIP_OBS_SPAN("gpumip.lp.simplex.solve");
+  GPUMIP_OBS_SPAN_L("gpumip.lp.solve.seconds", {"method", "simplex"});
   return run_primal(lb, ub, warm);
 }
 
 LpResult SimplexSolver::resolve_dual(std::span<const double> lb, std::span<const double> ub,
                                      const Basis& basis) {
-  GPUMIP_OBS_SPAN("gpumip.lp.simplex.solve");
+  GPUMIP_OBS_SPAN_L("gpumip.lp.solve.seconds", {"method", "simplex"});
   Workspace ws;
   init_workspace(ws, lb, ub);
   if (!try_warm_start(ws, basis)) {

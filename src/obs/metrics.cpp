@@ -117,6 +117,86 @@ void Histogram::reset() noexcept {
   max_.store(-std::numeric_limits<double>::infinity(), std::memory_order_relaxed);
 }
 
+// ---- labels ----
+
+bool valid_label_key(std::string_view key) noexcept {
+  if (key.empty()) return false;
+  for (char c : key) {
+    if (!((c >= 'a' && c <= 'z') || c == '_')) return false;
+  }
+  return true;
+}
+
+namespace {
+
+/// Replaces bytes that would collide with the `name{k=v,...}` flattening
+/// syntax so every flattened name parses back unambiguously.
+void append_sanitized(std::string& out, std::string_view value) {
+  for (char c : value) {
+    const bool unsafe = c == '{' || c == '}' || c == ',' || c == '=' || c == '"' ||
+                        c == '\\' || static_cast<unsigned char>(c) <= 0x20;
+    out.push_back(unsafe ? '_' : c);
+  }
+}
+
+/// Sorted-by-key view of a label list; throws on bad or duplicate keys.
+std::vector<const Label*> sorted_labels(std::string_view name,
+                                        std::initializer_list<Label> labels) {
+  std::vector<const Label*> sorted;
+  sorted.reserve(labels.size());
+  for (const Label& l : labels) sorted.push_back(&l);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Label* a, const Label* b) { return a->key < b->key; });
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    if (!valid_label_key(sorted[i]->key)) {
+      throw Error(ErrorCode::kInvalidArgument, "metrics: label key '" +
+                                                   std::string(sorted[i]->key) + "' on '" +
+                                                   std::string(name) +
+                                                   "' violates the [a-z_]+ grammar");
+    }
+    if (i > 0 && sorted[i]->key == sorted[i - 1]->key) {
+      throw Error(ErrorCode::kInvalidArgument, "metrics: duplicate label key '" +
+                                                   std::string(sorted[i]->key) + "' on '" +
+                                                   std::string(name) + "'");
+    }
+  }
+  return sorted;
+}
+
+}  // namespace
+
+std::string labeled_name(std::string_view name, std::initializer_list<Label> labels) {
+  if (labels.size() == 0) return std::string(name);
+  const auto sorted = sorted_labels(name, labels);
+  std::string out(name);
+  out.push_back('{');
+  bool first = true;
+  for (const Label* l : sorted) {
+    if (!first) out.push_back(',');
+    out.append(l->key);
+    out.push_back('=');
+    append_sanitized(out, l->value);
+    first = false;
+  }
+  out.push_back('}');
+  return out;
+}
+
+std::string family_name(std::string_view name, std::initializer_list<Label> labels) {
+  if (labels.size() == 0) return std::string(name);
+  const auto sorted = sorted_labels(name, labels);
+  std::string out(name);
+  out.push_back('{');
+  bool first = true;
+  for (const Label* l : sorted) {
+    if (!first) out.push_back(',');
+    out.append(l->key);
+    first = false;
+  }
+  out.push_back('}');
+  return out;
+}
+
 // ---- registry ----
 
 struct Registry::Impl {
@@ -126,6 +206,9 @@ struct Registry::Impl {
   std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
   std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
   std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+  // `name{key,...}` family strings of labeled instruments, for the v2
+  // export and the METRICS.md glossary gate.
+  std::map<std::string, std::uint64_t, std::less<>> families;
 };
 
 Registry& Registry::instance() {
@@ -208,6 +291,46 @@ Histogram& Registry::histogram(std::string_view name) {
   return find_or_create(im.mutex, im.histograms, name);
 }
 
+namespace {
+
+/// Labeled find_or_create: flattens the name, and on first creation also
+/// records the instrument's family so the v2 export can index it.
+template <typename Map, typename Families,
+          typename Metric = typename Map::mapped_type::element_type>
+Metric& find_or_create_labeled(std::shared_mutex& mutex, Map& map, Families& families,
+                               std::string_view name, std::initializer_list<Label> labels) {
+  const std::string flat = labeled_name(name, labels);
+  {
+    std::shared_lock lock(mutex);
+    auto it = map.find(flat);
+    if (it != map.end()) return *it->second;
+  }
+  std::unique_lock lock(mutex);
+  auto [it, inserted] = map.try_emplace(flat, nullptr);
+  if (inserted) {
+    it->second = std::make_unique<Metric>();
+    if (labels.size() != 0) ++families[family_name(name, labels)];
+  }
+  return *it->second;
+}
+
+}  // namespace
+
+Counter& Registry::counter(std::string_view name, std::initializer_list<Label> labels) {
+  Impl& im = impl();
+  return find_or_create_labeled(im.mutex, im.counters, im.families, name, labels);
+}
+
+Gauge& Registry::gauge(std::string_view name, std::initializer_list<Label> labels) {
+  Impl& im = impl();
+  return find_or_create_labeled(im.mutex, im.gauges, im.families, name, labels);
+}
+
+Histogram& Registry::histogram(std::string_view name, std::initializer_list<Label> labels) {
+  Impl& im = impl();
+  return find_or_create_labeled(im.mutex, im.histograms, im.families, name, labels);
+}
+
 std::vector<std::string> Registry::counter_names() const {
   Impl& im = impl();
   return sorted_names(im.mutex, im.counters);
@@ -223,6 +346,43 @@ std::vector<std::string> Registry::histogram_names() const {
   return sorted_names(im.mutex, im.histograms);
 }
 
+namespace {
+
+template <typename Map>
+const typename Map::mapped_type::element_type* find_no_create(std::shared_mutex& mutex,
+                                                              const Map& map,
+                                                              std::string_view name) {
+  std::shared_lock lock(mutex);
+  auto it = map.find(name);
+  return it == map.end() ? nullptr : it->second.get();
+}
+
+}  // namespace
+
+const Counter* Registry::find_counter(std::string_view name) const {
+  Impl& im = impl();
+  return find_no_create(im.mutex, im.counters, name);
+}
+
+const Gauge* Registry::find_gauge(std::string_view name) const {
+  Impl& im = impl();
+  return find_no_create(im.mutex, im.gauges, name);
+}
+
+const Histogram* Registry::find_histogram(std::string_view name) const {
+  Impl& im = impl();
+  return find_no_create(im.mutex, im.histograms, name);
+}
+
+std::vector<std::string> Registry::family_names() const {
+  Impl& im = impl();
+  std::shared_lock lock(im.mutex);
+  std::vector<std::string> out;
+  out.reserve(im.families.size());
+  for (const auto& [family, combos] : im.families) out.push_back(family);
+  return out;
+}
+
 void Registry::reset() {
   Impl& im = impl();
   std::unique_lock lock(im.mutex);
@@ -235,11 +395,21 @@ std::string Registry::to_json() const {
   Impl& im = impl();
   std::shared_lock lock(im.mutex);
   std::ostringstream out;
-  out << "{\n  \"schema\": \"gpumip.metrics.v1\",\n  \"enabled\": "
+  out << "{\n  \"schema\": \"gpumip.metrics.v2\",\n  \"enabled\": "
       << (kObsEnabled ? "true" : "false") << ",\n";
 
-  out << "  \"counters\": {";
+  // v2 addition: the `name{key,...}` family of every labeled instrument.
+  // v1 readers that only walk the three instrument maps are unaffected.
+  out << "  \"families\": [";
   bool first = true;
+  for (const auto& [family, combos] : im.families) {
+    out << (first ? "\n" : ",\n") << "    \"" << json_escape(family) << "\"";
+    first = false;
+  }
+  out << (first ? "" : "\n  ") << "],\n";
+
+  out << "  \"counters\": {";
+  first = true;
   for (const auto& [name, c] : im.counters) {
     out << (first ? "\n" : ",\n") << "    \"" << json_escape(name) << "\": " << c->value();
     first = false;

@@ -15,6 +15,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <initializer_list>
 #include <limits>
 #include <string>
 #include <string_view>
@@ -94,10 +95,38 @@ class Histogram {
   std::atomic<double> max_{-std::numeric_limits<double>::infinity()};
 };
 
+/// One `key=value` dimension attached to an instrument lookup. Keys must
+/// match `[a-z_]+` (enforced; gpumip-lint R4 checks literal call sites);
+/// values are free-form and sanitized into the flattened instrument name.
+struct Label {
+  std::string_view key;
+  std::string_view value;
+};
+
+/// True when `key` matches the label-key grammar `[a-z_]+`.
+bool valid_label_key(std::string_view key) noexcept;
+
+/// Canonical flattened instrument name `name{k1=v1,k2=v2}`: labels sorted
+/// by key, values sanitized (characters that would collide with the
+/// flattening syntax — `{ } , =`, whitespace, control bytes — become `_`).
+/// Throws Error(kInvalidArgument) on a bad or duplicate key.
+std::string labeled_name(std::string_view name, std::initializer_list<Label> labels);
+
+/// The documentation form of a labeled family: `name{k1,k2}` (sorted keys,
+/// no values). This is the string METRICS.md must backtick and what the
+/// v2 export lists under "families".
+std::string family_name(std::string_view name, std::initializer_list<Label> labels);
+
 /// Process-wide instrument registry. Instruments are created on first
 /// lookup of a name and live for the rest of the process, so call sites
 /// may cache the returned reference (the macros in obs/obs.hpp do).
 /// Names are dot-separated, lowercase, documented in docs/METRICS.md.
+///
+/// Labeled lookups (`counter(name, {{"method", "pdhg"}})`) share the same
+/// maps under the flattened `name{key=value,...}` form, so the stable
+/// reference and locking contracts hold for every label combination; the
+/// family (`name{key,...}`) of each labeled instrument is tracked for the
+/// v2 export and the METRICS.md glossary gate.
 class Registry {
  public:
   static Registry& instance();
@@ -106,18 +135,37 @@ class Registry {
   Gauge& gauge(std::string_view name);
   Histogram& histogram(std::string_view name);
 
-  /// Sorted names of all registered instruments of each kind.
+  Counter& counter(std::string_view name, std::initializer_list<Label> labels);
+  Gauge& gauge(std::string_view name, std::initializer_list<Label> labels);
+  Histogram& histogram(std::string_view name, std::initializer_list<Label> labels);
+
+  /// Sorted names of all registered instruments of each kind (labeled
+  /// instruments appear under their flattened `name{k=v,...}` form).
   std::vector<std::string> counter_names() const;
   std::vector<std::string> gauge_names() const;
   std::vector<std::string> histogram_names() const;
+
+  /// Sorted `name{key,...}` family strings of every labeled instrument
+  /// registered so far.
+  std::vector<std::string> family_names() const;
+
+  /// Lookup by flattened name *without* creating (nullptr when absent).
+  /// Readers like the time-series sampler use these so probing a name can
+  /// never register a phantom instrument.
+  const Counter* find_counter(std::string_view name) const;
+  const Gauge* find_gauge(std::string_view name) const;
+  const Histogram* find_histogram(std::string_view name) const;
 
   /// Zeroes every instrument (registrations survive). Test isolation and
   /// bench phase boundaries only; not thread-safe against concurrent
   /// recording in the sense that racing increments may survive the sweep.
   void reset();
 
-  /// The full registry as a JSON document (schema gpumip.metrics.v1; see
-  /// docs/METRICS.md for the layout).
+  /// The full registry as a JSON document (schema gpumip.metrics.v2; see
+  /// docs/METRICS.md for the layout). The v2 document keeps the v1
+  /// counters/gauges/histograms maps — labeled instruments appear as
+  /// flattened `name{k=v,...}` keys — and adds a "families" array, so v1
+  /// readers (bench_compare.py) keep working unchanged.
   std::string to_json() const;
 
   /// Writes to_json() to `path` atomically enough for collection scripts
@@ -136,6 +184,15 @@ inline Counter& counter(std::string_view name) { return Registry::instance().cou
 inline Gauge& gauge(std::string_view name) { return Registry::instance().gauge(name); }
 inline Histogram& histogram(std::string_view name) {
   return Registry::instance().histogram(name);
+}
+inline Counter& counter(std::string_view name, std::initializer_list<Label> labels) {
+  return Registry::instance().counter(name, labels);
+}
+inline Gauge& gauge(std::string_view name, std::initializer_list<Label> labels) {
+  return Registry::instance().gauge(name, labels);
+}
+inline Histogram& histogram(std::string_view name, std::initializer_list<Label> labels) {
+  return Registry::instance().histogram(name, labels);
 }
 inline std::string to_json() { return Registry::instance().to_json(); }
 inline void export_json(const std::string& path) { Registry::instance().export_json(path); }

@@ -67,6 +67,59 @@
 #define GPUMIP_OBS_SPAN(name) \
   ::gpumip::obs::Span GPUMIP_OBS_CONCAT_(gpumip_obs_span_, __LINE__)(name)
 
+// ---- labeled variants ----
+//
+// The trailing variadic arguments are one or more brace-initialized
+// {"key", "value"} obs::Label pairs. Both keys and values must be
+// compile-time constant at the call site: the flattened lookup is cached
+// in a function-local static, so a site like
+//   GPUMIP_OBS_COUNT_L("gpumip.lp.solves", {"method", "pdhg"});
+// costs one relaxed RMW in steady state, same as the unlabeled macros.
+// Sites with *runtime* label values (per-rank instruments) call
+// obs::counter(name, {...}) directly and cache the reference themselves
+// behind #ifdef GPUMIP_OBS_ENABLED, exactly like dynamic-name sites.
+
+/// Bumps labeled counter `name{...}` by 1.
+#define GPUMIP_OBS_COUNT_L(name, ...)                                 \
+  do {                                                                \
+    static ::gpumip::obs::Counter& gpumip_obs_metric_ =               \
+        ::gpumip::obs::counter(name, {__VA_ARGS__});                  \
+    gpumip_obs_metric_.add(1);                                        \
+  } while (false)
+
+/// Adds `amount` (nonnegative integral) to labeled counter `name{...}`.
+#define GPUMIP_OBS_ADD_L(name, amount, ...)                           \
+  do {                                                                \
+    static ::gpumip::obs::Counter& gpumip_obs_metric_ =               \
+        ::gpumip::obs::counter(name, {__VA_ARGS__});                  \
+    gpumip_obs_metric_.add(static_cast<std::uint64_t>(amount));       \
+  } while (false)
+
+/// Sets labeled gauge `name{...}` to `value`.
+#define GPUMIP_OBS_GAUGE_SET_L(name, value, ...)                      \
+  do {                                                                \
+    static ::gpumip::obs::Gauge& gpumip_obs_metric_ =                 \
+        ::gpumip::obs::gauge(name, {__VA_ARGS__});                    \
+    gpumip_obs_metric_.set(static_cast<double>(value));               \
+  } while (false)
+
+/// Records `value` into labeled histogram `name{...}`.
+#define GPUMIP_OBS_RECORD_L(name, value, ...)                         \
+  do {                                                                \
+    static ::gpumip::obs::Histogram& gpumip_obs_metric_ =             \
+        ::gpumip::obs::histogram(name, {__VA_ARGS__});                \
+    gpumip_obs_metric_.record(static_cast<double>(value));            \
+  } while (false)
+
+/// Times the rest of the enclosing scope into labeled histogram
+/// `name{...}` (seconds). The flattened name is also the trace span name.
+#define GPUMIP_OBS_SPAN_L(name, ...)                                        \
+  static const ::std::string GPUMIP_OBS_CONCAT_(gpumip_obs_span_name_,      \
+                                                __LINE__) =                 \
+      ::gpumip::obs::labeled_name(name, {__VA_ARGS__});                     \
+  ::gpumip::obs::Span GPUMIP_OBS_CONCAT_(gpumip_obs_span_, __LINE__)(       \
+      GPUMIP_OBS_CONCAT_(gpumip_obs_span_name_, __LINE__))
+
 #else  // !GPUMIP_OBS_ENABLED
 
 // Parsed but never evaluated (the assert.hpp idiom): the expressions stay
@@ -89,5 +142,23 @@
   do {                                                  \
     if (false) static_cast<void>(name);                 \
   } while (false)
+
+// Labeled variants: the label pairs are parsed through obs::labeled_name
+// so keys stay type- and grammar-checked in OFF builds, but never
+// evaluated — no name or label string reaches the binary.
+#define GPUMIP_OBS_COUNT_L(name, ...)                                       \
+  do {                                                                      \
+    if (false) static_cast<void>(::gpumip::obs::labeled_name(name, {__VA_ARGS__})); \
+  } while (false)
+#define GPUMIP_OBS_ADD_L(name, amount, ...)                                 \
+  do {                                                                      \
+    if (false) {                                                            \
+      static_cast<void>(::gpumip::obs::labeled_name(name, {__VA_ARGS__}));  \
+      static_cast<void>(amount);                                            \
+    }                                                                       \
+  } while (false)
+#define GPUMIP_OBS_GAUGE_SET_L(name, value, ...) GPUMIP_OBS_ADD_L(name, value, __VA_ARGS__)
+#define GPUMIP_OBS_RECORD_L(name, value, ...) GPUMIP_OBS_ADD_L(name, value, __VA_ARGS__)
+#define GPUMIP_OBS_SPAN_L(name, ...) GPUMIP_OBS_COUNT_L(name, __VA_ARGS__)
 
 #endif  // GPUMIP_OBS_ENABLED

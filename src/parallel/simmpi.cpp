@@ -81,10 +81,13 @@ int Comm::size() const noexcept { return world_->size; }
 
 void Comm::obs_bind() {
 #ifdef GPUMIP_OBS_ENABLED
-  const std::string prefix = "gpumip.simmpi.rank" + std::to_string(rank_);
-  obs_sent_msgs_ = &obs::counter(prefix + ".sent.msgs");
-  obs_sent_bytes_ = &obs::counter(prefix + ".sent.bytes");
-  obs_idle_seconds_ = &obs::gauge(prefix + ".recv.idle_seconds");
+  // Per-rank families are one labeled instrument per rank — the registry
+  // hands back stable references, so binding once per Comm keeps the send
+  // path at one relaxed RMW per instrument.
+  const std::string rank_str = std::to_string(rank_);
+  obs_sent_msgs_ = &obs::counter("gpumip.simmpi.sent.msgs", {{"rank", rank_str}});
+  obs_sent_bytes_ = &obs::counter("gpumip.simmpi.sent.bytes", {{"rank", rank_str}});
+  obs_idle_seconds_ = &obs::gauge("gpumip.simmpi.recv.idle_seconds", {{"rank", rank_str}});
 #endif
 }
 

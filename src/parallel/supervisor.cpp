@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <deque>
+#include <optional>
 
 #include "check/invariants.hpp"
 #include "check/message_audit.hpp"
+#include "gpu/arena.hpp"
+#include "gpu/device.hpp"
 #include "obs/obs.hpp"
+#include "obs/sampler.hpp"
 #include "obs/trace.hpp"
 #include "support/assert.hpp"
 #include "support/log.hpp"
@@ -183,7 +187,14 @@ SupervisorResult run_supervised(const mip::MipModel& model,
   auto body = [&](Comm& comm) {
     if (comm.rank() == 0) {
       // ------------- supervisor -------------
+      // The sampler (if any) lives on this rank's thread and is ticked
+      // with the supervisor's sim clock: every sampled row is stamped at
+      // a deterministic boundary of the simulated timeline.
+      std::optional<obs::Sampler::Bind> sampler_bind;
+      // gpumip-lint: hot-alloc(in-place optional::emplace of the Bind guard, once before the dispatch loop)
+      if (options.sampler != nullptr) sampler_bind.emplace(*options.sampler);
       comm.advance(out.ramp_up_seconds);
+      GPUMIP_OBS_SAMPLE_TICK(comm.now());
       int outstanding = 0;
       std::vector<int> waiting;  // idle workers with no work yet
       int stopped = 0;
@@ -205,6 +216,11 @@ SupervisorResult run_supervised(const mip::MipModel& model,
         ++outstanding;
         ++dispatched_total;
         GPUMIP_OBS_COUNT("gpumip.supervisor.dispatched");
+#ifdef GPUMIP_OBS_ENABLED
+        // Per-worker dispatch counts as a rank dimension on the family
+        // (low frequency: one lookup per dispatched subproblem).
+        obs::counter("gpumip.supervisor.dispatched", {{"rank", std::to_string(worker)}}).add(1);
+#endif
         GPUMIP_TRACE_INSTANT("gpumip.supervisor.dispatch", static_cast<std::uint64_t>(worker));
       };
       auto emit_checkpoint = [&] {
@@ -235,6 +251,7 @@ SupervisorResult run_supervised(const mip::MipModel& model,
 
       while (stopped < options.workers) {
         Message msg = comm.recv();
+        GPUMIP_OBS_SAMPLE_TICK(comm.now());
         if (msg.tag == kTagResult) {
           --outstanding;
           ++completed;
@@ -245,6 +262,13 @@ SupervisorResult run_supervised(const mip::MipModel& model,
           GPUMIP_OBS_COUNT("gpumip.supervisor.completed");
           GPUMIP_TRACE_INSTANT("gpumip.supervisor.result", static_cast<std::uint64_t>(msg.source));
           GPUMIP_OBS_RECORD("gpumip.supervisor.worker_busy_seconds", report.busy_seconds);
+#ifdef GPUMIP_OBS_ENABLED
+          // Same distribution split by worker rank, so gpumip-report can
+          // attribute busy-time skew to a specific rank.
+          obs::histogram("gpumip.supervisor.worker_busy_seconds",
+                         {{"rank", std::to_string(msg.source)}})
+              .record(report.busy_seconds);
+#endif
           if (report.improved && report.objective < incumbent_obj - 1e-12) {
             incumbent_obj = report.objective;
             incumbent_x = report.x;
@@ -287,6 +311,18 @@ SupervisorResult run_supervised(const mip::MipModel& model,
       }
     } else {
       // ------------- worker -------------
+      // Per-worker device residency (ROADMAP item 4): each worker rank
+      // owns a Device (and, unless disabled, an arena) threaded through
+      // every BnbSolver it runs, so per-node relaxations charge real
+      // footprints. One rank = one thread, so no sharing hazard.
+      std::optional<gpu::Device> wdevice;
+      std::optional<gpu::DeviceArena> warena;
+      if (options.model_worker_device) {
+        // gpumip-lint: hot-alloc(one Device per worker rank at startup, before any node is received)
+        wdevice.emplace();
+        // gpumip-lint: hot-alloc(one arena per worker rank; it amortizes per-node allocations away)
+        if (options.worker_arena) warena.emplace(*wdevice, "worker.node.lp");
+      }
       for (;;) {
         comm.send(0, kTagRequest, std::span<const std::byte>{});
         Message msg = comm.recv(0);
@@ -304,6 +340,8 @@ SupervisorResult run_supervised(const mip::MipModel& model,
         wopts.enable_cuts = false;  // the model is already strengthened
         wopts.max_nodes = options.worker_node_budget;
         wopts.initial_cutoff = item.cutoff;
+        wopts.relax_device = wdevice ? &*wdevice : nullptr;
+        wopts.relax_arena = warena ? &*warena : nullptr;
         // Span closes after the advance() below, so its simulated duration
         // is the subproblem's compute time — the per-rank "busy" segments
         // gpumip-trace aggregates.

@@ -30,7 +30,8 @@ lint::Options doc_options() {
   lint::Options options;
   options.metrics_doc =
       "| `gpumip.test.documented.total` | — | — | fixture |\n"
-      "| `gpumip.test.documented.seconds` | s | — | fixture |\n";
+      "| `gpumip.test.documented.seconds` | s | — | fixture |\n"
+      "| `gpumip.test.labeled.total{method,rank}` | — | — | fixture |\n";
   options.have_metrics_doc = true;
   return options;
 }
@@ -207,6 +208,45 @@ TEST(LintR4, DynamicNamesAreSkipped) {
       "src/lp/fixture.cpp", "void f() { obs::counter(prefix + \".sent.msgs\").add(1); }\n",
       doc_options());
   EXPECT_TRUE(findings.empty());
+}
+
+TEST(LintR4, LabelKeysFollowTheKeyGrammar) {
+  EXPECT_TRUE(has_rule(
+      lint_one("src/lp/fixture.cpp",
+               "void f() { GPUMIP_OBS_COUNT_L(\"gpumip.test.labeled.total\","
+               " {\"rank-id\", \"0\"}); }\n",
+               doc_options()),
+      "R4"));
+  // Uppercase keys fire even when the base name is documented.
+  EXPECT_TRUE(has_rule(
+      lint_one("src/lp/fixture.cpp",
+               "void f() { obs::gauge(\"gpumip.test.labeled.total\","
+               " {{\"Rank\", \"0\"}}).set(1.0); }\n",
+               doc_options()),
+      "R4"));
+}
+
+TEST(LintR4, LabeledFamiliesDocumentInKeyOnlyForm) {
+  // Documented family gpumip.test.labeled.total{method,rank}: a call site
+  // with those keys (any order, runtime values allowed) is quiet...
+  EXPECT_TRUE(lint_one("src/lp/fixture.cpp",
+                       "void f(const std::string& r) {"
+                       " obs::counter(\"gpumip.test.labeled.total\","
+                       " {{\"rank\", r}, {\"method\", \"pdhg\"}}).add(1); }\n",
+                       doc_options())
+                  .empty());
+  // ...while an undocumented key set fires, and so does a labeled use of a
+  // name only documented bare.
+  EXPECT_TRUE(has_rule(lint_one("src/lp/fixture.cpp",
+                                "void f() { GPUMIP_OBS_COUNT_L(\"gpumip.test.labeled.total\","
+                                " {\"phase\", \"x\"}); }\n",
+                                doc_options()),
+                       "R4"));
+  EXPECT_TRUE(has_rule(lint_one("src/lp/fixture.cpp",
+                                "void f() { GPUMIP_OBS_COUNT_L(\"gpumip.test.documented.total\","
+                                " {\"method\", \"x\"}); }\n",
+                                doc_options()),
+                       "R4"));
 }
 
 // ---- Suppressions ----------------------------------------------------------

@@ -116,6 +116,122 @@ TEST(ObsRegistry, ReferencesSurviveFurtherRegistration) {
   EXPECT_EQ(&obs::counter("test.obs.stable.a"), &before);
 }
 
+TEST(ObsLabels, FlattenSortsKeysAndSanitizesValues) {
+  EXPECT_EQ(obs::labeled_name("test.obs.flat", {}), "test.obs.flat");
+  EXPECT_EQ(obs::labeled_name("test.obs.flat", {{"method", "pdhg"}}),
+            "test.obs.flat{method=pdhg}");
+  // Label order at the call site does not matter: keys are sorted.
+  EXPECT_EQ(obs::labeled_name("test.obs.flat", {{"rank", "3"}, {"method", "pdhg"}}),
+            "test.obs.flat{method=pdhg,rank=3}");
+  // Values are free-form but syntax bytes are sanitized to '_'.
+  EXPECT_EQ(obs::labeled_name("test.obs.flat", {{"instance", "a=b,c{d}"}}),
+            "test.obs.flat{instance=a_b_c_d_}");
+  EXPECT_EQ(obs::family_name("test.obs.flat", {{"rank", "3"}, {"method", "pdhg"}}),
+            "test.obs.flat{method,rank}");
+}
+
+TEST(ObsLabels, BadKeysAreRejected) {
+  for (const char* key : {"", "Rank", "rank3", "ra-nk", "ra.nk"}) {
+    EXPECT_FALSE(obs::valid_label_key(key)) << key;
+    EXPECT_THROW(obs::labeled_name("test.obs.badkey", {{key, "v"}}), Error) << key;
+  }
+  EXPECT_TRUE(obs::valid_label_key("rank"));
+  EXPECT_TRUE(obs::valid_label_key("wave_kind"));
+  EXPECT_THROW(obs::labeled_name("test.obs.dupkey", {{"rank", "1"}, {"rank", "2"}}), Error);
+}
+
+TEST(ObsLabels, LabeledLookupIsStableAndOrderInsensitive) {
+  Counter& c1 = obs::counter("test.obs.labeled.c", {{"method", "pdhg"}, {"rank", "1"}});
+  Counter& c2 = obs::counter("test.obs.labeled.c", {{"rank", "1"}, {"method", "pdhg"}});
+  EXPECT_EQ(&c1, &c2);
+  Counter& other = obs::counter("test.obs.labeled.c", {{"method", "pdhg"}, {"rank", "2"}});
+  EXPECT_NE(&c1, &other);
+  c1.add(4);
+  other.add(1);
+  EXPECT_EQ(c2.value(), 4u);
+
+  // Labeled instruments appear under their flattened names, and the family
+  // index records the documentation form.
+  const auto names = obs::Registry::instance().counter_names();
+  EXPECT_NE(std::find(names.begin(), names.end(), "test.obs.labeled.c{method=pdhg,rank=1}"),
+            names.end());
+  const auto families = obs::Registry::instance().family_names();
+  EXPECT_NE(std::find(families.begin(), families.end(), "test.obs.labeled.c{method,rank}"),
+            families.end());
+}
+
+TEST(ObsLabels, ReferencesSurviveLabelSetChurn) {
+  Counter& before = obs::counter("test.obs.labeled.stable", {{"method", "simplex"}});
+  before.add(7);
+  // Registering many sibling label sets must not move the earlier
+  // instrument (call sites cache labeled references too).
+  for (int i = 0; i < 200; ++i) {
+    obs::counter("test.obs.labeled.stable", {{"method", "m" + std::string(1, 'a' + i % 26)},
+                                             {"rank", std::to_string(i)}})
+        .add(1);
+  }
+  EXPECT_EQ(obs::counter("test.obs.labeled.stable", {{"method", "simplex"}}).value(), 7u);
+  EXPECT_EQ(&obs::counter("test.obs.labeled.stable", {{"method", "simplex"}}), &before);
+}
+
+TEST(ObsLabels, GaugeAndHistogramKindsSupportLabels) {
+  Gauge& g = obs::gauge("test.obs.labeled.g", {{"rank", "0"}});
+  Histogram& h = obs::histogram("test.obs.labeled.h", {{"method", "pdhg"}});
+  g.set(2.5);
+  h.record(4.0);
+  EXPECT_DOUBLE_EQ(obs::gauge("test.obs.labeled.g", {{"rank", "0"}}).value(), 2.5);
+  EXPECT_EQ(obs::histogram("test.obs.labeled.h", {{"method", "pdhg"}}).count(), 1u);
+  const std::string json = obs::to_json();
+  EXPECT_NE(json.find("\"test.obs.labeled.g{rank=0}\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.obs.labeled.h{method=pdhg}\""), std::string::npos);
+}
+
+TEST(ObsLabels, LabeledMacrosMatchCompileTimeSwitch) {
+  Counter& c = obs::counter("test.obs.labeled.macro", {{"method", "pdhg"}});
+  const std::uint64_t before = c.value();
+  GPUMIP_OBS_COUNT_L("test.obs.labeled.macro", {"method", "pdhg"});
+  GPUMIP_OBS_ADD_L("test.obs.labeled.macro", 9, {"method", "pdhg"});
+  GPUMIP_OBS_RECORD_L("test.obs.labeled.macro.h", 2.0, {"method", "pdhg"}, {"rank", "0"});
+  if (obs::kObsEnabled) {
+    EXPECT_EQ(c.value(), before + 10);
+    EXPECT_EQ(obs::histogram("test.obs.labeled.macro.h", {{"method", "pdhg"}, {"rank", "0"}})
+                  .count(),
+              1u);
+  } else {
+    EXPECT_EQ(c.value(), before);  // macros are no-ops in OFF builds
+  }
+}
+
+// Concurrent creation of *distinct* label sets in one family from many
+// ranks: registration takes the unique lock, lookups the shared lock; the
+// TSan preset runs this test too.
+TEST(ObsLabels, ConcurrentLabelSetCreationIsSafe) {
+  constexpr int kRanks = 8;
+  constexpr int kRounds = 50;
+  parallel::RunOptions options;
+  options.schedule.fuzz = true;
+  options.schedule.seed = 1234;
+  parallel::run_ranks(kRanks, [&](parallel::Comm& comm) {
+    const std::string rank_str = std::to_string(comm.rank());
+    for (int i = 0; i < kRounds; ++i) {
+      // Every rank races both on creating its own label sets and on
+      // looking up a shared one.
+      obs::counter("test.obs.labeled.race",
+                   {{"rank", rank_str}, {"round", std::to_string(i)}})
+          .add(1);
+      obs::counter("test.obs.labeled.race", {{"rank", "shared"}}).add(1);
+    }
+  }, options);
+  EXPECT_EQ(obs::counter("test.obs.labeled.race", {{"rank", "shared"}}).value(),
+            static_cast<std::uint64_t>(kRanks) * kRounds);
+  for (int r = 0; r < kRanks; ++r) {
+    EXPECT_EQ(obs::counter("test.obs.labeled.race",
+                           {{"rank", std::to_string(r)}, {"round", "0"}})
+                  .value(),
+              1u);
+  }
+}
+
 TEST(ObsSpan, NestingDepthIsTracked) {
   EXPECT_EQ(obs::Span::active_depth(), 0);
   {
@@ -189,7 +305,8 @@ TEST(ObsJson, ExportRoundTrip) {
   obs::histogram("test.obs.json.hist").record(8.0);
 
   const std::string json = obs::to_json();
-  EXPECT_NE(json.find("\"schema\": \"gpumip.metrics.v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\": \"gpumip.metrics.v2\""), std::string::npos);
+  EXPECT_NE(json.find("\"families\""), std::string::npos);
   EXPECT_NE(json.find("\"test.obs.json.counter\": 5"), std::string::npos);
   EXPECT_NE(json.find("\"test.obs.json.gauge\": 0.75"), std::string::npos);
   EXPECT_NE(json.find("\"test.obs.json.hist\""), std::string::npos);

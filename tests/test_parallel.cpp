@@ -3,6 +3,7 @@
 #include <atomic>
 #include <cmath>
 
+#include "obs/metrics.hpp"
 #include "parallel/simmpi.hpp"
 #include "parallel/strategies.hpp"
 #include "parallel/supervisor.hpp"
@@ -306,6 +307,49 @@ TEST(Supervisor, LoadIsDistributed) {
   for (long nodes : r.worker_nodes) busy_workers += nodes > 0 ? 1 : 0;
   EXPECT_GE(busy_workers, 2) << "work never spread beyond one worker";
   EXPECT_GT(r.network.messages, 8u);
+}
+
+// ROADMAP item 4: per-node LP solves inside run_supervised go through a
+// per-worker DeviceArena. With the arena, device allocations are bounded
+// by slab growth; naive mode pays one Device::alloc per evaluated node.
+TEST(Supervisor, WorkerArenaCutsPerNodeDeviceAllocs) {
+  mip::MipModel m = test_mip(77, 14, 26);
+  SupervisorOptions opts;
+  opts.workers = 3;
+  opts.worker_node_budget = 8;
+  opts.ramp_up_nodes = 12;
+  opts.mip.enable_cuts = false;
+  opts.model_worker_device = true;
+
+  auto alloc_calls = [] {
+    return obs::kObsEnabled ? obs::counter("gpumip.gpu.alloc.calls").value() : 0;
+  };
+
+  const std::uint64_t before_naive = alloc_calls();
+  opts.worker_arena = false;
+  SupervisorResult naive = solve_supervised(m, opts);
+  ASSERT_EQ(naive.result.status, mip::MipStatus::Optimal);
+  const std::uint64_t naive_allocs = alloc_calls() - before_naive;
+
+  const std::uint64_t before_arena = alloc_calls();
+  opts.worker_arena = true;
+  SupervisorResult arena = solve_supervised(m, opts);
+  ASSERT_EQ(arena.result.status, mip::MipStatus::Optimal);
+  const std::uint64_t arena_allocs = alloc_calls() - before_arena;
+
+  // Residency modeling must not change the answer.
+  EXPECT_NEAR(arena.result.objective, naive.result.objective, 1e-9);
+
+  long worker_nodes = 0;
+  for (long nodes : naive.worker_nodes) worker_nodes += nodes;
+  ASSERT_GT(worker_nodes, 0) << "fixture too small: no work reached the workers";
+
+  if (obs::kObsEnabled) {
+    // Naive mode: at least one device alloc per worker-evaluated node.
+    EXPECT_GE(naive_allocs, static_cast<std::uint64_t>(worker_nodes));
+    // Arena mode: allocations are slab growth only — far below node count.
+    EXPECT_LT(arena_allocs, naive_allocs / 2);
+  }
 }
 
 TEST(Supervisor, CheckpointAndResume) {

@@ -1,0 +1,208 @@
+// Tests for the gpumip-report engine (tools/gpumip-report/report.hpp):
+// document parsing (metrics v1/v2, bench baselines, time series), the
+// claim-category mapping with its exclusion list, single-run profiles,
+// two-run attribution ranking, and the live round trip — a real metrics
+// export from the registry parsed back and attributed.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+
+#include "obs/metrics.hpp"
+#include "obs/sampler.hpp"
+#include "report.hpp"
+
+namespace gpumip {
+namespace {
+
+using reporttool::Attribution;
+using reporttool::BenchDoc;
+using reporttool::MetricsSnapshot;
+using reporttool::Profile;
+using reporttool::TimeSeries;
+
+BenchDoc one_bench(std::map<std::string, double> counters,
+                   std::map<std::string, double> gauges = {}) {
+  BenchDoc doc;
+  MetricsSnapshot snap;
+  snap.counters = std::move(counters);
+  snap.gauges = std::move(gauges);
+  snap.enabled = true;
+  doc.benches["bench"] = std::move(snap);
+  return doc;
+}
+
+TEST(ReportParse, MetricsV1AndV2BothDecode) {
+  const std::string v1 = R"({
+    "schema": "gpumip.metrics.v1", "enabled": true,
+    "counters": {"gpumip.mip.nodes": 10}, "gauges": {}, "histograms": {}
+  })";
+  const std::string v2 = R"({
+    "schema": "gpumip.metrics.v2", "enabled": true,
+    "families": ["gpumip.lp.solves{method}"],
+    "counters": {"gpumip.lp.solves{method=pdhg}": 3}, "gauges": {},
+    "histograms": {"gpumip.lp.solve.seconds{method=pdhg}":
+      {"count": 3, "sum": 0.3, "min": 0.1, "max": 0.1, "mean": 0.1,
+       "p50": 0.1, "p90": 0.1, "p99": 0.1}}
+  })";
+  MetricsSnapshot snap;
+  std::string error;
+  ASSERT_TRUE(reporttool::parse_metrics(v1, snap, error)) << error;
+  EXPECT_DOUBLE_EQ(snap.counters.at("gpumip.mip.nodes"), 10.0);
+  ASSERT_TRUE(reporttool::parse_metrics(v2, snap, error)) << error;
+  EXPECT_DOUBLE_EQ(snap.counters.at("gpumip.lp.solves{method=pdhg}"), 3.0);
+  EXPECT_DOUBLE_EQ(snap.histograms.at("gpumip.lp.solve.seconds{method=pdhg}").first, 3.0);
+
+  EXPECT_FALSE(reporttool::parse_metrics(
+      R"({"schema": "gpumip.metrics.v3", "counters": {}})", snap, error));
+  EXPECT_FALSE(reporttool::parse_metrics("[1, 2]", snap, error));
+}
+
+TEST(ReportCategories, MappingAndExclusions) {
+  EXPECT_EQ(reporttool::category_of("gpumip.gpu.xfer.h2d.bytes"), "transfer");
+  EXPECT_EQ(reporttool::category_of("gpumip.lp.ops.refactor"), "c3_basis");
+  EXPECT_EQ(reporttool::category_of("gpumip.mip.cuts.rounds"), "c4_cuts");
+  EXPECT_EQ(reporttool::category_of("gpumip.gpu.alloc.calls"), "c5_memory");
+  EXPECT_EQ(reporttool::category_of("gpumip.mip.reuse.hit_rate"), "c5_memory");
+  EXPECT_EQ(reporttool::category_of("gpumip.lp.method.chosen{method=pdhg}"), "c6_method");
+  EXPECT_EQ(reporttool::category_of("gpumip.lp.batch.waves{method=simplex}"), "c7_batch");
+  EXPECT_EQ(reporttool::category_of("gpumip.supervisor.dispatched{rank=2}"), "c8_scale");
+  EXPECT_EQ(reporttool::category_of("gpumip.mip.incumbents"), "other");
+  // Exclusions: the sampler can never trip attribution, nor can
+  // host-timing noise.
+  EXPECT_EQ(reporttool::category_of("gpumip.obs.trace.dropped"), "");
+  EXPECT_EQ(reporttool::category_of("gpumip.obs.sampler.dropped"), "");
+  EXPECT_EQ(reporttool::category_of("gpumip.simmpi.recv.idle_seconds{rank=3}"), "");
+  EXPECT_EQ(reporttool::category_of("gpumip.supervisor.checkpoints"), "");
+}
+
+TEST(ReportAttribution, DoubledTransferOutranksNoiseAndExclusionsAreSilent) {
+  const BenchDoc base = one_bench({{"gpumip.gpu.xfer.h2d.bytes", 1000.0},
+                                   {"gpumip.lp.ops.refactor", 100.0},
+                                   {"gpumip.obs.trace.dropped", 1.0}});
+  const BenchDoc cur = one_bench({{"gpumip.gpu.xfer.h2d.bytes", 2000.0},
+                                  {"gpumip.lp.ops.refactor", 101.0},
+                                  {"gpumip.obs.trace.dropped", 50000.0}});
+  const Attribution a = reporttool::attribute(base, cur);
+  ASSERT_EQ(a.ranked.size(), 2u);
+  EXPECT_EQ(a.ranked[0].category, "transfer");
+  EXPECT_NEAR(a.ranked[0].score, 1.0, 1e-12);
+  EXPECT_EQ(a.ranked[1].category, "c3_basis");
+  ASSERT_FALSE(a.ranked[0].top.empty());
+  EXPECT_EQ(a.ranked[0].top[0].name, "gpumip.gpu.xfer.h2d.bytes");
+}
+
+TEST(ReportAttribution, MissingMetricScoresAgainstZeroAndIdenticalRunsAreClean) {
+  const BenchDoc base = one_bench({{"gpumip.mip.cuts.generated", 10.0}});
+  const BenchDoc cur = one_bench({{"gpumip.lp.batch.solves{method=pdhg}", 5.0}});
+  const Attribution a = reporttool::attribute(base, cur);
+  ASSERT_EQ(a.ranked.size(), 2u);  // vanished cuts + appeared batch metric
+  EXPECT_TRUE(reporttool::attribute(base, base).ranked.empty());
+}
+
+TEST(ReportAttribution, RankSplitsAggregateBeforeScoring) {
+  // Which rank serves which node is race-dependent, so the per-rank
+  // shards shuffle between two correct runs; only the summed family
+  // total is replay-stable. An opposing shuffle must score zero while a
+  // real (if small) transfer move still registers.
+  const BenchDoc base = one_bench({{"gpumip.simmpi.sent.bytes{rank=0}", 49.0},
+                                   {"gpumip.simmpi.sent.bytes{rank=1}", 322.0},
+                                   {"gpumip.gpu.xfer.h2d.bytes", 1000.0}});
+  const BenchDoc cur = one_bench({{"gpumip.simmpi.sent.bytes{rank=0}", 322.0},
+                                  {"gpumip.simmpi.sent.bytes{rank=1}", 49.0},
+                                  {"gpumip.gpu.xfer.h2d.bytes", 1010.0}});
+  const Attribution a = reporttool::attribute(base, cur);
+  ASSERT_EQ(a.ranked.size(), 1u);
+  EXPECT_EQ(a.ranked.front().category, "transfer");
+
+  // A genuine total movement still lands in c8_scale, under the
+  // label-stripped family name.
+  const BenchDoc grown = one_bench({{"gpumip.simmpi.sent.bytes{rank=0}", 400.0},
+                                    {"gpumip.simmpi.sent.bytes{rank=1}", 713.0},
+                                    {"gpumip.gpu.xfer.h2d.bytes", 1000.0}});
+  const Attribution b = reporttool::attribute(base, grown);
+  ASSERT_EQ(b.ranked.size(), 1u);
+  EXPECT_EQ(b.ranked.front().category, "c8_scale");
+  ASSERT_FALSE(b.ranked.front().top.empty());
+  EXPECT_EQ(b.ranked.front().top.front().name, "gpumip.simmpi.sent.bytes");
+}
+
+TEST(ReportProfile, CategoryMassAndFormatting) {
+  const BenchDoc run = one_bench({{"gpumip.gpu.xfer.h2d.bytes", 600.0},
+                                  {"gpumip.gpu.xfer.d2h.bytes", 400.0}},
+                                 {{"gpumip.mip.reuse.hit_rate", 0.5}});
+  const Profile profile = reporttool::build_profile(run, nullptr, nullptr);
+  double transfer = -1.0;
+  double memory = -1.0;
+  for (const auto& ct : profile.categories) {
+    if (ct.category == "transfer") transfer = ct.total;
+    if (ct.category == "c5_memory") memory = ct.total;
+  }
+  EXPECT_DOUBLE_EQ(transfer, 1000.0);
+  EXPECT_DOUBLE_EQ(memory, 0.5);
+  const std::string text = reporttool::format_profile(profile);
+  EXPECT_NE(text.find("transfer"), std::string::npos);
+}
+
+TEST(ReportTimeSeries, SamplerExportRoundTrips) {
+  obs::counter("gpumip.test_report.rt.c").reset();
+  obs::SamplerOptions options;
+  options.period = 1.0;
+  options.columns = {"gpumip.test_report.rt.c"};
+  obs::Sampler sampler(options);
+  obs::counter("gpumip.test_report.rt.c").add(4);
+  sampler.sample_now(1.0, true);
+  sampler.sample_now(2.0, true);
+
+  TimeSeries series;
+  std::string error;
+  ASSERT_TRUE(reporttool::parse_timeseries(sampler.to_json(), series, error)) << error;
+  ASSERT_EQ(series.columns.size(), 1u);
+  EXPECT_EQ(series.columns[0], "gpumip.test_report.rt.c:counter");
+  ASSERT_EQ(series.rows.size(), 2u);
+  if (obs::kObsEnabled) {
+    EXPECT_DOUBLE_EQ(series.rows[0][0], 4.0);
+    EXPECT_DOUBLE_EQ(series.rows[1][0], 0.0);
+  }
+
+  const BenchDoc empty_run;
+  const Profile profile = reporttool::build_profile(empty_run, nullptr, &series);
+  EXPECT_TRUE(profile.has_timeseries);
+  EXPECT_DOUBLE_EQ(profile.timeseries_span, 1.0);
+}
+
+TEST(ReportLive, RegistryExportParsesAndAttributes) {
+  // A real registry export (v2, labeled names included) must flow through
+  // parse_run -> attribute without hand-editing.
+  obs::counter("gpumip.test_report.live.xfer").reset();
+  const std::string before = obs::Registry::instance().to_json();
+  obs::counter("gpumip.test_report.live.xfer").add(100);
+  const std::string after = obs::Registry::instance().to_json();
+
+  BenchDoc base;
+  BenchDoc cur;
+  std::string error;
+  ASSERT_TRUE(reporttool::parse_run(before, base, error)) << error;
+  ASSERT_TRUE(reporttool::parse_run(after, cur, error)) << error;
+  const Attribution a = reporttool::attribute(base, cur);
+  if (obs::kObsEnabled) {
+    bool found = false;
+    for (const auto& cd : a.ranked) {
+      for (const auto& md : cd.top) {
+        if (md.name == "gpumip.test_report.live.xfer") found = true;
+      }
+    }
+    EXPECT_TRUE(found) << reporttool::format_attribution(a);
+  }
+}
+
+TEST(ReportSelfCheck, KnownAnswerFixturesPass) {
+  std::ostringstream out;
+  EXPECT_TRUE(reporttool::run_self_check(out)) << out.str();
+  EXPECT_NE(out.str().find("doubled H2D volume ranks transfer first"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace gpumip

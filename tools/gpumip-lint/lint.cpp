@@ -248,11 +248,75 @@ bool valid_metric_name(const std::string& name) {
 
 /// One R4 call site: the macro/function name and which argument carries the
 /// exported name literal (0-based; GPUMIP_TRACE_SPAN_OPEN takes the guard
-/// first, so its name is argument 1).
+/// first, so its name is argument 1). `labeled` marks sites whose trailing
+/// arguments may carry {"key", value} obs::Label pairs (the *_L macros and
+/// the registry lookups): their keys are checked against the label-key
+/// grammar and their documentation entry is the key-only family form
+/// `name{key1,key2}` instead of the bare name.
 struct R4Site {
   std::string name;
   int name_arg = 0;
+  bool labeled = false;
 };
+
+/// Label-key grammar: [a-z_]+, nonempty. Values are free-form (they carry
+/// runtime dimensions like rank numbers); keys are the schema.
+bool valid_label_key(const std::string& key) {
+  if (key.empty()) return false;
+  for (char c : key) {
+    if (std::islower(static_cast<unsigned char>(c)) == 0 && c != '_') return false;
+  }
+  return true;
+}
+
+/// Extracts the label keys of a labeled call site. `pos` is the offset of
+/// the metric name's opening quote inside `f.clean`; the scan covers the
+/// rest of the argument list (depth-tracked to the call's closing paren)
+/// and records the first string literal of every brace group — the key of
+/// one {"key", value} pair. Works for both the macro form
+/// ({"k","v"}, {"k2","v2"} as separate arguments) and the registry form
+/// (one {{"k", expr}} initializer list): the registry's outer brace opens
+/// with another brace, not a literal, so it never reads as a pair. Sets
+/// `dynamic` when a pair's key is not a compile-time literal (then the
+/// family cannot be checked statically, like dynamic-name sites).
+std::vector<std::string> collect_label_keys(const Scanned& f, std::size_t pos,
+                                            bool* dynamic) {
+  std::vector<std::string> keys;
+  std::size_t scan = f.clean.find('"', pos + 1);  // closing quote of the name
+  if (scan == std::string::npos) return keys;
+  int depth = 1;  // inside the call's parens
+  for (++scan; scan < f.clean.size() && depth > 0; ++scan) {
+    const char c = f.clean[scan];
+    if (c == '(' || c == '[') {
+      ++depth;
+    } else if (c == ')' || c == ']' || c == '}') {
+      --depth;
+    } else if (c == '{') {
+      ++depth;
+      const std::size_t first = skip_ws(f.clean, scan + 1);
+      if (first < f.clean.size() && f.clean[first] == '"') {
+        auto key_lit = f.literals.find(first);
+        if (key_lit != f.literals.end()) keys.push_back(key_lit->second);
+      } else if (first < f.clean.size() && f.clean[first] != '{' && f.clean[first] != '}') {
+        *dynamic = true;
+      }
+    }
+  }
+  return keys;
+}
+
+/// The documented form of a labeled family: keys sorted and deduplicated,
+/// values dropped — `gpumip.lp.solves{method}` (docs/METRICS.md "Labels").
+std::string family_form(const std::string& name, std::vector<std::string> keys) {
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  std::string out = name + "{";
+  for (std::size_t i = 0; i < keys.size(); ++i) {
+    if (i > 0) out += ",";
+    out += keys[i];
+  }
+  return out + "}";
+}
 
 /// Shared engine for both R4 name families: metric names (GPUMIP_OBS_* /
 /// obs registry calls, documented in docs/METRICS.md) and trace event names
@@ -302,7 +366,34 @@ void check_r4_names(const Scanned& f, const std::vector<R4Site>& sites,
                  "name is namespaced under gpumip. (" + doc_name + ")"});
         continue;
       }
-      if (have_doc && doc.find("`" + name + "`") == std::string::npos) {
+      bool dynamic_key = false;
+      std::vector<std::string> keys;
+      if (site_entry.labeled) {
+        keys = collect_label_keys(f, pos, &dynamic_key);
+        bool bad_key = false;
+        for (const std::string& key : keys) {
+          if (!valid_label_key(key)) {
+            findings.push_back(
+                {f.src->path, line, "R4",
+                 "label key '" + key + "' on " + kind + " '" + name +
+                     "' violates the key grammar [a-z_]+ — keys are the schema "
+                     "(values are free-form); see docs/METRICS.md \"Labels\""});
+            bad_key = true;
+          }
+        }
+        if (bad_key) continue;
+      }
+      if (!keys.empty()) {
+        const std::string family = family_form(name, keys);
+        if (have_doc && doc.find("`" + family + "`") == std::string::npos) {
+          findings.push_back(
+              {f.src->path, line, "R4",
+               "labeled " + kind + " family '" + family + "' is not documented in " +
+                   doc_name + "; every labeled family must appear (backticked) in "
+                   "key-only form in the catalog"});
+        }
+      } else if (!dynamic_key &&
+                 have_doc && doc.find("`" + name + "`") == std::string::npos) {
         findings.push_back(
             {f.src->path, line, "R4",
              kind + " name '" + name + "' is not documented in " + doc_name +
@@ -317,7 +408,10 @@ void check_r4(const Scanned& f, const Options& options, std::vector<Finding>& fi
   static const std::vector<R4Site> kMetricSites = {
       {"GPUMIP_OBS_COUNT"}, {"GPUMIP_OBS_ADD"},    {"GPUMIP_OBS_GAUGE_SET"},
       {"GPUMIP_OBS_GAUGE_MAX"}, {"GPUMIP_OBS_RECORD"}, {"GPUMIP_OBS_SPAN"},
-      {"counter"}, {"gauge"}, {"histogram"},
+      {"GPUMIP_OBS_COUNT_L", 0, true},     {"GPUMIP_OBS_ADD_L", 0, true},
+      {"GPUMIP_OBS_GAUGE_SET_L", 0, true}, {"GPUMIP_OBS_RECORD_L", 0, true},
+      {"GPUMIP_OBS_SPAN_L", 0, true},
+      {"counter", 0, true}, {"gauge", 0, true}, {"histogram", 0, true},
   };
   static const std::vector<R4Site> kTraceSites = {
       {"GPUMIP_TRACE_BEGIN"},      {"GPUMIP_TRACE_END"},      {"GPUMIP_TRACE_INSTANT"},
@@ -623,7 +717,8 @@ bool fires_hot(const std::string& content, const std::string& manifest, const st
 
 bool run_self_test(std::ostream& out) {
   Options options;
-  options.metrics_doc = "| `gpumip.test.documented.total` | — | — | fixture |\n";
+  options.metrics_doc = "| `gpumip.test.documented.total` | — | — | fixture |\n"
+                        "| `gpumip.test.labeled.total{method}` | — | — | fixture |\n";
   options.have_metrics_doc = true;
   options.tracing_doc = "| `gpumip.test.documented.event` | i | — | fixture |\n";
   options.have_tracing_doc = true;
@@ -723,6 +818,30 @@ bool run_self_test(std::ostream& out) {
                 "void f() { GPUMIP_TRACE_INSTANT(\"gpumip.fixture.undocumented\", 0); }\n",
                 "R4", options),
          "R4 trace finding waived by metric-name annotation");
+
+  // R4 labeled surface: *_L macros and labeled registry lookups check the
+  // key grammar and document the key-only family form (docs/METRICS.md
+  // "Labels"); label values stay free-form, including runtime expressions.
+  expect(fires("src/lp/fixture.cpp",
+               "void f() { GPUMIP_OBS_COUNT_L(\"gpumip.test.labeled.total\","
+               " {\"Method\", \"x\"}); }\n",
+               "R4", options),
+         "R4 fires on a label key outside the [a-z_]+ grammar");
+  expect(fires("src/lp/fixture.cpp",
+               "void f() { GPUMIP_OBS_COUNT_L(\"gpumip.test.documented.total\","
+               " {\"method\", \"x\"}); }\n",
+               "R4", options),
+         "R4 fires on an undocumented labeled family (bare name is not enough)");
+  expect(!fires("src/lp/fixture.cpp",
+                "void f() { GPUMIP_OBS_COUNT_L(\"gpumip.test.labeled.total\","
+                " {\"method\", \"x\"}); }\n",
+                "R4", options),
+         "R4 quiet on a documented labeled family");
+  expect(!fires("src/lp/fixture.cpp",
+                "void f(const std::string& r) {"
+                " obs::counter(\"gpumip.test.labeled.total\", {{\"method\", r}}).add(1); }\n",
+                "R4", options),
+         "R4 quiet on a registry lookup with a literal key and a runtime value");
   mark("R4");
 
   // Suppression round trip: a matching entry silences the finding and is

@@ -1,0 +1,183 @@
+// gpumip-report CLI — scripts/check.sh gate 10 entry point.
+//
+//   gpumip-report --self-check
+//   gpumip-report --attribute BASE.json CURRENT.json [--expect-top CATEGORY]
+//   gpumip-report --metrics RUN.json [--timeseries TS.json] [--trace TRACE.json]
+//
+// --self-check runs the engine's known-answer fixtures (parsing, category
+// mapping, exclusion list, the embedded doubled-H2D drill).
+//
+// --attribute loads two runs (bench-baseline documents from scripts/bench.sh
+// or raw metrics exports) and prints which claim categories explain the
+// delta, ranked. With --expect-top, exits 1 unless the top-ranked category
+// matches — gate 10 uses this against the committed fixture pair, and
+// scripts/bench.sh --compare uses the plain form to annotate regressions.
+//
+// --metrics builds a single-run profile, optionally merging a time-series
+// export and a trace-event timeline into the same report.
+//
+// Exit status: 0 clean, 1 failed self-check / unexpected top category,
+// 2 usage/IO/parse error.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "report.hpp"
+
+namespace {
+
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  out = buffer.str();
+  return true;
+}
+
+int usage_error(const std::string& what) {
+  std::cerr << "gpumip-report: " << what << " (see --help)\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace gpumip::reporttool;
+
+  bool self_check = false;
+  std::vector<std::string> attribute_paths;
+  std::string expect_top;
+  std::string metrics_path;
+  std::string timeseries_path;
+  std::string trace_path;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](const char* what) -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "gpumip-report: " << arg << " needs " << what << "\n";
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    if (arg == "--self-check") {
+      self_check = true;
+    } else if (arg == "--attribute") {
+      const char* base = next("BASE.json CURRENT.json");
+      if (base == nullptr) return 2;
+      const char* current = next("CURRENT.json");
+      if (current == nullptr) return 2;
+      attribute_paths = {base, current};
+    } else if (arg == "--expect-top") {
+      const char* category = next("a category id");
+      if (category == nullptr) return 2;
+      expect_top = category;
+    } else if (arg == "--metrics") {
+      const char* path = next("a metrics/bench-baseline JSON path");
+      if (path == nullptr) return 2;
+      metrics_path = path;
+    } else if (arg == "--timeseries") {
+      const char* path = next("a gpumip.timeseries.v1 JSON path");
+      if (path == nullptr) return 2;
+      timeseries_path = path;
+    } else if (arg == "--trace") {
+      const char* path = next("a trace-event JSON path");
+      if (path == nullptr) return 2;
+      trace_path = path;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: gpumip-report --self-check\n"
+                   "       gpumip-report --attribute BASE.json CURRENT.json"
+                   " [--expect-top CATEGORY]\n"
+                   "       gpumip-report --metrics RUN.json [--timeseries TS.json]"
+                   " [--trace TRACE.json]\n";
+      return 0;
+    } else {
+      return usage_error("unknown argument " + arg);
+    }
+  }
+
+  bool ok = true;
+  if (self_check) {
+    std::cout << "==> gpumip-report self-check (known-answer fixtures)\n";
+    ok = run_self_check(std::cout);
+  }
+
+  if (!attribute_paths.empty()) {
+    std::string base_text;
+    std::string cur_text;
+    if (!read_file(attribute_paths[0], base_text)) {
+      return usage_error("cannot read " + attribute_paths[0]);
+    }
+    if (!read_file(attribute_paths[1], cur_text)) {
+      return usage_error("cannot read " + attribute_paths[1]);
+    }
+    BenchDoc base;
+    BenchDoc current;
+    std::string error;
+    if (!parse_run(base_text, base, error)) {
+      return usage_error(attribute_paths[0] + ": " + error);
+    }
+    if (!parse_run(cur_text, current, error)) {
+      return usage_error(attribute_paths[1] + ": " + error);
+    }
+    const Attribution attribution = attribute(base, current);
+    std::cout << "==> " << attribute_paths[0] << " vs " << attribute_paths[1] << "\n"
+              << format_attribution(attribution);
+    if (!expect_top.empty()) {
+      const bool match =
+          !attribution.ranked.empty() && attribution.ranked.front().category == expect_top;
+      std::cout << "  [" << (match ? "PASS" : "FAIL") << "] top-ranked category is "
+                << expect_top << "\n";
+      if (!match) ok = false;
+    }
+  } else if (!expect_top.empty()) {
+    return usage_error("--expect-top requires --attribute");
+  }
+
+  if (!metrics_path.empty()) {
+    std::string text;
+    if (!read_file(metrics_path, text)) return usage_error("cannot read " + metrics_path);
+    BenchDoc run;
+    std::string error;
+    if (!parse_run(text, run, error)) return usage_error(metrics_path + ": " + error);
+
+    TimeSeries series;
+    const TimeSeries* series_ptr = nullptr;
+    if (!timeseries_path.empty()) {
+      std::string ts_text;
+      if (!read_file(timeseries_path, ts_text)) {
+        return usage_error("cannot read " + timeseries_path);
+      }
+      if (!parse_timeseries(ts_text, series, error)) {
+        return usage_error(timeseries_path + ": " + error);
+      }
+      series_ptr = &series;
+    }
+
+    gpumip::tracetool::Trace trace;
+    const gpumip::tracetool::Trace* trace_ptr = nullptr;
+    if (!trace_path.empty()) {
+      std::string trace_text;
+      if (!read_file(trace_path, trace_text)) {
+        return usage_error("cannot read " + trace_path);
+      }
+      if (!gpumip::tracetool::parse_trace(trace_text, trace, error)) {
+        return usage_error(trace_path + ": " + error);
+      }
+      trace_ptr = &trace;
+    }
+
+    const Profile profile = build_profile(run, trace_ptr, series_ptr);
+    std::cout << "==> " << metrics_path << "\n" << format_profile(profile);
+  } else if (!timeseries_path.empty() || !trace_path.empty()) {
+    return usage_error("--timeseries/--trace require --metrics");
+  }
+
+  if (!self_check && attribute_paths.empty() && metrics_path.empty()) {
+    return usage_error("nothing to do");
+  }
+  return ok ? 0 : 1;
+}

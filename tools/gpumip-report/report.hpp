@@ -1,0 +1,156 @@
+// gpumip-report: per-solve profile assembly and regression attribution
+// (scripts/check.sh gate 10; docs/TRACING.md "Report workflow").
+//
+// The observability layer exports three complementary documents — a
+// metrics snapshot (docs/METRICS.md, gpumip.metrics.v1/v2), a sim-clock
+// time series (gpumip.timeseries.v1, src/obs/sampler.hpp), and a
+// trace-event timeline (gpumip.trace.v1, analyzed by gpumip-trace). This
+// tool merges them into one profile that attributes where the makespan
+// went in terms of the paper's claim categories:
+//
+//   transfer  — H2D/D2H volume and staging      (gpumip.gpu.xfer.*)
+//   c3_basis  — basis maintenance / refactors   (gpumip.lp.ops.*)
+//   c4_cuts   — cut separation round trips      (gpumip.mip.cuts.*)
+//   c5_memory — node pool, reuse, allocation    (gpumip.gpu.alloc/free, reuse)
+//   c6_method — per-node LP method choice       (gpumip.lp.method/solves/solve.*)
+//   c7_batch  — batched-LP wave shape           (gpumip.lp.batch.*)
+//   c8_scale  — scale-out protocol traffic      (gpumip.simmpi.*, supervisor)
+//
+// Given TWO runs (bench-baseline or raw metrics documents), `attribute`
+// ranks the categories by how much of the metric delta they explain —
+// scripts/bench.sh --compare runs it whenever the comparator finds a
+// regression, so "gate 8 failed" arrives with a named culprit instead of
+// a wall of counter diffs.
+//
+// Engine is a static library (tests/test_report.cpp drives it with
+// in-memory documents); the CLI in main.cpp wraps it, mirroring
+// tools/gpumip-trace.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analyze.hpp"  // tracetool::Trace / Report for the timeline leg
+
+namespace gpumip::reporttool {
+
+// ---- input documents -------------------------------------------------------
+
+/// Flattened metrics snapshot: one map per instrument kind, histogram
+/// values folded to (count, sum). Accepts both gpumip.metrics.v1 and v2
+/// (v2 adds the labeled-family index; the maps themselves are unchanged,
+/// so v1 consumers keep working — this parser reads either).
+struct MetricsSnapshot {
+  std::map<std::string, double> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, std::pair<double, double>> histograms;  ///< count, sum
+  std::string schema;
+  bool enabled = false;
+};
+
+bool parse_metrics(const std::string& json, MetricsSnapshot& out, std::string& error);
+
+/// A gpumip.bench-baseline.v1 document: bench name -> snapshot
+/// (scripts/bench.sh merges per-bench metrics exports into this form).
+struct BenchDoc {
+  std::map<std::string, MetricsSnapshot> benches;
+};
+
+bool parse_bench_doc(const std::string& json, BenchDoc& out, std::string& error);
+
+/// Either input form for the two-run attribution: a bench-baseline
+/// document or a single metrics export (wrapped as one bench named "run").
+bool parse_run(const std::string& json, BenchDoc& out, std::string& error);
+
+/// A gpumip.timeseries.v1 document (src/obs/sampler.hpp export).
+struct TimeSeries {
+  double period = 0.0;
+  std::uint64_t dropped = 0;
+  std::vector<std::string> columns;        ///< flattened "name:kind"
+  std::vector<double> ts;                  ///< row timestamps
+  std::vector<std::vector<double>> rows;   ///< per-row column values
+};
+
+bool parse_timeseries(const std::string& json, TimeSeries& out, std::string& error);
+
+// ---- claim-category mapping ------------------------------------------------
+
+/// Category id for a metric name ("transfer", "c3_basis", ..., "other"),
+/// or "" for names excluded from attribution entirely: the observability
+/// layer's own bookkeeping (gpumip.obs.*, including trace-ring drops and
+/// sampler overhead) and host-timing noise (*.idle_seconds, checkpoint
+/// hits) — the same skip list scripts/bench_compare.py applies. Labels
+/// are ignored for categorization: `gpumip.lp.solves{method=pdhg}` maps
+/// where `gpumip.lp.solves` does.
+std::string category_of(const std::string& metric_name);
+
+/// All category ids in report order (excludes the "" exclusion marker).
+const std::vector<std::string>& category_ids();
+
+// ---- single-run profile ----------------------------------------------------
+
+struct CategoryTotal {
+  std::string category;
+  long metrics = 0;      ///< distinct counter/gauge names contributing
+  double total = 0.0;    ///< sum of counter/gauge values (mixed units; a
+                         ///< volume indicator, not a physical quantity)
+};
+
+/// One run's merged view: metric mass per category, plus (when present)
+/// the trace's makespan / per-rank split and the time-series shape.
+struct Profile {
+  std::vector<CategoryTotal> categories;  ///< report order, incl. zeros
+  bool has_trace = false;
+  tracetool::Report trace;                ///< valid when has_trace
+  bool has_timeseries = false;
+  std::size_t timeseries_rows = 0;
+  double timeseries_span = 0.0;           ///< last ts - first ts
+};
+
+Profile build_profile(const BenchDoc& run, const tracetool::Trace* trace,
+                      const TimeSeries* series);
+
+// ---- two-run attribution ---------------------------------------------------
+
+struct MetricDelta {
+  std::string bench;
+  std::string name;
+  double base = 0.0;
+  double current = 0.0;
+  double score = 0.0;  ///< |current-base| / max(|base|, floor)
+};
+
+struct CategoryDelta {
+  std::string category;
+  double score = 0.0;               ///< sum of member metric scores
+  std::vector<MetricDelta> top;     ///< largest contributors, descending
+};
+
+struct Attribution {
+  std::vector<CategoryDelta> ranked;  ///< descending by score; zero-score
+                                      ///< categories are omitted
+  long metrics_compared = 0;
+};
+
+/// Ranks which claim categories explain the metric delta between two
+/// runs. Metrics on the exclusion list contribute nothing; a metric
+/// missing from one side is scored against zero.
+Attribution attribute(const BenchDoc& base, const BenchDoc& current);
+
+// ---- rendering -------------------------------------------------------------
+
+std::string format_profile(const Profile& profile);
+std::string format_attribution(const Attribution& attribution);
+
+/// Built-in known-answer fixtures: document parsing (metrics v1 + v2,
+/// bench baselines, time series), category mapping, exclusion list, and
+/// an embedded doubled-H2D regression whose attribution must rank the
+/// transfer category first. Prints one line per expectation; returns
+/// false if any fails.
+bool run_self_check(std::ostream& out);
+
+}  // namespace gpumip::reporttool
